@@ -1,0 +1,42 @@
+"""Helpers shared by the benchmark modules (table printing, timing)."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def print_table(title: str, header: list[str], rows: list[list]) -> None:
+    """Print a fixed-width table and append it to ``benchmarks/results/summary.txt``.
+
+    Every benchmark module prints one table per paper table/figure; the
+    appended file collects them so a full ``pytest benchmarks/`` run leaves a
+    readable record next to the raw pytest-benchmark timings.
+    """
+    widths = [max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0)) for i in range(len(header))]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-" * len(lines[-1]))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / "summary.txt", "a", encoding="utf-8") as handle:
+        handle.write(text + "\n\n")
+
+
+@contextmanager
+def timer():
+    """Context manager measuring elapsed wall-clock milliseconds."""
+
+    class _Elapsed:
+        milliseconds = 0.0
+
+    elapsed = _Elapsed()
+    started = time.perf_counter()
+    yield elapsed
+    elapsed.milliseconds = (time.perf_counter() - started) * 1000

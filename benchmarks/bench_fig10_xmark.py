@@ -1,0 +1,103 @@
+"""Figure 10: the XMark queries X01--X17 -- SXSI versus the baseline engines.
+
+The paper's central figure: for each XPathMark query it reports counting,
+materialisation and materialisation+serialisation times for SXSI, MonetDB and
+Qizx, at two document sizes.  The reproduction runs the same seventeen queries
+over two scaled XMark documents against the pointer-DOM (node-set-at-a-time)
+baseline, and additionally times the streaming baseline on the navigational
+queries (the GCX/SPEX comparison from the introduction).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baseline import StreamingEngine
+from repro.core.errors import UnsupportedQueryError
+from repro.workloads import XMARK_QUERIES
+
+from _bench_utils import print_table
+
+SELECTED = ["X01", "X03", "X04", "X06", "X09", "X12", "X14"]
+
+
+@pytest.mark.parametrize("name", SELECTED)
+def test_sxsi_counting(benchmark, xmark_small_document, name):
+    query = XMARK_QUERIES[name]
+    benchmark.pedantic(xmark_small_document.count, args=(query,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", SELECTED)
+def test_dom_counting(benchmark, xmark_small_dom, name):
+    query = XMARK_QUERIES[name]
+    benchmark.pedantic(xmark_small_dom.count, args=(query,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", ["X02", "X04"])
+def test_sxsi_serialization(benchmark, xmark_small_document, name):
+    query = XMARK_QUERIES[name]
+    benchmark.pedantic(xmark_small_document.serialize, args=(query,), rounds=2, iterations=1)
+
+
+def _report(document, dom, xml, title):
+    stream = StreamingEngine(xml)
+    rows = []
+    for name, query in XMARK_QUERIES.items():
+        started = time.perf_counter()
+        result = document.evaluate(query, want_nodes=False)
+        count_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        nodes = document.query(query)
+        mat_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        dom_count = dom.count(query)
+        dom_ms = (time.perf_counter() - started) * 1000
+        assert dom_count == result.count == len(nodes), name
+
+        try:
+            started = time.perf_counter()
+            stream_count = stream.count(query)
+            stream_ms = f"{(time.perf_counter() - started) * 1000:.0f}"
+            assert stream_count == result.count
+        except UnsupportedQueryError:
+            stream_ms = "-"
+
+        rows.append(
+            [
+                name,
+                result.count,
+                f"{count_ms:.1f}",
+                f"{mat_ms:.1f}",
+                f"{dom_ms:.1f}",
+                stream_ms,
+                f"{dom_ms / max(count_ms, 1e-9):.2f}",
+                result.statistics.visited_nodes,
+            ]
+        )
+    print_table(
+        title,
+        ["query", "results", "sxsi count", "sxsi mat", "dom", "stream", "dom/sxsi", "visited"],
+        rows,
+    )
+    return rows
+
+
+def test_report_figure_10_small(benchmark, xmark_small_document, xmark_small_dom, xmark_small_xml):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _report(xmark_small_document, xmark_small_dom, xmark_small_xml, "Figure 10 - XMark queries (small document, ms)")
+
+
+def test_report_figure_10_large(benchmark, xmark_large_document, xmark_large_dom, xmark_large_xml):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = _report(
+        xmark_large_document, xmark_large_dom, xmark_large_xml, "Figure 10 - XMark queries (large document, ms)"
+    )
+    # Shape check: on selective structural queries SXSI touches a small
+    # fraction of the document, which is what drives the paper's speed-ups.
+    visited = {row[0]: row[7] for row in rows}
+    assert visited["X03"] < xmark_large_document.num_nodes / 5
+    assert visited["X01"] < 50

@@ -1,0 +1,54 @@
+"""Figure 11: the Treebank queries T01--T05.
+
+Treebank stresses deep recursion and a large number of distinct paths; the
+paper observes that all engines are much slower here than on comparable XMark
+documents, and that SXSI remains robust.  The reproduction runs T01--T05 over
+the synthetic deep-recursive corpus against the DOM baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads import TREEBANK_QUERIES
+
+from _bench_utils import print_table
+
+
+@pytest.mark.parametrize("name", sorted(TREEBANK_QUERIES))
+def test_sxsi_counting(benchmark, treebank_document, name):
+    query = TREEBANK_QUERIES[name]
+    benchmark.pedantic(treebank_document.count, args=(query,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", ["T01", "T03"])
+def test_dom_counting(benchmark, treebank_dom, name):
+    query = TREEBANK_QUERIES[name]
+    benchmark.pedantic(treebank_dom.count, args=(query,), rounds=2, iterations=1)
+
+
+def test_report_figure_11(benchmark, treebank_document, treebank_dom):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, query in TREEBANK_QUERIES.items():
+        started = time.perf_counter()
+        result = treebank_document.evaluate(query, want_nodes=False)
+        sxsi_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        nodes = treebank_document.query(query)
+        mat_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        dom_count = treebank_dom.count(query)
+        dom_ms = (time.perf_counter() - started) * 1000
+        assert dom_count == result.count == len(nodes), name
+
+        rows.append([name, result.count, f"{sxsi_ms:.1f}", f"{mat_ms:.1f}", f"{dom_ms:.1f}", result.statistics.visited_nodes])
+    print_table(
+        "Figure 11 - Treebank queries (ms)",
+        ["query", "results", "sxsi count", "sxsi mat", "dom", "visited"],
+        rows,
+    )

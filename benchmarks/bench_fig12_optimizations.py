@@ -1,0 +1,80 @@
+"""Figure 12: impact of jumping and memoisation on the top-down run.
+
+The paper selectively disables the optimisations of Sections 5.4/5.5 and
+reruns X01--X17: naive run, jumping-only, caching-only, and everything
+enabled.  The reproduction exposes the same switches through
+``EvaluationOptions`` and reports the four bars per query, asserting that the
+results never change and that the optimised run visits no more nodes than the
+naive one.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EvaluationOptions
+from repro.workloads import XMARK_QUERIES
+
+from _bench_utils import print_table
+
+CONFIGURATIONS = {
+    "naive": EvaluationOptions.naive(),
+    "jumping": EvaluationOptions.naive().replace(jumping=True, use_tag_tables=True, lazy_result_sets=True),
+    "caching": EvaluationOptions.naive().replace(memoization=True, early_evaluation=True),
+    "all": EvaluationOptions(),
+}
+
+QUERIES = ["X01", "X02", "X03", "X04", "X06", "X10", "X12", "X13", "X14", "X16"]
+
+
+@pytest.mark.parametrize("config", sorted(CONFIGURATIONS))
+def test_x04_under_configuration(benchmark, xmark_small_document, config):
+    options = CONFIGURATIONS[config]
+    benchmark.pedantic(
+        xmark_small_document.count, args=(XMARK_QUERIES["X04"], options), rounds=2, iterations=1
+    )
+
+
+def test_report_figure_12(benchmark, xmark_small_document):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    doc = xmark_small_document
+    rows = []
+    for name in QUERIES:
+        query = XMARK_QUERIES[name]
+        timings = {}
+        visited = {}
+        counts = set()
+        for label, options in CONFIGURATIONS.items():
+            started = time.perf_counter()
+            result = doc.evaluate(query, options, want_nodes=False)
+            timings[label] = (time.perf_counter() - started) * 1000
+            visited[label] = result.statistics.visited_nodes
+            counts.add(result.count)
+        assert len(counts) == 1, f"{name}: optimisations changed the result"
+        rows.append(
+            [
+                name,
+                counts.pop(),
+                f"{timings['naive']:.1f}",
+                f"{timings['jumping']:.1f}",
+                f"{timings['caching']:.1f}",
+                f"{timings['all']:.1f}",
+                visited["naive"],
+                visited["all"],
+            ]
+        )
+    print_table(
+        "Figure 12 - optimisation ablation (ms)",
+        ["query", "results", "naive", "jumping", "caching", "all", "visited naive", "visited all"],
+        rows,
+    )
+    # Shape check: jumping never visits more nodes than the naive run, and for
+    # the selective queries it visits far fewer.
+    for row in rows:
+        assert row[7] <= row[6]
+    selective = {row[0]: row for row in rows}
+    # Descendant-axis queries benefit from jumping: the optimised run visits
+    # far fewer nodes than the naive one (child-only paths such as X03 cannot jump).
+    assert selective["X04"][7] < selective["X04"][6] / 2

@@ -1,0 +1,93 @@
+"""Figures 14/15: text-oriented queries M01--M11 over Medline.
+
+Figure 14 lists the queries together with their evaluation strategy
+(top-down / bottom-up, FM-index / naive text); Figure 15 reports counting,
+materialisation and serialisation times against MonetDB and Qizx, plus the
+split of SXSI's time between the text index and the automaton.  The
+reproduction reports, per query: the number of results, the chosen strategy,
+the text-index time, the total time and the DOM-baseline time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import EvaluationOptions
+from repro.workloads import MEDLINE_QUERIES, MEDLINE_STRATEGY
+
+from _bench_utils import print_table
+
+SELECTED = ["M01", "M02", "M05", "M08", "M09", "M10"]
+
+
+@pytest.mark.parametrize("name", SELECTED)
+def test_sxsi_counting(benchmark, medline_document, name):
+    query = MEDLINE_QUERIES[name]
+    benchmark.pedantic(medline_document.count, args=(query,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", ["M02", "M09"])
+def test_dom_counting(benchmark, medline_dom, name):
+    query = MEDLINE_QUERIES[name]
+    benchmark.pedantic(medline_dom.count, args=(query,), rounds=2, iterations=1)
+
+
+def test_report_figure_14_15(benchmark, medline_document, medline_dom):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    doc = medline_document
+    rows = []
+    for name, query in MEDLINE_QUERIES.items():
+        # Text-index-only time: evaluate the registered text predicates alone.
+        started = time.perf_counter()
+        result = doc.evaluate(query, want_nodes=False)
+        total_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        nodes = doc.query(query)
+        mat_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        dom_count = medline_dom.count(query)
+        dom_ms = (time.perf_counter() - started) * 1000
+        assert dom_count == result.count == len(nodes), name
+
+        paper_strategy, paper_text = MEDLINE_STRATEGY[name]
+        rows.append(
+            [
+                name,
+                result.count,
+                result.plan.strategy,
+                paper_strategy,
+                "naive" if result.plan.uses_naive_text else "fm",
+                paper_text,
+                f"{total_ms:.1f}",
+                f"{mat_ms:.1f}",
+                f"{dom_ms:.1f}",
+            ]
+        )
+    print_table(
+        "Figures 14/15 - Medline text queries (ms)",
+        ["query", "results", "strategy", "paper", "text", "paper", "count", "materialise", "dom"],
+        rows,
+    )
+    # Shape checks: the mixed-content queries must use the naive text path
+    # (M10/M11), and bottom-up is only ever chosen where the paper allows it.
+    by_name = {row[0]: row for row in rows}
+    assert by_name["M10"][4] == "naive"
+    assert by_name["M11"][4] == "naive"
+    for name, row in by_name.items():
+        if MEDLINE_STRATEGY[name][0] == "top-down":
+            assert row[2] == "top-down", name
+
+
+def test_bottom_up_beats_forced_top_down_on_selective_query(benchmark, medline_document):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The point of Section 5.4.2: selective text predicates should not traverse the tree."""
+    query = MEDLINE_QUERIES["M07"]
+    default = medline_document.evaluate(query, want_nodes=False)
+    forced = medline_document.evaluate(query, EvaluationOptions(allow_bottom_up=False), want_nodes=False)
+    assert default.count == forced.count
+    if default.plan.strategy == "bottom-up":
+        assert default.statistics.visited_nodes <= forced.statistics.visited_nodes

@@ -1,0 +1,83 @@
+"""Table II: raw FM-index search times with sampling factor l = 64.
+
+For a spread of patterns ranging from very rare to extremely frequent the
+paper reports: GlobalCount (number + time), ContainsCount (number + time) and
+ContainsReport time, against a plain-buffer scan whose time is constant.  The
+key *shape* is that counting is always microseconds, while reporting grows
+with the number of occurrences until the plain scan wins (the cut-off point).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.text import NaiveTextCollection, TextCollection
+from repro.workloads import FM_PATTERNS, generate_medline_xml
+from repro.xmlmodel import build_model
+
+from _bench_utils import print_table
+
+SAMPLE_RATE = 64
+
+
+@pytest.fixture(scope="module")
+def collections():
+    xml = generate_medline_xml(num_citations=250, seed=7)
+    model = build_model(xml)
+    texts = model.texts
+    indexed = TextCollection(texts, sample_rate=SAMPLE_RATE, keep_plain_text=False)
+    naive = NaiveTextCollection(texts)
+    return indexed, naive
+
+
+@pytest.mark.parametrize("pattern", ["Bakst", "molecule", "blood", "the"])
+def test_global_count(benchmark, collections, pattern):
+    indexed, _ = collections
+    benchmark(indexed.global_count, pattern)
+
+
+@pytest.mark.parametrize("pattern", ["Bakst", "molecule", "blood"])
+def test_contains_report(benchmark, collections, pattern):
+    indexed, _ = collections
+    benchmark.pedantic(indexed.contains, args=(pattern,), rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("pattern", ["blood", "the"])
+def test_naive_scan(benchmark, collections, pattern):
+    _, naive = collections
+    benchmark.pedantic(naive.contains, args=(pattern.encode(),), rounds=3, iterations=1)
+
+
+def test_report_table_2(benchmark, collections):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    indexed, naive = collections
+    rows = []
+    for pattern in FM_PATTERNS:
+        started = time.perf_counter()
+        global_count = indexed.global_count(pattern)
+        global_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        contains = indexed.contains(pattern)
+        contains_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        naive_hits = naive.contains(pattern.encode())
+        naive_ms = (time.perf_counter() - started) * 1000
+
+        assert contains.tolist() == naive_hits.tolist()
+        rows.append(
+            [repr(pattern), global_count, f"{global_ms:.3f}", int(contains.size), f"{contains_ms:.1f}", f"{naive_ms:.1f}"]
+        )
+    print_table(
+        f"Table II - FM-index search times, sampling l = {SAMPLE_RATE} (ms)",
+        ["pattern", "GlobalCount", "count ms", "ContainsCount", "report ms", "naive scan ms"],
+        rows,
+    )
+    # Shape check: counting a rare pattern is much cheaper than reporting a
+    # frequent one (the quantity that produces the cut-off of Section 6.3).
+    rare_report = float(rows[0][4])
+    frequent_report = float(rows[-1][4])
+    assert frequent_report > rare_report

@@ -1,0 +1,101 @@
+"""Table IV: construction times -- pointer tree versus the SXSI tree store.
+
+The paper breaks construction into: XML parsing, pointer-tree allocation,
+parentheses structure, tag structure, and the relative tag-position tables,
+over XMark, Treebank and Medline documents, noting that parsing dominates and
+that the tag structure is the most expensive index component.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.tree import PointerTree, SuccinctTree, TagPositionTables
+from repro.tree.balanced_parens import BalancedParentheses
+from repro.xmlmodel import build_model
+
+from _bench_utils import print_table
+
+
+@pytest.fixture(scope="module")
+def corpora(xmark_small_xml, xmark_large_xml, treebank_xml, medline_xml):
+    return {
+        "XMark-small": xmark_small_xml,
+        "XMark-large": xmark_large_xml,
+        "Treebank": treebank_xml,
+        "Medline": medline_xml,
+    }
+
+
+def test_parse_time(benchmark, xmark_small_xml):
+    benchmark.pedantic(build_model, args=(xmark_small_xml,), rounds=3, iterations=1)
+
+
+def test_pointer_tree_construction(benchmark, xmark_small_model):
+    model = xmark_small_model
+    benchmark.pedantic(
+        PointerTree, args=(model.parens, model.node_tags, model.tag_names), rounds=3, iterations=1
+    )
+
+
+def test_parentheses_construction(benchmark, xmark_small_model):
+    benchmark.pedantic(BalancedParentheses, args=(xmark_small_model.parens,), rounds=3, iterations=1)
+
+
+def test_full_succinct_tree_construction(benchmark, xmark_small_model):
+    model = xmark_small_model
+    benchmark.pedantic(
+        SuccinctTree,
+        args=(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_report_table_4(benchmark, corpora):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, xml in corpora.items():
+        started = time.perf_counter()
+        model = build_model(xml)
+        parse_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        PointerTree(model.parens, model.node_tags, model.tag_names)
+        pointer_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        BalancedParentheses(model.parens)
+        parens_ms = (time.perf_counter() - started) * 1000
+
+        started = time.perf_counter()
+        tree = SuccinctTree(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions)
+        tree_ms = (time.perf_counter() - started) * 1000
+        tags_ms = tree_ms - parens_ms
+
+        started = time.perf_counter()
+        TagPositionTables(tree)
+        tables_ms = (time.perf_counter() - started) * 1000
+
+        rows.append(
+            [
+                name,
+                model.num_nodes,
+                f"{parse_ms:.0f}",
+                f"{pointer_ms:.0f}",
+                f"{parens_ms:.0f}",
+                f"{max(tags_ms, 0):.0f}",
+                f"{tables_ms:.0f}",
+            ]
+        )
+    print_table(
+        "Table IV - construction times (ms): parse / pointer tree / parentheses / tags / tag-tables",
+        ["file", "nodes", "parse", "pointers", "parentheses", "tags", "tag-tables"],
+        rows,
+    )
+    # Shape check from the paper: parsing dominates the tree-store construction,
+    # and the tag structure costs more than the bare parentheses.
+    for row in rows:
+        assert float(row[2]) > float(row[4])

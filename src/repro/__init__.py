@@ -1,0 +1,33 @@
+"""SXSI reproduction: fast in-memory XPath search using compressed indexes.
+
+The package reproduces the system of Arroyuelo et al., *Fast in-memory XPath
+search using compressed indexes* (ICDE 2010 / SP&E 2015): a self-indexed XML
+representation (FM-index for the texts, balanced parentheses plus a tag
+sequence for the tree) queried through XPath *Core+* compiled to alternating
+marking tree automata.
+
+Quickstart
+----------
+
+>>> from repro import Document
+>>> doc = Document.from_string("<a><b>hello</b><b>world</b></a>")
+>>> doc.count("//b")
+2
+"""
+
+from repro.core.document import Document
+from repro.core.errors import ReproError, UnsupportedQueryError
+from repro.core.options import EvaluationOptions, IndexOptions
+from repro.xpath.engine import QueryResult
+
+__all__ = [
+    "Document",
+    "IndexOptions",
+    "EvaluationOptions",
+    "QueryResult",
+    "ReproError",
+    "UnsupportedQueryError",
+    "__version__",
+]
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""Baseline engines the reproduction compares against.
+
+The paper benchmarks SXSI against MonetDB/XQuery and Qizx/DB (indexed,
+node-set-at-a-time engines) and against GCX and SPEX (streaming engines).
+Those systems are closed or unavailable substrates for this reproduction, so
+the comparison is carried out against faithful stand-ins that exercise the
+same cost models:
+
+* :class:`~repro.baseline.dom_engine.DomEngine` -- a pointer-DOM engine that
+  materialises intermediate node sets step by step (the classical evaluation
+  strategy of the compared database engines), scanning texts directly.
+* :class:`~repro.baseline.streaming.StreamingEngine` -- a single-pass,
+  event-driven evaluator that keeps no index at all.
+"""
+
+from repro.baseline.dom_engine import DomEngine, DomNode, build_dom
+from repro.baseline.streaming import StreamingEngine
+
+__all__ = ["DomEngine", "DomNode", "build_dom", "StreamingEngine"]

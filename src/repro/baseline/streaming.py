@@ -1,0 +1,95 @@
+"""Streaming baseline engine (GCX / SPEX stand-in).
+
+The introduction of the paper compares the indexed approach against streaming
+engines, which read the whole document once per query and keep only a small
+amount of state.  :class:`StreamingEngine` reproduces that cost model: it
+parses the XML text event by event and evaluates a *navigational* Core+ query
+(child/descendant steps, name/wildcard/text() tests, no predicates) with one
+stack of partial matches, never building any in-memory representation of the
+document.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnsupportedQueryError
+from repro.xmlmodel.model import ROOT_LABEL, TEXT_LABEL
+from repro.xmlmodel.parser import Characters, EndElement, StartElement, parse_events
+from repro.xpath.ast import Axis, LocationPath, NameTest, NodeTypeTest, TextTest, WildcardTest
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["StreamingEngine"]
+
+
+class StreamingEngine:
+    """Single-pass evaluation of navigational queries over the raw XML text."""
+
+    def __init__(self, xml: str | bytes):
+        self._xml = xml if isinstance(xml, str) else xml.decode("utf-8")
+
+    # -- query analysis --------------------------------------------------------------------------
+
+    @staticmethod
+    def _check_supported(path: LocationPath) -> None:
+        for step in path.steps:
+            if step.axis not in (Axis.CHILD, Axis.DESCENDANT):
+                raise UnsupportedQueryError("the streaming baseline only supports child/descendant axes")
+            if step.predicates:
+                raise UnsupportedQueryError("the streaming baseline does not support predicates")
+            if not isinstance(step.test, (NameTest, WildcardTest, TextTest, NodeTypeTest)):
+                raise UnsupportedQueryError(f"unsupported node test {step.test!r}")
+
+    @staticmethod
+    def _matches(test, label: str) -> bool:
+        if isinstance(test, NameTest):
+            return label == test.name
+        if isinstance(test, WildcardTest):
+            return label not in (ROOT_LABEL, TEXT_LABEL, "@", "%")
+        if isinstance(test, TextTest):
+            return label == TEXT_LABEL
+        return label not in (ROOT_LABEL, "@", "%")
+
+    # -- evaluation ---------------------------------------------------------------------------------
+
+    def count(self, query: str | LocationPath) -> int:
+        """Number of nodes matched by the navigational query, in one pass."""
+        path = parse_xpath(query) if isinstance(query, str) else query
+        self._check_supported(path)
+        steps = list(path.steps)
+        num_steps = len(steps)
+
+        # Each stack entry carries the set of step indexes "active" below that
+        # element: index i active means steps[0..i-1] are already matched on
+        # the current ancestor chain and steps[i] is looked for here.
+        count = 0
+        active_stack: list[frozenset[int]] = [frozenset((0,))]
+
+        def advance(active: frozenset[int], label: str) -> tuple[frozenset[int], int]:
+            matched = 0
+            nxt: set[int] = set()
+            for index in active:
+                step = steps[index]
+                # Descendant steps stay active below; child steps do not.
+                if step.axis is Axis.DESCENDANT:
+                    nxt.add(index)
+                if self._matches(step.test, label):
+                    if index + 1 == num_steps:
+                        matched += 1
+                    else:
+                        nxt.add(index + 1)
+            return frozenset(nxt), matched
+
+        for event in parse_events(self._xml):
+            if isinstance(event, StartElement):
+                active = active_stack[-1]
+                new_active, matched = advance(active, event.name)
+                count += matched
+                active_stack.append(new_active)
+            elif isinstance(event, EndElement):
+                active_stack.pop()
+            elif isinstance(event, Characters):
+                if event.data.strip() == "":
+                    continue
+                active = active_stack[-1]
+                _, matched = advance(active, TEXT_LABEL)
+                count += matched
+        return count

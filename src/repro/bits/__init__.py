@@ -1,0 +1,19 @@
+"""Succinct bit-level building blocks.
+
+This subpackage provides the low-level structures every other component of the
+SXSI reproduction is built on:
+
+* :class:`~repro.bits.bitvector.BitVector` -- an immutable bit vector with
+  O(1)-ish ``rank`` and fast ``select`` (the role played by uncompressed
+  bitmaps with rank/select directories in the paper).
+* :class:`~repro.bits.sparse.SparseBitVector` -- the Okanohara--Sadakane
+  ``sarray`` used for the per-tag rows of the tag-sequence index.
+* :class:`~repro.bits.intarray.PackedIntArray` -- fixed-width packed integer
+  arrays (``\\lceil log 2t \\rceil`` bits per tag, samples arrays, ...).
+"""
+
+from repro.bits.bitvector import BitVector
+from repro.bits.intarray import PackedIntArray
+from repro.bits.sparse import SparseBitVector
+
+__all__ = ["BitVector", "SparseBitVector", "PackedIntArray"]

@@ -1,0 +1,238 @@
+"""Plain bit vector with rank and select support.
+
+The paper (Section 2 and 4) relies on uncompressed bitmaps with constant-time
+binary ``rank`` and ``select`` as the work-horse primitive: the balanced
+parentheses sequence ``Par``, the leaf bitmap ``B`` connecting tree nodes to
+text identifiers, the sample bitmap ``Bs`` of the FM-index and the wavelet
+tree internals are all bitmaps of this kind.
+
+The implementation packs bits into 64-bit words (``numpy.uint64``) and keeps a
+cumulative popcount directory per word, so
+
+* ``rank1(i)`` costs one directory lookup plus one masked popcount,
+* ``select1(j)`` / ``select0(j)`` cost a binary search over the directory plus
+  a scan inside one word.
+
+This mirrors the "uncompressed bitmaps inside" choice the authors make for
+their Huffman-shaped wavelet trees: a little extra space buys much better
+constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["BitVector"]
+
+_WORD_BITS = 64
+
+# Byte-wise popcount table used to count bits inside a partially masked word.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)
+
+
+def _popcount_words(words: np.ndarray) -> np.ndarray:
+    """Return the popcount of every 64-bit word in ``words`` as ``uint32``."""
+    as_bytes = words.view(np.uint8).reshape(-1, 8)
+    return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.uint32)
+
+
+class BitVector:
+    """Immutable bit vector with ``rank``/``select`` support.
+
+    Parameters
+    ----------
+    bits:
+        Any iterable of truthy/falsy values, a ``numpy`` boolean/integer array,
+        or another :class:`BitVector`.
+
+    Notes
+    -----
+    Positions are zero-based.  ``rank1(i)`` counts ones in ``bits[0:i]``
+    (exclusive of ``i``), matching the conventional succinct-data-structure
+    definition; the inclusive variants used in the paper's formulas are easy
+    to express as ``rank1(i + 1)``.
+    """
+
+    __slots__ = ("_length", "_words", "_rank_blocks", "_total_ones")
+
+    def __init__(self, bits: Iterable[int] | np.ndarray | "BitVector" = ()):
+        if isinstance(bits, BitVector):
+            bool_arr = bits.to_numpy()
+        else:
+            bool_arr = np.asarray(list(bits) if not isinstance(bits, np.ndarray) else bits)
+            bool_arr = bool_arr.astype(bool, copy=False)
+        self._length = int(bool_arr.size)
+        n_words = (self._length + _WORD_BITS - 1) // _WORD_BITS
+        padded = np.zeros(n_words * _WORD_BITS, dtype=bool)
+        padded[: self._length] = bool_arr
+        # Pack bits little-endian inside each word: bit i of word w is
+        # position w * 64 + i of the vector.
+        packed_bytes = np.packbits(padded.reshape(-1, 8)[:, ::-1], axis=1).reshape(-1)
+        self._words = packed_bytes.view(np.uint64) if n_words else np.zeros(0, dtype=np.uint64)
+        counts = _popcount_words(self._words) if n_words else np.zeros(0, dtype=np.uint32)
+        # _rank_blocks[w] = number of ones in words[0:w]
+        self._rank_blocks = np.zeros(n_words + 1, dtype=np.uint64)
+        if n_words:
+            np.cumsum(counts, out=self._rank_blocks[1:])
+        self._total_ones = int(self._rank_blocks[-1]) if n_words else 0
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_positions(cls, positions: Sequence[int], length: int) -> "BitVector":
+        """Build a bit vector of ``length`` bits with ones at ``positions``."""
+        arr = np.zeros(length, dtype=bool)
+        if len(positions):
+            arr[np.asarray(positions, dtype=np.int64)] = True
+        return cls(arr)
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self[i]
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit index {i} out of range for length {self._length}")
+        word = int(self._words[i // _WORD_BITS])
+        return (word >> (i % _WORD_BITS)) & 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self._length == other._length and bool(np.array_equal(self._words, other._words))
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._words.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        prefix = "".join(str(self[i]) for i in range(min(self._length, 32)))
+        suffix = "..." if self._length > 32 else ""
+        return f"BitVector({prefix}{suffix}, length={self._length})"
+
+    def to_numpy(self) -> np.ndarray:
+        """Return the bits as a ``numpy`` boolean array."""
+        if self._length == 0:
+            return np.zeros(0, dtype=bool)
+        as_bytes = self._words.view(np.uint8).reshape(-1, 8)
+        bits = np.unpackbits(as_bytes, axis=1, bitorder="little").reshape(-1)
+        return bits[: self._length].astype(bool)
+
+    # -- counting ---------------------------------------------------------------
+
+    @property
+    def count_ones(self) -> int:
+        """Total number of set bits."""
+        return self._total_ones
+
+    @property
+    def count_zeros(self) -> int:
+        """Total number of clear bits."""
+        return self._length - self._total_ones
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage of the structure, in bits."""
+        return int(self._words.size * 64 + self._rank_blocks.size * 64)
+
+    # -- rank -------------------------------------------------------------------
+
+    def rank1(self, i: int) -> int:
+        """Number of ones in positions ``[0, i)``."""
+        if i <= 0:
+            return 0
+        if i >= self._length:
+            return self._total_ones
+        word_idx, bit_idx = divmod(i, _WORD_BITS)
+        result = int(self._rank_blocks[word_idx])
+        if bit_idx:
+            word = int(self._words[word_idx])
+            mask = (1 << bit_idx) - 1
+            result += (word & mask).bit_count()
+        return result
+
+    def rank0(self, i: int) -> int:
+        """Number of zeros in positions ``[0, i)``."""
+        i = max(0, min(i, self._length))
+        return i - self.rank1(i)
+
+    def rank(self, bit: int, i: int) -> int:
+        """Generic rank: number of occurrences of ``bit`` in ``[0, i)``."""
+        return self.rank1(i) if bit else self.rank0(i)
+
+    # -- select -----------------------------------------------------------------
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th one (1-based ``j``); raises if out of range."""
+        if j < 1 or j > self._total_ones:
+            raise ValueError(f"select1({j}) out of range; vector has {self._total_ones} ones")
+        word_idx = int(np.searchsorted(self._rank_blocks, j, side="left")) - 1
+        remaining = j - int(self._rank_blocks[word_idx])
+        word = int(self._words[word_idx])
+        pos = word_idx * _WORD_BITS
+        while True:
+            if word & 1:
+                remaining -= 1
+                if remaining == 0:
+                    return pos
+            word >>= 1
+            pos += 1
+
+    def select0(self, j: int) -> int:
+        """Position of the ``j``-th zero (1-based ``j``); raises if out of range."""
+        total_zeros = self.count_zeros
+        if j < 1 or j > total_zeros:
+            raise ValueError(f"select0({j}) out of range; vector has {total_zeros} zeros")
+        # zeros in words[0:w] = w * 64 - rank_blocks[w]
+        lo, hi = 0, self._words.size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            zeros_before = mid * _WORD_BITS - int(self._rank_blocks[mid])
+            if zeros_before < j:
+                lo = mid + 1
+            else:
+                hi = mid
+        word_idx = lo - 1
+        remaining = j - (word_idx * _WORD_BITS - int(self._rank_blocks[word_idx]))
+        word = int(self._words[word_idx])
+        pos = word_idx * _WORD_BITS
+        while True:
+            if not (word & 1):
+                remaining -= 1
+                if remaining == 0:
+                    return pos
+            word >>= 1
+            pos += 1
+
+    def select(self, bit: int, j: int) -> int:
+        """Generic select: position of the ``j``-th occurrence of ``bit``."""
+        return self.select1(j) if bit else self.select0(j)
+
+    # -- searching ----------------------------------------------------------------
+
+    def next_one(self, i: int) -> int:
+        """Smallest position ``>= i`` holding a one, or ``-1`` if none exists."""
+        if i >= self._length:
+            return -1
+        i = max(i, 0)
+        ones_before = self.rank1(i)
+        if ones_before >= self._total_ones:
+            return -1
+        return self.select1(ones_before + 1)
+
+    def prev_one(self, i: int) -> int:
+        """Largest position ``<= i`` holding a one, or ``-1`` if none exists."""
+        if i < 0:
+            return -1
+        i = min(i, self._length - 1)
+        ones_upto = self.rank1(i + 1)
+        if ones_upto == 0:
+            return -1
+        return self.select1(ones_upto)

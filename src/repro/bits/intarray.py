@@ -1,0 +1,126 @@
+"""Fixed-width packed integer arrays.
+
+The paper stores the tag sequence ``Tag`` using ``ceil(log 2t)`` bits per
+entry (Section 4.1.2) and the FM-index samples array ``Ps`` with ``log|T|``
+bits per entry.  :class:`PackedIntArray` provides that representation: an
+immutable array of unsigned integers, each stored in ``width`` bits, packed
+back-to-back into 64-bit words.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["PackedIntArray"]
+
+
+class PackedIntArray:
+    """Immutable array of fixed-width unsigned integers.
+
+    Parameters
+    ----------
+    values:
+        The integers to store.
+    width:
+        Bits per value.  If omitted, the minimum width that fits the largest
+        value is used (at least 1).
+    """
+
+    __slots__ = ("_length", "_width", "_words")
+
+    def __init__(self, values: Iterable[int] | np.ndarray = (), width: int | None = None):
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=np.uint64)
+        self._length = int(arr.size)
+        if width is None:
+            max_val = int(arr.max()) if arr.size else 0
+            width = max(1, max_val.bit_length())
+        if not 1 <= width <= 64:
+            raise ValueError("width must be between 1 and 64 bits")
+        if arr.size and int(arr.max()) >= (1 << width) and width < 64:
+            raise ValueError(f"value {int(arr.max())} does not fit in {width} bits")
+        self._width = int(width)
+        total_bits = self._length * self._width
+        n_words = (total_bits + 63) // 64
+        words = np.zeros(n_words + 1, dtype=np.uint64)  # +1 guard word for cross-word reads
+        for i, value in enumerate(arr):
+            self._poke(words, i, int(value))
+        self._words = words
+
+    def _poke(self, words: np.ndarray, i: int, value: int) -> None:
+        bit_pos = i * self._width
+        word_idx, offset = divmod(bit_pos, 64)
+        lo_bits = min(self._width, 64 - offset)
+        mask_lo = ((1 << lo_bits) - 1) << offset
+        words[word_idx] = np.uint64((int(words[word_idx]) & ~mask_lo) | ((value & ((1 << lo_bits) - 1)) << offset))
+        hi_bits = self._width - lo_bits
+        if hi_bits:
+            mask_hi = (1 << hi_bits) - 1
+            words[word_idx + 1] = np.uint64((int(words[word_idx + 1]) & ~mask_hi) | (value >> lo_bits))
+
+    # -- basic protocol -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError(f"index {i} out of range for length {self._length}")
+        bit_pos = i * self._width
+        word_idx, offset = divmod(bit_pos, 64)
+        lo = int(self._words[word_idx]) >> offset
+        lo_bits = min(self._width, 64 - offset)
+        value = lo & ((1 << lo_bits) - 1)
+        hi_bits = self._width - lo_bits
+        if hi_bits:
+            hi = int(self._words[word_idx + 1]) & ((1 << hi_bits) - 1)
+            value |= hi << lo_bits
+        return value
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._length):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedIntArray):
+            return NotImplemented
+        return (
+            self._length == other._length
+            and self._width == other._width
+            and bool(np.array_equal(self._words, other._words))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._width, self._words.tobytes()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        head = list(self.to_list()[:8])
+        suffix = ", ..." if self._length > 8 else ""
+        return f"PackedIntArray({head}{suffix}, length={self._length}, width={self._width})"
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Bits used per value."""
+        return self._width
+
+    def to_list(self) -> list[int]:
+        """Return all values as a Python list."""
+        return [self[i] for i in range(self._length)]
+
+    def to_numpy(self) -> np.ndarray:
+        """Return all values as a ``numpy`` ``uint64`` array."""
+        return np.fromiter((self[i] for i in range(self._length)), dtype=np.uint64, count=self._length)
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage, in bits."""
+        return int(self._words.size * 64)
+
+    @classmethod
+    def from_sequence(cls, values: Sequence[int], width: int | None = None) -> "PackedIntArray":
+        """Synonym of the constructor, for symmetry with other structures."""
+        return cls(values, width)

@@ -1,0 +1,135 @@
+"""Sparse bit vector (Okanohara--Sadakane ``sarray``).
+
+Section 4.1.2 of the paper represents the per-tag rows of the binary matrix
+``R[1..2t][1..2n]`` (``R[i, j] = 1`` iff ``Tag[j] = i``) with the
+Okanohara--Sadakane *sarray* structure, which is efficient when the row is
+sparse: it stores the positions of the ones split into a low-bits array and a
+unary-coded high-bits bitmap (Elias--Fano encoding).
+
+For the reproduction what matters is the *interface* -- ``rank``, ``select``
+and successor queries over a sparse set of positions -- and a space-conscious
+layout.  We store the (sorted) positions in a packed integer array and answer
+
+* ``select1(j)`` by direct lookup (O(1)),
+* ``rank1(i)`` by binary search (O(log m) for m ones),
+
+which matches the complexities the paper actually uses (access/select O(1),
+rank O(log n)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["SparseBitVector"]
+
+
+class SparseBitVector:
+    """A bit vector stored as the sorted list of its one-positions.
+
+    Parameters
+    ----------
+    positions:
+        Iterable of positions holding ones.  May be unsorted; duplicates are
+        rejected because the structure represents a *set* of positions.
+    length:
+        Universe size (number of bits).
+    """
+
+    __slots__ = ("_positions", "_length")
+
+    def __init__(self, positions: Iterable[int], length: int):
+        pos = np.asarray(sorted(positions), dtype=np.int64)
+        if pos.size and (pos[0] < 0 or pos[-1] >= length):
+            raise ValueError("position out of range for sparse bit vector")
+        if pos.size > 1 and np.any(np.diff(pos) == 0):
+            raise ValueError("duplicate positions in sparse bit vector")
+        self._positions = pos
+        self._length = int(length)
+
+    @classmethod
+    def from_dense(cls, bits: Sequence[int] | np.ndarray) -> "SparseBitVector":
+        """Build from a dense 0/1 sequence."""
+        arr = np.asarray(bits, dtype=bool)
+        return cls(np.flatnonzero(arr), len(arr))
+
+    # -- basic protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> int:
+        if i < 0:
+            i += self._length
+        if not 0 <= i < self._length:
+            raise IndexError(f"bit index {i} out of range for length {self._length}")
+        idx = int(np.searchsorted(self._positions, i))
+        return int(idx < self._positions.size and self._positions[idx] == i)
+
+    def __iter__(self) -> Iterator[int]:
+        ones = set(int(p) for p in self._positions)
+        for i in range(self._length):
+            yield int(i in ones)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SparseBitVector(ones={self._positions.size}, length={self._length})"
+
+    @property
+    def count_ones(self) -> int:
+        """Total number of set bits."""
+        return int(self._positions.size)
+
+    def positions(self) -> np.ndarray:
+        """The sorted positions of the ones (a copy)."""
+        return self._positions.copy()
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage of the structure, in bits."""
+        if self._positions.size == 0:
+            return 64
+        width = max(1, int(self._length - 1).bit_length())
+        return int(self._positions.size * width + 2 * self._positions.size)
+
+    # -- rank / select -----------------------------------------------------------
+
+    def rank1(self, i: int) -> int:
+        """Number of ones in ``[0, i)``."""
+        if i <= 0:
+            return 0
+        i = min(i, self._length)
+        return int(np.searchsorted(self._positions, i, side="left"))
+
+    def rank0(self, i: int) -> int:
+        """Number of zeros in ``[0, i)``."""
+        i = max(0, min(i, self._length))
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th one (1-based)."""
+        if j < 1 or j > self._positions.size:
+            raise ValueError(f"select1({j}) out of range; vector has {self._positions.size} ones")
+        return int(self._positions[j - 1])
+
+    # -- successor / predecessor ---------------------------------------------------
+
+    def next_one(self, i: int) -> int:
+        """Smallest one-position ``>= i``, or ``-1`` if none."""
+        idx = int(np.searchsorted(self._positions, max(i, 0), side="left"))
+        if idx >= self._positions.size:
+            return -1
+        return int(self._positions[idx])
+
+    def prev_one(self, i: int) -> int:
+        """Largest one-position ``<= i``, or ``-1`` if none."""
+        if i < 0:
+            return -1
+        idx = int(np.searchsorted(self._positions, i, side="right"))
+        if idx == 0:
+            return -1
+        return int(self._positions[idx - 1])
+
+    def count_in_range(self, lo: int, hi: int) -> int:
+        """Number of ones in the half-open range ``[lo, hi)``."""
+        return max(0, self.rank1(hi) - self.rank1(lo))

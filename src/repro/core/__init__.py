@@ -1,0 +1,18 @@
+"""Core facade: the :class:`~repro.core.document.Document` object and options.
+
+``Document`` is imported lazily to avoid import cycles between the compiler
+(which needs the error types defined here) and the engine.
+"""
+
+from repro.core.errors import ReproError, UnsupportedQueryError
+from repro.core.options import EvaluationOptions, IndexOptions
+
+__all__ = ["Document", "IndexOptions", "EvaluationOptions", "ReproError", "UnsupportedQueryError"]
+
+
+def __getattr__(name: str):
+    if name == "Document":
+        from repro.core.document import Document
+
+        return Document
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

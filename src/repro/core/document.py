@@ -1,0 +1,250 @@
+"""The ``Document`` facade: one XML document, fully indexed, queryable.
+
+A :class:`Document` bundles the three ingredients of SXSI -- the succinct tree
+index, the self-indexed text collection and the XPath engine -- behind a small
+API:
+
+>>> from repro import Document
+>>> doc = Document.from_string("<a><b>hello</b><b>world</b></a>")
+>>> doc.count("//b")
+2
+>>> doc.serialize("//b[contains(., 'world')]")
+['<b>world</b>']
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.options import EvaluationOptions, IndexOptions
+from repro.text.pssm import PositionWeightMatrix
+from repro.text.rlcsa import RLCSAIndex
+from repro.text.text_collection import TextCollection
+from repro.text.word_index import WordTextIndex
+from repro.tree.succinct_tree import SuccinctTree
+from repro.tree.tag_tables import TagPositionTables
+from repro.xmlmodel.model import DocumentModel, build_model
+from repro.xmlmodel.serializer import serialize_subtree, serialize_text
+from repro.xpath.engine import QueryResult, XPathEngine
+
+__all__ = ["Document"]
+
+
+class Document:
+    """An indexed XML document supporting XPath Core+ search.
+
+    Use the constructors :meth:`from_string`, :meth:`from_file` or
+    :meth:`from_model` rather than ``__init__`` directly.
+    """
+
+    def __init__(self, model: DocumentModel, options: IndexOptions | None = None):
+        self.options = options or IndexOptions()
+        self.model = model
+        self.tree = SuccinctTree(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions)
+        self.tag_tables = TagPositionTables(self.tree)
+
+        texts = model.texts if model.texts else [b""]
+        if self.options.text_index == "rlcsa":
+            self.text_collection = RLCSAIndex(texts, sample_rate=self.options.sample_rate)
+        elif self.options.text_index == "none":
+            self.text_collection = TextCollection(
+                texts, sample_rate=self.options.sample_rate, keep_plain_text=True
+            )
+        else:
+            self.text_collection = TextCollection(
+                texts,
+                sample_rate=self.options.sample_rate,
+                keep_plain_text=self.options.keep_plain_text,
+            )
+        self.word_index: WordTextIndex | None = WordTextIndex(texts) if self.options.word_index else None
+        self.word_semantics = False
+
+        self._engine = XPathEngine(self)
+        self._pcdata_only: dict[int, bool] = {}
+        self._pssm_registry: dict[str, tuple[PositionWeightMatrix, float]] = {}
+
+    # -- constructors ---------------------------------------------------------------------------------
+
+    @classmethod
+    def from_string(cls, xml: str | bytes, options: IndexOptions | None = None) -> "Document":
+        """Parse and index an XML document given as a string."""
+        options = options or IndexOptions()
+        model = build_model(xml, keep_whitespace=options.keep_whitespace)
+        return cls(model, options)
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike, options: IndexOptions | None = None) -> "Document":
+        """Parse and index an XML document stored on disk."""
+        with open(path, "rb") as handle:
+            return cls.from_string(handle.read(), options)
+
+    @classmethod
+    def from_model(cls, model: DocumentModel, options: IndexOptions | None = None) -> "Document":
+        """Index a prebuilt document model (used by the synthetic generators)."""
+        return cls(model, options)
+
+    # -- basic statistics --------------------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes of the model tree."""
+        return self.tree.num_nodes
+
+    @property
+    def num_texts(self) -> int:
+        """Number of texts (text and attribute values)."""
+        return self.tree.num_texts
+
+    @property
+    def num_tags(self) -> int:
+        """Number of distinct labels (tags, attribute names and specials)."""
+        return self.tree.num_tags
+
+    @property
+    def engine(self) -> XPathEngine:
+        """The underlying XPath engine."""
+        return self._engine
+
+    def index_size_bits(self) -> dict[str, int]:
+        """Approximate per-component index sizes in bits (Figure 8 material)."""
+        tree_bits = self.tree.size_in_bits()
+        text_bits = self.text_collection.fm_index.size_in_bits()
+        plain = self.text_collection.plain
+        plain_bits = plain.size_in_bits() if plain is not None else 0
+        return {
+            "tree": tree_bits,
+            "text_index": text_bits,
+            "plain_text": plain_bits,
+            "total": tree_bits + text_bits + plain_bits,
+        }
+
+    # -- text access ----------------------------------------------------------------------------------------
+
+    def get_text(self, text_id: int) -> str:
+        """Content of text ``text_id`` as a string."""
+        return self.text_collection.get_text_str(text_id)
+
+    def string_value(self, node: int) -> str:
+        """The XPath string value of ``node`` (concatenation of descendant texts)."""
+        return serialize_text(self.tree, self.get_text, node)
+
+    def serialize_node(self, node: int) -> str:
+        """XML serialisation of the subtree rooted at ``node``."""
+        return serialize_subtree(self.tree, self.get_text, node)
+
+    def is_pcdata_only(self, tag_name: str) -> bool:
+        """Whether every ``tag_name`` element holds at most one text and nothing else.
+
+        This is the "content known to be PCDATA" information the paper keeps in
+        its index to decide that a text predicate applies to a single text node.
+        """
+        tag = self.tree.tag_id(tag_name)
+        if tag < 0:
+            return True
+        cached = self._pcdata_only.get(tag)
+        if cached is not None:
+            return cached
+        result = True
+        tree = self.tree
+        text_tag = tree.tag_id("#")
+        for node in tree.tagged_nodes(tag):
+            node = int(node)
+            first, last = tree.text_ids(node)
+            if last - first > 1:
+                result = False
+                break
+            child = tree.first_child(node)
+            while child != -1:
+                name = tree.tag(child)
+                if name != text_tag and tree.tag_name_of(child) != "@":
+                    result = False
+                    break
+                child = tree.next_sibling(child)
+            if not result:
+                break
+        self._pcdata_only[tag] = result
+        return result
+
+    # -- text predicate dispatch (FM-index / plain / word index) ----------------------------------------------
+
+    def match_text_predicate(self, kind: str, pattern: str, threshold: float | None = None) -> np.ndarray:
+        """Text identifiers whose content satisfies the predicate ``kind(pattern)``."""
+        if kind == "pssm":
+            matrix, score = self.pssm_matrix(pattern, threshold)
+            from repro.text.pssm import pssm_search
+
+            return pssm_search(self.text_collection, matrix, score)
+        if self.word_semantics and self.word_index is not None and kind == "contains":
+            return self.word_index.contains(pattern)
+        collection = self.text_collection
+        if kind == "contains":
+            return collection.contains_auto(pattern, cutoff=self.options.contains_cutoff)
+        if kind == "starts-with":
+            return collection.starts_with(pattern)
+        if kind == "ends-with":
+            return collection.ends_with(pattern)
+        if kind == "equals":
+            return collection.equals(pattern)
+        raise ValueError(f"unknown text predicate kind {kind!r}")
+
+    # -- PSSM registry (Section 6.7 extension) ---------------------------------------------------------------------
+
+    def register_pssm(self, name: str, matrix: PositionWeightMatrix, threshold: float) -> None:
+        """Register a scoring matrix so queries can refer to it as ``PSSM(., name)``."""
+        self._pssm_registry[name] = (matrix, float(threshold))
+
+    def pssm_matrix(self, name: str, threshold: float | None = None) -> tuple[PositionWeightMatrix, float]:
+        """Look up a registered matrix; an explicit query threshold overrides the registered one."""
+        if name not in self._pssm_registry:
+            raise KeyError(f"no PSSM matrix registered under the name {name!r}")
+        matrix, registered = self._pssm_registry[name]
+        return matrix, float(threshold) if threshold is not None else registered
+
+    # -- queries -----------------------------------------------------------------------------------------------------
+
+    def count(self, query: str, options: EvaluationOptions | None = None) -> int:
+        """Number of nodes selected by ``query``."""
+        return self._engine.count(query, options)
+
+    def query(self, query: str, options: EvaluationOptions | None = None) -> list[int]:
+        """The nodes selected by ``query`` (document order, as tree node handles)."""
+        return self._engine.materialize(query, options)
+
+    def evaluate(self, query: str, options: EvaluationOptions | None = None, want_nodes: bool = True) -> QueryResult:
+        """Full evaluation: nodes, count, plan and statistics."""
+        return self._engine.evaluate(query, options, want_nodes=want_nodes)
+
+    def serialize(self, query: str, options: EvaluationOptions | None = None) -> list[str]:
+        """Evaluate ``query`` and serialise every selected subtree to XML."""
+        return self._engine.serialize(query, options)
+
+    def explain(self, query: str, options: EvaluationOptions | None = None) -> str:
+        """Describe how ``query`` would be evaluated (automaton + strategy)."""
+        return self._engine.explain(query, options)
+
+    # -- convenience ---------------------------------------------------------------------------------------------------
+
+    def node_path(self, node: int) -> str:
+        """Human-readable path of a node (for debugging and examples)."""
+        parts: list[str] = []
+        current = node
+        while current != -1:
+            parts.append(self.tree.tag_name_of(current))
+            current = self.tree.parent(current)
+        return "/" + "/".join(reversed(parts))
+
+    def tag_counts(self) -> dict[str, int]:
+        """Number of nodes per tag name."""
+        return {name: self.tree.tag_count(tag) for tag, name in enumerate(self.tree.tag_names())}
+
+    def preorder_ids(self, nodes: Iterable[int]) -> list[int]:
+        """Convert tree node handles to global preorder identifiers."""
+        return [self.tree.preorder(node) for node in nodes]
+
+    @staticmethod
+    def texts_of_model(model: DocumentModel) -> Sequence[bytes]:
+        """The text values of a model, in document order (helper for tools)."""
+        return list(model.texts)

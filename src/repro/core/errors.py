@@ -1,0 +1,17 @@
+"""Exception hierarchy of the SXSI reproduction."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "UnsupportedQueryError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class UnsupportedQueryError(ReproError):
+    """The query parses but uses a feature outside the supported Core+ fragment.
+
+    The paper's fragment excludes backward axes, positional predicates,
+    arithmetic and joins; the same restrictions apply here.
+    """

@@ -1,0 +1,12 @@
+"""Sequence representations with rank/select support.
+
+The FM-index of the paper computes ``rank_c`` over the BWT string with a
+Huffman-shaped wavelet tree built on uncompressed bitmaps (Section 3.1).  This
+subpackage provides that structure, together with the canonical Huffman code
+construction it is shaped by.
+"""
+
+from repro.sequence.huffman import HuffmanCode
+from repro.sequence.wavelet_tree import WaveletTree
+
+__all__ = ["HuffmanCode", "WaveletTree"]

@@ -1,0 +1,104 @@
+"""Huffman code construction.
+
+The wavelet tree of the FM-index is *Huffman shaped* (Section 3.1): each
+symbol's root-to-leaf path in the tree is its Huffman codeword, so frequent
+symbols sit near the root and rank/access operations cost ``O(H0(T))`` on
+average instead of ``O(log |Sigma|)``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["HuffmanCode"]
+
+
+@dataclass(frozen=True)
+class _Node:
+    weight: int
+    order: int
+    symbol: int | None = None
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    def __lt__(self, other: "_Node") -> bool:
+        # Tie-break on insertion order so the construction is deterministic.
+        return (self.weight, self.order) < (other.weight, other.order)
+
+
+class HuffmanCode:
+    """Canonical-by-construction Huffman code over integer symbols.
+
+    Parameters
+    ----------
+    frequencies:
+        Mapping from symbol (an ``int``) to its number of occurrences.  Symbols
+        with zero frequency are ignored; at least one symbol must remain.
+    """
+
+    def __init__(self, frequencies: Mapping[int, int]):
+        items = [(sym, freq) for sym, freq in sorted(frequencies.items()) if freq > 0]
+        if not items:
+            raise ValueError("Huffman code requires at least one symbol with positive frequency")
+        self._codes: dict[int, tuple[int, ...]] = {}
+        if len(items) == 1:
+            # Degenerate alphabet: give the single symbol a 1-bit code.
+            self._codes[items[0][0]] = (0,)
+            self._root_symbols = [items[0][0]]
+            return
+        heap: list[_Node] = []
+        for order, (sym, freq) in enumerate(items):
+            heapq.heappush(heap, _Node(weight=freq, order=order, symbol=sym))
+        next_order = len(items)
+        while len(heap) > 1:
+            a = heapq.heappop(heap)
+            b = heapq.heappop(heap)
+            heapq.heappush(heap, _Node(weight=a.weight + b.weight, order=next_order, left=a, right=b))
+            next_order += 1
+        root = heap[0]
+        self._assign(root, ())
+        self._root_symbols = [sym for sym, _ in items]
+
+    def _assign(self, node: _Node, prefix: tuple[int, ...]) -> None:
+        if node.symbol is not None:
+            self._codes[node.symbol] = prefix if prefix else (0,)
+            return
+        assert node.left is not None and node.right is not None
+        self._assign(node.left, prefix + (0,))
+        self._assign(node.right, prefix + (1,))
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def symbols(self) -> list[int]:
+        """Symbols covered by the code, in ascending order."""
+        return sorted(self._codes)
+
+    def code(self, symbol: int) -> tuple[int, ...]:
+        """The codeword of ``symbol`` as a tuple of bits (MSB first)."""
+        return self._codes[symbol]
+
+    def code_length(self, symbol: int) -> int:
+        """Length in bits of the codeword of ``symbol``."""
+        return len(self._codes[symbol])
+
+    def codebook(self) -> dict[int, tuple[int, ...]]:
+        """A copy of the full symbol -> codeword mapping."""
+        return dict(self._codes)
+
+    def average_length(self, frequencies: Mapping[int, int]) -> float:
+        """Weighted average codeword length under ``frequencies``."""
+        total = sum(freq for sym, freq in frequencies.items() if sym in self._codes)
+        if total == 0:
+            return 0.0
+        weighted = sum(len(self._codes[sym]) * freq for sym, freq in frequencies.items() if sym in self._codes)
+        return weighted / total
+
+    def encode(self, symbols: Sequence[int]) -> list[int]:
+        """Encode a sequence of symbols into a flat list of bits."""
+        out: list[int] = []
+        for sym in symbols:
+            out.extend(self._codes[sym])
+        return out

@@ -1,0 +1,123 @@
+"""Run-length encoded sequence with rank/select/access.
+
+Section 6.7 of the paper swaps the wavelet tree of the FM-index for RLCSA
+(Mäkinen et al. 2010) when indexing highly repetitive collections such as the
+gene/transcript data: the BWT of repetitive text consists of long runs of
+equal symbols, so representing *runs* instead of individual symbols compresses
+far better.
+
+:class:`RunLengthSequence` offers the same interface as
+:class:`~repro.sequence.wavelet_tree.WaveletTree` (``access``, ``rank``,
+``select``, ``count``), so it can be plugged into
+:class:`~repro.text.fm_index.FMIndex` as its ``sequence_factory``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["RunLengthSequence"]
+
+
+class RunLengthSequence:
+    """Rank/select/access over a run-length encoded integer sequence."""
+
+    def __init__(self, sequence: Sequence[int] | bytes | np.ndarray):
+        if isinstance(sequence, (bytes, bytearray)):
+            seq = np.frombuffer(bytes(sequence), dtype=np.uint8).astype(np.int64)
+        else:
+            seq = np.asarray(sequence, dtype=np.int64)
+        self._length = int(seq.size)
+        if self._length == 0:
+            self._run_symbols = np.zeros(0, dtype=np.int64)
+            self._run_starts = np.zeros(0, dtype=np.int64)
+            self._counts: Counter[int] = Counter()
+            self._per_symbol: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+            return
+        change = np.flatnonzero(np.diff(seq) != 0) + 1
+        run_starts = np.concatenate(([0], change))
+        self._run_starts = run_starts.astype(np.int64)
+        self._run_symbols = seq[run_starts].astype(np.int64)
+        run_ends = np.concatenate((run_starts[1:], [self._length]))
+        run_lengths = run_ends - run_starts
+        self._counts = Counter()
+        # Per-symbol directories: run start positions and cumulative lengths.
+        self._per_symbol = {}
+        for symbol in np.unique(self._run_symbols):
+            mask = self._run_symbols == symbol
+            starts = self._run_starts[mask]
+            lengths = run_lengths[mask]
+            cumulative = np.zeros(starts.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=cumulative[1:])
+            self._per_symbol[int(symbol)] = (starts, cumulative)
+            self._counts[int(symbol)] = int(cumulative[-1])
+
+    # -- basic protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> int:
+        return self.access(i)
+
+    @property
+    def alphabet(self) -> list[int]:
+        """Distinct symbols present, ascending."""
+        return sorted(self._counts)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of maximal runs in the sequence."""
+        return int(self._run_symbols.size)
+
+    def count(self, symbol: int) -> int:
+        """Total occurrences of ``symbol``."""
+        return self._counts.get(int(symbol), 0)
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage: O(runs * log n) bits."""
+        if self._length == 0:
+            return 64
+        width = max(1, int(self._length - 1).bit_length())
+        return int(self._run_symbols.size * (width + 8) * 2)
+
+    # -- queries ----------------------------------------------------------------------
+
+    def access(self, i: int) -> int:
+        """Symbol at position ``i``."""
+        if not 0 <= i < self._length:
+            raise IndexError(f"position {i} out of range for length {self._length}")
+        run = int(np.searchsorted(self._run_starts, i, side="right")) - 1
+        return int(self._run_symbols[run])
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Occurrences of ``symbol`` in ``[0, i)``."""
+        entry = self._per_symbol.get(int(symbol))
+        if entry is None or i <= 0:
+            return 0
+        i = min(i, self._length)
+        starts, cumulative = entry
+        run = int(np.searchsorted(starts, i, side="right")) - 1
+        if run < 0:
+            return 0
+        full = int(cumulative[run])
+        run_len = int(cumulative[run + 1]) - full
+        inside = min(run_len, i - int(starts[run]))
+        return full + inside
+
+    def select(self, symbol: int, j: int) -> int:
+        """Position of the ``j``-th occurrence (1-based) of ``symbol``."""
+        entry = self._per_symbol.get(int(symbol))
+        if entry is None or j < 1 or j > self._counts[int(symbol)]:
+            raise ValueError(f"select({symbol!r}, {j}) out of range")
+        starts, cumulative = entry
+        run = int(np.searchsorted(cumulative, j, side="left")) - 1
+        offset = j - 1 - int(cumulative[run])
+        return int(starts[run]) + offset
+
+    def to_list(self) -> list[int]:
+        """Reconstruct the full sequence (mainly for testing)."""
+        return [self.access(i) for i in range(self._length)]

@@ -1,0 +1,180 @@
+"""Huffman-shaped wavelet tree over integer sequences.
+
+This is the structure used to represent the BWT string ``T^bwt`` in the
+FM-index (Section 3.1 of the paper): it supports
+
+* ``access(i)`` -- the symbol at position ``i``,
+* ``rank(c, i)`` -- occurrences of ``c`` in ``[0, i)``,
+* ``select(c, j)`` -- position of the ``j``-th occurrence of ``c``,
+
+each in time proportional to the Huffman codeword length of the symbol
+involved (``O(H0)`` on average), using one plain bitmap per internal node.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+from repro.sequence.huffman import HuffmanCode
+
+__all__ = ["WaveletTree"]
+
+
+class _WTNode:
+    __slots__ = ("bitmap", "left", "right", "symbol")
+
+    def __init__(self) -> None:
+        self.bitmap: BitVector | None = None
+        self.left: "_WTNode | None" = None
+        self.right: "_WTNode | None" = None
+        self.symbol: int | None = None  # set on leaves
+
+
+class WaveletTree:
+    """Huffman-shaped wavelet tree with rank/select/access.
+
+    Parameters
+    ----------
+    sequence:
+        The sequence of integer symbols to index.  A ``bytes`` object is also
+        accepted (each byte is a symbol), which is the typical use for BWT
+        strings.
+    """
+
+    def __init__(self, sequence: Sequence[int] | bytes | np.ndarray):
+        if isinstance(sequence, (bytes, bytearray)):
+            seq = np.frombuffer(bytes(sequence), dtype=np.uint8).astype(np.int64)
+        else:
+            seq = np.asarray(sequence, dtype=np.int64)
+        self._length = int(seq.size)
+        self._counts = Counter(int(c) for c in seq)
+        if self._length == 0:
+            self._root: _WTNode | None = None
+            self._code = None
+            return
+        self._code = HuffmanCode(self._counts)
+        self._root = self._build(seq, depth=0, symbols=set(self._counts))
+
+    def _build(self, seq: np.ndarray, depth: int, symbols: set[int]) -> _WTNode:
+        node = _WTNode()
+        if len(symbols) == 1:
+            node.symbol = next(iter(symbols))
+            return node
+        assert self._code is not None
+        # Partition symbols by the bit at `depth` of their Huffman codeword.
+        left_syms = {s for s in symbols if self._code.code(s)[depth] == 0}
+        right_syms = symbols - left_syms
+        codes = self._code
+        bits = np.fromiter((codes.code(int(c))[depth] for c in seq), dtype=bool, count=seq.size)
+        node.bitmap = BitVector(bits)
+        node.left = self._build(seq[~bits], depth + 1, left_syms)
+        node.right = self._build(seq[bits], depth + 1, right_syms)
+        return node
+
+    # -- basic protocol ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> int:
+        return self.access(i)
+
+    @property
+    def alphabet(self) -> list[int]:
+        """Distinct symbols present in the sequence, ascending."""
+        return sorted(self._counts)
+
+    def count(self, symbol: int) -> int:
+        """Total occurrences of ``symbol`` in the sequence."""
+        return self._counts.get(symbol, 0)
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage of all bitmaps, in bits."""
+        total = 0
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            if node.bitmap is not None:
+                total += node.bitmap.size_in_bits()
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        return total
+
+    # -- queries -------------------------------------------------------------------
+
+    def access(self, i: int) -> int:
+        """Return the symbol stored at position ``i``."""
+        if not 0 <= i < self._length:
+            raise IndexError(f"position {i} out of range for length {self._length}")
+        node = self._root
+        assert node is not None
+        while node.symbol is None:
+            assert node.bitmap is not None
+            bit = node.bitmap[i]
+            if bit:
+                i = node.bitmap.rank1(i)
+                node = node.right
+            else:
+                i = node.bitmap.rank0(i)
+                node = node.left
+            assert node is not None
+        return node.symbol
+
+    def rank(self, symbol: int, i: int) -> int:
+        """Number of occurrences of ``symbol`` in positions ``[0, i)``."""
+        if symbol not in self._counts:
+            return 0
+        i = max(0, min(i, self._length))
+        if i == 0:
+            return 0
+        assert self._code is not None and self._root is not None
+        node = self._root
+        for bit in self._code.code(symbol):
+            if node.symbol is not None:
+                break
+            assert node.bitmap is not None
+            if bit:
+                i = node.bitmap.rank1(i)
+                node = node.right
+            else:
+                i = node.bitmap.rank0(i)
+                node = node.left
+            assert node is not None
+            if i == 0:
+                return 0
+        return i
+
+    def select(self, symbol: int, j: int) -> int:
+        """Position of the ``j``-th occurrence (1-based) of ``symbol``."""
+        if j < 1 or j > self._counts.get(symbol, 0):
+            raise ValueError(f"select({symbol!r}, {j}) out of range")
+        assert self._code is not None and self._root is not None
+        # Walk down to the leaf collecting the path, then walk back up
+        # translating the leaf-local index into a root position.
+        path: list[tuple[_WTNode, int]] = []
+        node = self._root
+        for bit in self._code.code(symbol):
+            if node.symbol is not None:
+                break
+            path.append((node, bit))
+            node = node.right if bit else node.left
+            assert node is not None
+        pos = j - 1
+        for parent, bit in reversed(path):
+            assert parent.bitmap is not None
+            pos = parent.bitmap.select(bit, pos + 1)
+        return pos
+
+    def rank_all(self, i: int) -> dict[int, int]:
+        """Rank of every alphabet symbol at position ``i`` (used by backtracking search)."""
+        return {symbol: self.rank(symbol, i) for symbol in self._counts}
+
+    def to_list(self) -> list[int]:
+        """Reconstruct the full sequence (mainly for testing)."""
+        return [self.access(i) for i in range(self._length)]

@@ -1,0 +1,31 @@
+"""Text indexing: suffix arrays, BWT, FM-index and the SXSI text collection.
+
+This subpackage implements item (i) of the paper's three ingredients: the
+self-indexed text collection.  The concatenation ``T`` of all text values is
+represented by a Burrows--Wheeler transform indexed with a wavelet tree
+(:class:`~repro.text.fm_index.FMIndex`), extended with the ``Doc`` mapping from
+``$``-rows to text identifiers and the XPath-oriented operations
+(``starts-with``, ``ends-with``, ``=``, ``contains``, lexicographic
+comparisons) of Section 3.2.  A naive plain-text backend
+(:class:`~repro.text.naive_text.NaiveTextCollection`) provides both the
+baseline of Section 6.3 and the fallback required by XPath's mixed-content
+string-value semantics.  The run-length variant (RLCSA) and the word-based
+index of Sections 6.6--6.7 live here as well.
+"""
+
+from repro.text.fm_index import FMIndex
+from repro.text.naive_text import NaiveTextCollection
+from repro.text.pssm import PositionWeightMatrix, pssm_search
+from repro.text.rlcsa import RLCSAIndex
+from repro.text.text_collection import TextCollection
+from repro.text.word_index import WordTextIndex
+
+__all__ = [
+    "FMIndex",
+    "TextCollection",
+    "NaiveTextCollection",
+    "RLCSAIndex",
+    "WordTextIndex",
+    "PositionWeightMatrix",
+    "pssm_search",
+]

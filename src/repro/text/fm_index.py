@@ -1,0 +1,252 @@
+"""FM-index over a text collection.
+
+This is the self-index of Section 3: the collection's concatenation ``T`` is
+represented only through its Burrows--Wheeler transform, indexed by a
+(Huffman-shaped) wavelet tree, together with
+
+* the ``C`` array of cumulative symbol counts,
+* the ``Doc`` array mapping ``$``-rows of the BWT to text identifiers,
+* a sampling of text positions (``Bs`` bitmap + ``Ps`` samples array) used to
+  locate occurrences, with the sampling step ``l`` exposed as ``sample_rate``
+  (the paper evaluates ``l = 64`` and ``l = 4`` in Tables II and III).
+
+The index *replaces* the collection: any text can be extracted back from it,
+and counting/locating pattern occurrences never touches the original strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+from repro.sequence.wavelet_tree import WaveletTree
+from repro.text.bwt import TERMINATOR, bwt_of_collection
+
+__all__ = ["FMIndex"]
+
+
+class FMIndex:
+    """Self-index for a collection of byte strings.
+
+    Parameters
+    ----------
+    texts:
+        The collection, one ``bytes`` object per text.  Texts must not contain
+        the NUL byte (it is used as the ``$`` terminator).
+    sample_rate:
+        Sampling step ``l`` for the locate structure: every ``l``-th position
+        of the concatenation is sampled.  Smaller values make ``locate`` (and
+        therefore ``contains`` reporting) faster at the price of space.
+    sequence_factory:
+        Callable building the rank/select structure over the BWT.  Defaults to
+        :class:`~repro.sequence.wavelet_tree.WaveletTree`; passing a run-length
+        sequence yields the RLCSA flavour used for repetitive collections.
+    """
+
+    def __init__(
+        self,
+        texts: Sequence[bytes],
+        sample_rate: int = 64,
+        sequence_factory: Callable[[np.ndarray], object] = WaveletTree,
+    ):
+        if sample_rate < 1:
+            raise ValueError("sample_rate must be >= 1")
+        self._texts_lengths = np.array([len(t) for t in texts], dtype=np.int64)
+        transform = bwt_of_collection(list(texts))
+        self._length = transform.length
+        self._num_texts = transform.num_texts
+        self._sample_rate = int(sample_rate)
+        self._text_starts = transform.text_starts
+        self._doc_row_map = transform.doc_row_map
+
+        bwt = transform.bwt
+        self._sequence = sequence_factory(bwt)
+
+        # C array over the byte alphabet (0 = terminator).
+        counts = np.bincount(bwt, minlength=256)
+        self._c_array = np.zeros(257, dtype=np.int64)
+        np.cumsum(counts, out=self._c_array[1:])
+
+        # Locate sampling: mark rows whose suffix position is a multiple of l.
+        sa = transform.suffix_array
+        sampled_rows = np.flatnonzero(sa % self._sample_rate == 0)
+        self._sample_bitmap = BitVector.from_positions(sampled_rows, self._length)
+        self._samples = sa[sampled_rows].astype(np.int64)
+
+        # Dollar-row bookkeeping: rows of the BWT holding a terminator, in order.
+        self._dollar_rows = np.flatnonzero(bwt == TERMINATOR)
+
+    # -- basic accessors ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_texts(self) -> int:
+        """Number of texts ``d`` in the collection."""
+        return self._num_texts
+
+    @property
+    def sample_rate(self) -> int:
+        """The locate sampling step ``l``."""
+        return self._sample_rate
+
+    @property
+    def text_starts(self) -> np.ndarray:
+        """Global starting position of each text in the concatenation (copy)."""
+        return self._text_starts.copy()
+
+    def text_length(self, doc_id: int) -> int:
+        """Length in bytes of text ``doc_id`` (terminator excluded)."""
+        return int(self._texts_lengths[doc_id])
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage of the index, in bits."""
+        total = 0
+        if hasattr(self._sequence, "size_in_bits"):
+            total += int(self._sequence.size_in_bits())
+        total += self._c_array.size * 64
+        total += self._sample_bitmap.size_in_bits()
+        total += int(self._samples.size) * 64
+        total += int(self._doc_row_map.size) * max(1, int(self._num_texts - 1).bit_length())
+        return total
+
+    # -- core FM-index machinery ----------------------------------------------------
+
+    def _rank(self, symbol: int, i: int) -> int:
+        return self._sequence.rank(symbol, i)
+
+    def _access(self, i: int) -> int:
+        return self._sequence.access(i)
+
+    def lf(self, row: int) -> int:
+        """LF-mapping: the row of the suffix starting one position earlier.
+
+        Must not be called on a row whose BWT symbol is the terminator (the
+        terminators are not distinguishable in the BWT string itself; the
+        ``Doc`` array is used instead, as in the paper).
+        """
+        symbol = self._access(row)
+        if symbol == TERMINATOR:
+            raise ValueError("LF is undefined on terminator rows; use the Doc array instead")
+        return int(self._c_array[symbol]) + self._rank(symbol, row)
+
+    def backward_step(self, symbol: int, sp: int, ep: int) -> tuple[int, int]:
+        """One backward-search step, over the half-open row range ``[sp, ep)``."""
+        base = int(self._c_array[symbol])
+        return base + self._rank(symbol, sp), base + self._rank(symbol, ep)
+
+    def backward_search(self, pattern: bytes, sp: int | None = None, ep: int | None = None) -> tuple[int, int]:
+        """Rows whose suffix starts with ``pattern``, as a half-open range.
+
+        When ``sp``/``ep`` are given they define the starting interval (used by
+        ``ends-with`` style searches that begin from the ``$`` rows).  The
+        returned range is always a valid insertion range: if the pattern does
+        not occur the range is empty but correctly positioned.
+        """
+        if sp is None:
+            sp = 0
+        if ep is None:
+            ep = self._length
+        for byte in reversed(pattern):
+            sp, ep = self.backward_step(byte, sp, ep)
+            # No early break: even when the range becomes empty, folding the
+            # remaining symbols keeps (sp, ep) equal to the lexicographic
+            # insertion point of the pattern, which the comparison operators
+            # (<, <=, >, >=) of the text collection rely on.
+        return sp, ep
+
+    def count(self, pattern: bytes) -> int:
+        """Global number of occurrences of ``pattern`` in the whole collection."""
+        if not pattern:
+            return self._length
+        sp, ep = self.backward_search(pattern)
+        return max(0, ep - sp)
+
+    # -- locating ----------------------------------------------------------------------
+
+    def locate_row(self, row: int) -> int:
+        """Global position (in ``T``) of the suffix at ``row``."""
+        steps = 0
+        current = row
+        while True:
+            if self._sample_bitmap[current]:
+                rank = self._sample_bitmap.rank1(current)
+                return int(self._samples[rank]) + steps
+            symbol = self._access(current)
+            if symbol == TERMINATOR:
+                # The suffix at `current` starts a text: its position is that
+                # text's start (the Doc array tells us which text).
+                doc = int(self._doc_row_map[self._rank(TERMINATOR, current)])
+                return int(self._text_starts[doc]) + steps
+            current = int(self._c_array[symbol]) + self._rank(symbol, current)
+            steps += 1
+
+    def locate_range(self, sp: int, ep: int) -> np.ndarray:
+        """Global positions of all suffixes in rows ``[sp, ep)`` (unsorted)."""
+        return np.array([self.locate_row(row) for row in range(sp, ep)], dtype=np.int64)
+
+    def locate(self, pattern: bytes) -> np.ndarray:
+        """Global positions of all occurrences of ``pattern`` (sorted)."""
+        sp, ep = self.backward_search(pattern)
+        positions = self.locate_range(sp, ep)
+        positions.sort()
+        return positions
+
+    def position_to_doc(self, position: int) -> tuple[int, int]:
+        """Map a global position to ``(text identifier, offset inside the text)``."""
+        if not 0 <= position < self._length:
+            raise ValueError(f"position {position} out of range")
+        doc = int(np.searchsorted(self._text_starts, position, side="right")) - 1
+        return doc, position - int(self._text_starts[doc])
+
+    # -- dollar-row helpers (the Doc structure of the paper) ----------------------------
+
+    def dollar_docs_in_range(self, sp: int, ep: int) -> np.ndarray:
+        """Identifiers of texts whose first symbol lies at a row in ``[sp, ep)``.
+
+        This is the ``Doc``-based mapping used by ``starts-with`` and ``=``:
+        a row in the range whose BWT symbol is ``$`` marks the start of a text.
+        """
+        lo = self._rank(TERMINATOR, max(sp, 0))
+        hi = self._rank(TERMINATOR, min(ep, self._length))
+        return np.sort(self._doc_row_map[lo:hi])
+
+    def dollar_row_range(self, first_doc: int, last_doc: int) -> tuple[int, int]:
+        """Row range (half-open) of the terminators of texts ``first_doc..last_doc``.
+
+        Because the end-marker of text ``i`` is forced to row ``i``, this is
+        simply ``[first_doc, last_doc + 1)``.
+        """
+        if not 0 <= first_doc <= last_doc < self._num_texts:
+            raise ValueError("document range out of bounds")
+        return first_doc, last_doc + 1
+
+    # -- extraction ----------------------------------------------------------------------
+
+    def extract(self, doc_id: int) -> bytes:
+        """Reproduce text ``doc_id`` from the index (O(log sigma) per symbol)."""
+        if not 0 <= doc_id < self._num_texts:
+            raise ValueError(f"text identifier {doc_id} out of range")
+        symbols: list[int] = []
+        row = doc_id  # row of the terminator of text doc_id
+        while True:
+            symbol = self._access(row)
+            if symbol == TERMINATOR:
+                break
+            symbols.append(symbol)
+            row = int(self._c_array[symbol]) + self._rank(symbol, row)
+        symbols.reverse()
+        return bytes(symbols)
+
+    def extract_all(self) -> list[bytes]:
+        """Reproduce every text of the collection (mainly for testing)."""
+        return [self.extract(d) for d in range(self._num_texts)]
+
+    # -- iteration helpers ---------------------------------------------------------------
+
+    def documents(self) -> Iterable[int]:
+        """Iterate over all text identifiers."""
+        return range(self._num_texts)

@@ -1,0 +1,115 @@
+"""Naive plain-text backend.
+
+Section 3.4 and Section 6.3 of the paper: next to the FM-index, SXSI keeps an
+optional plain copy of the texts.  It serves three purposes that we reproduce:
+
+* a *baseline* for the raw-speed comparison of Tables II/III (searching the
+  plain buffer versus the FM-index, with the famous cut-off point),
+* fast extraction of text content during serialisation,
+* the fallback required by XPath string-value semantics over *mixed content*,
+  where the searched string may span several text nodes (queries M10/M11).
+
+The class exposes the same query surface as
+:class:`~repro.text.text_collection.TextCollection` so the planner can switch
+between the two transparently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["NaiveTextCollection"]
+
+
+class NaiveTextCollection:
+    """Plain (uncompressed, unindexed) text collection with scan-based queries."""
+
+    def __init__(self, texts: Sequence[bytes]):
+        self._texts: list[bytes] = [bytes(t) for t in texts]
+
+    # -- basic accessors -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    @property
+    def num_texts(self) -> int:
+        """Number of texts in the collection."""
+        return len(self._texts)
+
+    def get_text(self, doc_id: int) -> bytes:
+        """Return text ``doc_id``."""
+        return self._texts[doc_id]
+
+    def documents(self) -> Iterable[int]:
+        """Iterate over all text identifiers."""
+        return range(len(self._texts))
+
+    def size_in_bits(self) -> int:
+        """Space used by the raw text buffers, in bits."""
+        return 8 * sum(len(t) + 1 for t in self._texts)
+
+    # -- counting / reporting ---------------------------------------------------
+
+    def global_count(self, pattern: bytes) -> int:
+        """Total number of occurrences of ``pattern`` across all texts."""
+        if not pattern:
+            return sum(len(t) + 1 for t in self._texts)
+        return sum(t.count(pattern) for t in self._texts)
+
+    def _matching_docs(self, predicate) -> np.ndarray:
+        return np.array([d for d, t in enumerate(self._texts) if predicate(t)], dtype=np.int64)
+
+    def contains(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts containing ``pattern`` (sorted)."""
+        return self._matching_docs(lambda t: pattern in t)
+
+    def contains_count(self, pattern: bytes) -> int:
+        """Number of texts containing ``pattern``."""
+        return int(self.contains(pattern).size)
+
+    def contains_exists(self, pattern: bytes) -> bool:
+        """Whether any text contains ``pattern``."""
+        return any(pattern in t for t in self._texts)
+
+    def starts_with(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts starting with ``pattern`` (sorted)."""
+        return self._matching_docs(lambda t: t.startswith(pattern))
+
+    def ends_with(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts ending with ``pattern`` (sorted)."""
+        return self._matching_docs(lambda t: t.endswith(pattern))
+
+    def equals(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts equal to ``pattern`` (sorted)."""
+        return self._matching_docs(lambda t: t == pattern)
+
+    def less_than(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts lexicographically smaller than ``pattern``."""
+        return self._matching_docs(lambda t: t < pattern)
+
+    def less_equal(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts lexicographically smaller than or equal to ``pattern``."""
+        return self._matching_docs(lambda t: t <= pattern)
+
+    def greater_than(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts lexicographically greater than ``pattern``."""
+        return self._matching_docs(lambda t: t > pattern)
+
+    def greater_equal(self, pattern: bytes) -> np.ndarray:
+        """Identifiers of texts lexicographically greater than or equal to ``pattern``."""
+        return self._matching_docs(lambda t: t >= pattern)
+
+    def report_occurrences(self, pattern: bytes) -> list[tuple[int, int]]:
+        """All occurrences of ``pattern`` as ``(text identifier, offset)`` pairs."""
+        results: list[tuple[int, int]] = []
+        if not pattern:
+            return results
+        for doc, text in enumerate(self._texts):
+            start = text.find(pattern)
+            while start != -1:
+                results.append((doc, start))
+                start = text.find(pattern, start + 1)
+        return results

@@ -1,0 +1,168 @@
+"""Word-based text index for natural-language search.
+
+Section 6.6.2 of the paper plugs a word-based self-index (Fariña et al.) into
+SXSI: distinct words become symbols of a large alphabet and queries are
+answered at word granularity, trading exact substring semantics for much
+faster indexing and querying of natural-language text (the W01--W10 queries).
+
+The reproduction tokenises each text into words, builds an FM-index over the
+sequence of *word identifiers* per text, and answers phrase queries
+(``contains`` at word boundaries), word-prefix queries and existence/counting
+queries.  The interface mirrors :class:`~repro.text.text_collection.TextCollection`
+closely enough that the XPath engine can swap it in for text predicates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Sequence
+
+import numpy as np
+
+from repro.sequence.wavelet_tree import WaveletTree
+from repro.text.suffix_array import build_suffix_array
+
+__all__ = ["WordTextIndex", "tokenize_words"]
+
+_WORD_RE = re.compile(rb"[A-Za-z0-9_']+")
+
+
+def tokenize_words(text: bytes) -> list[bytes]:
+    """Split ``text`` into lower-cased word tokens (alphanumeric runs)."""
+    return [m.group(0).lower() for m in _WORD_RE.finditer(text)]
+
+
+class WordTextIndex:
+    """Self-index over word tokens of a text collection.
+
+    Parameters
+    ----------
+    texts:
+        The texts, in document order; ``str`` items are encoded as UTF-8.
+    """
+
+    #: Reserved word-identifier used as the per-text terminator.
+    _TERMINATOR = 0
+
+    def __init__(self, texts: Sequence[bytes | str]):
+        encoded = [t.encode("utf-8") if isinstance(t, str) else bytes(t) for t in texts]
+        self._num_texts = len(encoded)
+        self._vocabulary: dict[bytes, int] = {}
+        tokenized: list[list[int]] = []
+        for text in encoded:
+            ids = []
+            for word in tokenize_words(text):
+                word_id = self._vocabulary.get(word)
+                if word_id is None:
+                    word_id = len(self._vocabulary) + 1  # 0 is the terminator
+                    self._vocabulary[word] = word_id
+                ids.append(word_id)
+            tokenized.append(ids)
+        self._doc_token_ids = tokenized
+
+        # Concatenate with per-text terminators and build the word-level BWT.
+        lengths = np.array([len(t) + 1 for t in tokenized], dtype=np.int64)
+        total = int(lengths.sum())
+        self._text_starts = np.zeros(self._num_texts, dtype=np.int64)
+        if self._num_texts:
+            np.cumsum(lengths[:-1], out=self._text_starts[1:])
+        sequence = np.zeros(total, dtype=np.int64)
+        doc_of_position = np.zeros(total, dtype=np.int64)
+        # Distinct sort keys for terminators (smaller than every word id).
+        remapped = np.zeros(total, dtype=np.int64)
+        vocab_size = len(self._vocabulary)
+        for doc, ids in enumerate(tokenized):
+            start = int(self._text_starts[doc])
+            end = start + len(ids)
+            sequence[start:end] = ids
+            sequence[end] = self._TERMINATOR
+            remapped[start:end] = np.asarray(ids, dtype=np.int64) + self._num_texts
+            remapped[end] = doc
+            doc_of_position[start : end + 1] = doc
+        self._doc_of_position = doc_of_position
+        self._length = total
+
+        sa = build_suffix_array(remapped) if total else np.zeros(0, dtype=np.int64)
+        bwt = sequence[(sa - 1) % total] if total else np.zeros(0, dtype=np.int64)
+        self._suffix_docs = doc_of_position[sa] if total else np.zeros(0, dtype=np.int64)
+        self._wavelet = WaveletTree(bwt)
+        counts = np.bincount(bwt, minlength=vocab_size + 1) if total else np.zeros(1, dtype=np.int64)
+        self._c_array = np.zeros(counts.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._c_array[1:])
+        # Doc array for word-level dollar rows.
+        dollar_rows = np.flatnonzero(bwt == self._TERMINATOR)
+        self._doc_row_map = doc_of_position[sa[dollar_rows]] if total else np.zeros(0, dtype=np.int64)
+
+    # -- accessors --------------------------------------------------------------------
+
+    @property
+    def num_texts(self) -> int:
+        """Number of indexed texts."""
+        return self._num_texts
+
+    @property
+    def vocabulary_size(self) -> int:
+        """Number of distinct words (the alphabet size of the word-level index)."""
+        return len(self._vocabulary)
+
+    def words_of(self, doc_id: int) -> list[bytes]:
+        """The token sequence of text ``doc_id`` (decoded back through the vocabulary)."""
+        reverse = {v: k for k, v in self._vocabulary.items()}
+        return [reverse[i] for i in self._doc_token_ids[doc_id]]
+
+    def _phrase_ids(self, phrase: bytes | str) -> list[int] | None:
+        data = phrase.encode("utf-8") if isinstance(phrase, str) else bytes(phrase)
+        words = tokenize_words(data)
+        ids: list[int] = []
+        for word in words:
+            word_id = self._vocabulary.get(word)
+            if word_id is None:
+                return None
+            ids.append(word_id)
+        return ids
+
+    # -- backward search over word identifiers -------------------------------------------
+
+    def _backward_search(self, ids: Sequence[int]) -> tuple[int, int]:
+        sp, ep = 0, self._length
+        for word_id in reversed(list(ids)):
+            base = int(self._c_array[word_id])
+            sp = base + self._wavelet.rank(word_id, sp)
+            ep = base + self._wavelet.rank(word_id, ep)
+        return sp, ep
+
+    # -- queries ---------------------------------------------------------------------------
+
+    def global_count(self, phrase: bytes | str) -> int:
+        """Number of occurrences of the word phrase across all texts."""
+        ids = self._phrase_ids(phrase)
+        if ids is None:
+            return 0
+        if not ids:
+            return self._length
+        sp, ep = self._backward_search(ids)
+        return max(0, ep - sp)
+
+    def contains(self, phrase: bytes | str) -> np.ndarray:
+        """Identifiers of texts containing the word phrase (word-boundary semantics)."""
+        ids = self._phrase_ids(phrase)
+        if ids is None:
+            return np.zeros(0, dtype=np.int64)
+        if not ids:
+            return np.arange(self._num_texts, dtype=np.int64)
+        sp, ep = self._backward_search(ids)
+        return np.unique(self._suffix_docs[sp:ep]).astype(np.int64)
+
+    def contains_count(self, phrase: bytes | str) -> int:
+        """Number of texts containing the word phrase."""
+        return int(self.contains(phrase).size)
+
+    def contains_exists(self, phrase: bytes | str) -> bool:
+        """Whether any text contains the word phrase."""
+        ids = self._phrase_ids(phrase)
+        if ids is None:
+            return False
+        if not ids:
+            return self._num_texts > 0
+        sp, ep = self._backward_search(ids)
+        return ep > sp

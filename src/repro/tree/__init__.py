@@ -1,0 +1,25 @@
+"""Tree indexing: balanced parentheses, tag sequence and the succinct XML tree.
+
+Implements item (ii) of the paper's ingredients (Section 4): the XML parse
+tree is stored as a balanced-parentheses sequence ``Par`` (2n + o(n) bits)
+supporting constant-time navigation, aligned with a tag sequence ``Tag`` whose
+per-tag rank/select (sarray rows) powers the "jumping" operations
+``TaggedDesc``, ``TaggedFoll`` and ``TaggedPrec``, plus a leaf bitmap
+connecting tree nodes to text identifiers and the relative tag-position
+tables used by the automaton compiler.
+"""
+
+from repro.tree.balanced_parens import BalancedParentheses
+from repro.tree.pointer_tree import PointerTree
+from repro.tree.succinct_tree import NIL, SuccinctTree
+from repro.tree.tag_sequence import TagSequence
+from repro.tree.tag_tables import TagPositionTables
+
+__all__ = [
+    "BalancedParentheses",
+    "TagSequence",
+    "SuccinctTree",
+    "TagPositionTables",
+    "PointerTree",
+    "NIL",
+]

@@ -1,0 +1,240 @@
+"""Balanced parentheses sequence with navigation support.
+
+Section 4.1.1 of the paper: the tree structure is the DFS parentheses string
+``Par`` (one ``(`` when a node is entered, one ``)`` when it is left), stored
+in ``2n + o(n)`` bits with support for
+
+* ``find_close`` / ``find_open`` -- matching parenthesis,
+* ``enclose`` -- tightest enclosing open parenthesis (the parent),
+* ``rank_open`` / ``select_open`` -- preorder numbering,
+* ``excess`` -- nesting depth.
+
+The ``o(n)``-bit directory is a two-level range-min-max structure over the
+excess function: blocks of 64 positions and super-blocks of 64 blocks store
+the minimum/maximum excess reached inside them, which is enough to answer the
+forward/backward excess searches that ``find_close`` and ``enclose`` reduce
+to (Sadakane & Navarro 2010).  Because the excess changes by exactly one per
+position, a block contains a target excess value iff the target lies between
+the block's minimum and maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.bits.bitvector import BitVector
+
+__all__ = ["BalancedParentheses"]
+
+_BLOCK = 64
+_SUPER = 64  # blocks per super-block
+
+
+class BalancedParentheses:
+    """Balanced parentheses with rank/select and matching queries.
+
+    Parameters
+    ----------
+    parens:
+        The parentheses as an iterable of booleans/ints (truthy = ``(``) or a
+        string of ``(`` and ``)`` characters.
+    """
+
+    def __init__(self, parens: Iterable[int] | str | np.ndarray | Sequence[int]):
+        if isinstance(parens, str):
+            bits = np.fromiter((c == "(" for c in parens), dtype=bool, count=len(parens))
+        else:
+            bits = np.asarray(list(parens) if not isinstance(parens, np.ndarray) else parens).astype(bool)
+        self._length = int(bits.size)
+        self._bv = BitVector(bits)
+        if self._length and self._bv.count_ones * 2 != self._length:
+            raise ValueError("parentheses sequence is not balanced (unequal open/close counts)")
+
+        # Per-position excess deltas, then block/super-block min-max directory.
+        deltas = np.where(bits, 1, -1).astype(np.int64)
+        excess = np.cumsum(deltas)
+        if self._length and (excess[-1] != 0 or excess.min() < 0):
+            raise ValueError("parentheses sequence is not balanced")
+        n_blocks = (self._length + _BLOCK - 1) // _BLOCK
+        self._block_min = np.zeros(n_blocks, dtype=np.int64)
+        self._block_max = np.zeros(n_blocks, dtype=np.int64)
+        for b in range(n_blocks):
+            lo = b * _BLOCK
+            hi = min(lo + _BLOCK, self._length)
+            chunk = excess[lo:hi]
+            self._block_min[b] = chunk.min()
+            self._block_max[b] = chunk.max()
+        n_super = (n_blocks + _SUPER - 1) // _SUPER
+        self._super_min = np.zeros(n_super, dtype=np.int64)
+        self._super_max = np.zeros(n_super, dtype=np.int64)
+        for s in range(n_super):
+            lo = s * _SUPER
+            hi = min(lo + _SUPER, n_blocks)
+            self._super_min[s] = self._block_min[lo:hi].min()
+            self._super_max[s] = self._block_max[lo:hi].max()
+
+    # -- basic protocol -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, i: int) -> int:
+        """1 for an opening parenthesis, 0 for a closing one."""
+        return self._bv[i]
+
+    def __str__(self) -> str:
+        return "".join("(" if self._bv[i] else ")" for i in range(self._length))
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage (bitmap plus min-max directory), in bits."""
+        return self._bv.size_in_bits() + 64 * int(
+            self._block_min.size + self._block_max.size + self._super_min.size + self._super_max.size
+        )
+
+    # -- rank / select ------------------------------------------------------------------------
+
+    def is_open(self, i: int) -> bool:
+        """Whether position ``i`` holds an opening parenthesis."""
+        return bool(self._bv[i])
+
+    def rank_open(self, i: int) -> int:
+        """Number of opening parentheses in positions ``[0, i)``."""
+        return self._bv.rank1(i)
+
+    def rank_close(self, i: int) -> int:
+        """Number of closing parentheses in positions ``[0, i)``."""
+        return self._bv.rank0(i)
+
+    def select_open(self, j: int) -> int:
+        """Position of the ``j``-th opening parenthesis (1-based)."""
+        return self._bv.select1(j)
+
+    def excess(self, i: int) -> int:
+        """Number of opens minus closes in positions ``[0, i]`` (inclusive)."""
+        return 2 * self._bv.rank1(i + 1) - (i + 1)
+
+    # -- excess searches ---------------------------------------------------------------------------
+
+    def _scan_forward(self, start: int, end: int, excess_before: int, target: int) -> tuple[int, int]:
+        """Scan positions ``[start, end)``; return (position, excess) when the
+        running excess hits ``target``, else (-1, final excess)."""
+        current = excess_before
+        for pos in range(start, end):
+            current += 1 if self._bv[pos] else -1
+            if current == target:
+                return pos, current
+        return -1, current
+
+    def _scan_backward(self, start: int, end: int, excess_after: int, target: int) -> tuple[int, int]:
+        """Scan positions ``(end, start]`` right-to-left; ``excess_after`` is the
+        excess at position ``start``.  Return (position, excess) for the largest
+        position < ``start`` + 1 ... formally: find the largest ``j`` in
+        ``[end, start]`` with ``excess(j) == target``."""
+        current = excess_after
+        for pos in range(start, end - 1, -1):
+            if current == target:
+                return pos, current
+            current -= 1 if self._bv[pos] else -1
+        return -1, current
+
+    def fwd_search(self, i: int, target: int) -> int:
+        """Smallest ``j > i`` with ``excess(j) == target``, or ``-1`` if none."""
+        if i >= self._length - 1:
+            return -1
+        start = i + 1
+        current = self.excess(i)
+        block = start // _BLOCK
+        block_end = min((block + 1) * _BLOCK, self._length)
+        pos, current = self._scan_forward(start, block_end, current, target)
+        if pos != -1:
+            return pos
+        # Walk blocks, super-block by super-block.
+        n_blocks = self._block_min.size
+        b = block + 1
+        while b < n_blocks:
+            s = b // _SUPER
+            s_first = s * _SUPER
+            if b == s_first and (self._super_min[s] > target or self._super_max[s] < target):
+                b = (s + 1) * _SUPER
+                continue
+            s_end = min((s + 1) * _SUPER, n_blocks)
+            found_block = -1
+            for bb in range(b, s_end):
+                if self._block_min[bb] <= target <= self._block_max[bb]:
+                    found_block = bb
+                    break
+            if found_block == -1:
+                b = s_end
+                continue
+            lo = found_block * _BLOCK
+            hi = min(lo + _BLOCK, self._length)
+            excess_before = self.excess(lo - 1) if lo else 0
+            pos, _ = self._scan_forward(lo, hi, excess_before, target)
+            return pos
+        return -1
+
+    def bwd_search(self, i: int, target: int) -> int:
+        """Largest ``j < i`` with ``excess(j) == target``, or ``-1`` if none.
+
+        Position ``-1`` is also the conventional answer when the *virtual*
+        position before the sequence (excess 0) is the match; callers such as
+        :meth:`enclose` rely on that convention.
+        """
+        if i <= 0:
+            return -1
+        block = (i - 1) // _BLOCK
+        block_start = block * _BLOCK
+        pos, _ = self._scan_backward(i - 1, block_start, self.excess(i - 1), target)
+        if pos != -1:
+            return pos
+        b = block - 1
+        while b >= 0:
+            s = b // _SUPER
+            s_last = min((s + 1) * _SUPER, self._block_min.size) - 1
+            if b == s_last and (self._super_min[s] > target or self._super_max[s] < target):
+                b = s * _SUPER - 1
+                continue
+            s_first = s * _SUPER
+            found_block = -1
+            for bb in range(b, s_first - 1, -1):
+                if self._block_min[bb] <= target <= self._block_max[bb]:
+                    found_block = bb
+                    break
+            if found_block == -1:
+                b = s_first - 1
+                continue
+            lo = found_block * _BLOCK
+            hi = min(lo + _BLOCK, self._length) - 1
+            pos, _ = self._scan_backward(hi, lo, self.excess(hi), target)
+            return pos
+        return -1
+
+    # -- matching / enclosing ---------------------------------------------------------------------------
+
+    def find_close(self, i: int) -> int:
+        """Position of the closing parenthesis matching the open at ``i``."""
+        if not self.is_open(i):
+            raise ValueError(f"position {i} does not hold an opening parenthesis")
+        return self.fwd_search(i, self.excess(i) - 1)
+
+    def find_open(self, i: int) -> int:
+        """Position of the opening parenthesis matching the close at ``i``."""
+        if self.is_open(i):
+            raise ValueError(f"position {i} does not hold a closing parenthesis")
+        return self.bwd_search(i, self.excess(i)) + 1
+
+    def enclose(self, i: int) -> int:
+        """Opening parenthesis of the node most tightly enclosing node ``i``.
+
+        Returns ``-1`` when ``i`` is the root (nothing encloses it).
+        """
+        if not self.is_open(i):
+            raise ValueError(f"position {i} does not hold an opening parenthesis")
+        if i == 0:
+            return -1
+        target = self.excess(i) - 2
+        if target < 0:
+            return -1
+        return self.bwd_search(i, target) + 1

@@ -1,0 +1,142 @@
+"""Pointer-based tree baseline.
+
+Section 6.4 of the paper compares the succinct tree against "a standard
+pointer-based implementation of a tree", which stores for each node two
+machine pointers: first child and next sibling.  This module provides that
+baseline: construction from the same model arrays used to build the succinct
+tree, full DFS traversal, and per-tag traversal, so Tables IV--VI can be
+reproduced with the two stores side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["PointerTree"]
+
+
+class PointerTree:
+    """First-child/next-sibling pointer tree with integer node handles.
+
+    Nodes are numbered in preorder (0-based).  The structure stores three
+    parallel arrays -- first child, next sibling, tag -- which is the closest
+    Python analogue of the 2x64-bit-pointers-per-node layout of the paper.
+    """
+
+    def __init__(
+        self,
+        parens: Sequence[int] | np.ndarray | str,
+        node_tags: Sequence[int] | np.ndarray,
+        tag_names: Sequence[str],
+    ):
+        if isinstance(parens, str):
+            bits = [c == "(" for c in parens]
+        else:
+            bits = [bool(b) for b in np.asarray(parens).astype(bool)]
+        tags = np.asarray(node_tags, dtype=np.int64)
+        n = sum(bits) if bits else 0
+        self._first_child = np.full(n, -1, dtype=np.int64)
+        self._next_sibling = np.full(n, -1, dtype=np.int64)
+        self._parent = np.full(n, -1, dtype=np.int64)
+        self._tag = np.zeros(n, dtype=np.int64)
+        self._tag_names = list(tag_names)
+        self._tag_ids = {name: i for i, name in enumerate(self._tag_names)}
+
+        stack: list[int] = []          # open nodes
+        last_closed_child: list[int] = []  # last child seen at each open node
+        node_counter = 0
+        for position, is_open in enumerate(bits):
+            if is_open:
+                node = node_counter
+                node_counter += 1
+                self._tag[node] = tags[position]
+                if stack:
+                    parent = stack[-1]
+                    self._parent[node] = parent
+                    previous = last_closed_child[-1]
+                    if previous == -1:
+                        self._first_child[parent] = node
+                    else:
+                        self._next_sibling[previous] = node
+                    last_closed_child[-1] = node
+                stack.append(node)
+                last_closed_child.append(-1)
+            else:
+                stack.pop()
+                last_closed_child.pop()
+        self._num_nodes = node_counter
+
+    # -- accessors --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of tree nodes."""
+        return self._num_nodes
+
+    @property
+    def root(self) -> int:
+        """The root node (preorder 0)."""
+        return 0
+
+    def first_child(self, node: int) -> int:
+        """First child or ``-1``."""
+        return int(self._first_child[node])
+
+    def next_sibling(self, node: int) -> int:
+        """Next sibling or ``-1``."""
+        return int(self._next_sibling[node])
+
+    def parent(self, node: int) -> int:
+        """Parent or ``-1`` for the root."""
+        return int(self._parent[node])
+
+    def tag(self, node: int) -> int:
+        """Tag identifier of ``node``."""
+        return int(self._tag[node])
+
+    def tag_name_of(self, node: int) -> str:
+        """Tag name of ``node``."""
+        return self._tag_names[self.tag(node)]
+
+    def tag_id(self, name: str) -> int:
+        """Tag identifier for ``name`` or ``-1``."""
+        return self._tag_ids.get(name, -1)
+
+    def size_in_bits(self) -> int:
+        """Space usage of the pointer representation (2 x 64-bit pointers per node, plus tags)."""
+        return int(self._num_nodes * (2 * 64 + 32))
+
+    # -- traversals (used by Tables IV-VI) -----------------------------------------------------
+
+    def preorder_traversal(self) -> Iterator[int]:
+        """Yield every node in preorder following first-child/next-sibling pointers."""
+        stack = [self.root] if self._num_nodes else []
+        while stack:
+            node = stack.pop()
+            yield node
+            sibling = self.next_sibling(node)
+            if sibling != -1:
+                stack.append(sibling)
+            child = self.first_child(node)
+            if child != -1:
+                stack.append(child)
+
+    def count_nodes(self) -> int:
+        """Full traversal counting every node (the Table V baseline loop)."""
+        count = 0
+        for _ in self.preorder_traversal():
+            count += 1
+        return count
+
+    def count_tag(self, tag: int) -> int:
+        """Full traversal counting nodes labelled ``tag`` (the Table VI baseline loop)."""
+        count = 0
+        for node in self.preorder_traversal():
+            if self._tag[node] == tag:
+                count += 1
+        return count

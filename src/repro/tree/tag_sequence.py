@@ -1,0 +1,123 @@
+"""Tag sequence aligned with the parentheses structure.
+
+Section 4.1.2 of the paper: ``Tag`` stores, for every parenthesis position,
+the tag identifier of the corresponding node -- an *opening* version at the
+node's opening parenthesis and a *closing* version at its closing parenthesis.
+Access uses a plain packed array (``ceil(log 2t)`` bits per entry); ``rank``
+and ``select`` over each tag are provided by one sparse bit vector (sarray)
+per tag holding the positions where that tag occurs.
+
+These operations are exactly what the jumping primitives ``TaggedDesc``,
+``TaggedFoll``, ``TaggedPrec`` and the counting ``SubtreeTags`` need.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bits.intarray import PackedIntArray
+from repro.bits.sparse import SparseBitVector
+
+__all__ = ["TagSequence"]
+
+
+class TagSequence:
+    """Tag identifiers per parenthesis position, with per-tag rank/select.
+
+    Parameters
+    ----------
+    open_tags:
+        For every parenthesis position, the tag identifier of the node if the
+        position is an opening parenthesis, or ``-1`` for closing positions.
+        (The closing versions are derived automatically: closing occurrences
+        are stored as ``tag + num_tags`` in the packed access array.)
+    num_tags:
+        Total number of distinct tag identifiers ``t``.
+    """
+
+    def __init__(self, open_tags: Sequence[int] | np.ndarray, num_tags: int, closing_tags: Sequence[int] | None = None):
+        tags = np.asarray(open_tags, dtype=np.int64)
+        self._length = int(tags.size)
+        self._num_tags = int(num_tags)
+        if closing_tags is not None:
+            closing = np.asarray(closing_tags, dtype=np.int64)
+        else:
+            closing = np.full(self._length, -1, dtype=np.int64)
+            if np.any(tags < 0):
+                raise ValueError("closing_tags must be provided when some positions are closing parentheses")
+        # Packed access array: opening tag id, or closing tag id + t.
+        combined = np.where(tags >= 0, tags, closing + self._num_tags)
+        if np.any(combined < 0) or np.any((tags >= 0) & (closing >= 0)):
+            raise ValueError("every position must carry exactly one of an opening or a closing tag")
+        self._access = PackedIntArray(combined, width=max(1, int(2 * self._num_tags - 1).bit_length()))
+        # One sparse row per opening tag (the matrix R of the paper).
+        self._rows: list[SparseBitVector] = []
+        for tag in range(self._num_tags):
+            positions = np.flatnonzero(tags == tag)
+            self._rows.append(SparseBitVector(positions, self._length))
+
+    # -- accessors ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def num_tags(self) -> int:
+        """Number of distinct tags ``t``."""
+        return self._num_tags
+
+    def tag_at(self, i: int) -> int:
+        """Opening tag identifier at position ``i`` (or ``-1`` for a closing position)."""
+        value = self._access[i]
+        return value if value < self._num_tags else -1
+
+    def closing_tag_at(self, i: int) -> int:
+        """Closing tag identifier at position ``i`` (or ``-1`` for an opening position)."""
+        value = self._access[i]
+        return value - self._num_tags if value >= self._num_tags else -1
+
+    def count(self, tag: int) -> int:
+        """Total number of (opening) occurrences of ``tag``."""
+        return self._rows[tag].count_ones
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage: packed access array plus sparse rows."""
+        return self._access.size_in_bits() + sum(row.size_in_bits() for row in self._rows)
+
+    # -- rank / select over opening occurrences --------------------------------------------
+
+    def rank(self, tag: int, i: int) -> int:
+        """Number of opening occurrences of ``tag`` in positions ``[0, i)``."""
+        if not 0 <= tag < self._num_tags:
+            return 0
+        return self._rows[tag].rank1(i)
+
+    def select(self, tag: int, j: int) -> int:
+        """Position of the ``j``-th opening occurrence of ``tag`` (1-based)."""
+        return self._rows[tag].select1(j)
+
+    def next_occurrence(self, tag: int, i: int) -> int:
+        """Smallest opening occurrence of ``tag`` at a position ``>= i``, or ``-1``."""
+        if not 0 <= tag < self._num_tags:
+            return -1
+        return self._rows[tag].next_one(i)
+
+    def prev_occurrence(self, tag: int, i: int) -> int:
+        """Largest opening occurrence of ``tag`` at a position ``<= i``, or ``-1``."""
+        if not 0 <= tag < self._num_tags:
+            return -1
+        return self._rows[tag].prev_one(i)
+
+    def count_in_range(self, tag: int, lo: int, hi: int) -> int:
+        """Number of opening occurrences of ``tag`` in positions ``[lo, hi)``."""
+        if not 0 <= tag < self._num_tags:
+            return 0
+        return self._rows[tag].count_in_range(lo, hi)
+
+    def occurrences(self, tag: int) -> np.ndarray:
+        """All opening positions of ``tag``, ascending."""
+        if not 0 <= tag < self._num_tags:
+            return np.zeros(0, dtype=np.int64)
+        return self._rows[tag].positions()

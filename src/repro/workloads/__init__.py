@@ -1,0 +1,42 @@
+"""Synthetic workload generators and the published benchmark query sets.
+
+The paper evaluates SXSI on XMark documents, Medline, Treebank, a mediawiki
+(wiktionary) dump and a BioXML file of gene annotations.  Those exact files
+are not redistributable (and far too large for a pure-Python run), so this
+subpackage generates scaled-down synthetic documents with the same element
+vocabulary, structural properties (e.g. the recursive ``listitem``/``parlist``
+nesting of XMark, the deep recursion of Treebank, the repetitive DNA of the
+gene data) and text-selectivity spectrum, plus the query sets X01--X17,
+T01--T05, M01--M11 and W01--W10 verbatim from the paper.
+"""
+
+from repro.workloads.bio import generate_bio_xml, jaspar_like_matrices
+from repro.workloads.medline import generate_medline_xml
+from repro.workloads.queries import (
+    FM_PATTERNS,
+    MEDLINE_QUERIES,
+    MEDLINE_STRATEGY,
+    PSSM_QUERIES,
+    TREEBANK_QUERIES,
+    WIKI_QUERIES,
+    XMARK_QUERIES,
+)
+from repro.workloads.treebank import generate_treebank_xml
+from repro.workloads.wiki import generate_wiki_xml
+from repro.workloads.xmark import generate_xmark_xml
+
+__all__ = [
+    "generate_xmark_xml",
+    "generate_medline_xml",
+    "generate_treebank_xml",
+    "generate_wiki_xml",
+    "generate_bio_xml",
+    "jaspar_like_matrices",
+    "XMARK_QUERIES",
+    "TREEBANK_QUERIES",
+    "MEDLINE_QUERIES",
+    "MEDLINE_STRATEGY",
+    "WIKI_QUERIES",
+    "FM_PATTERNS",
+    "PSSM_QUERIES",
+]

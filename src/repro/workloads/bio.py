@@ -1,0 +1,100 @@
+"""BioXML generator: gene annotations plus DNA sequences (Figure 17 DTD).
+
+Section 6.7 of the paper combines gene annotations of human chromosome 5 with
+their DNA sequences into one XML file and queries it with PSSM predicates.
+The generator emits the same DTD (``chromosome / gene / (name, strand,
+biotype, status, description?, promoter, sequence, transcript*)``) with
+synthetic DNA.  Transcripts reuse the exon sequences of their gene, so -- as in
+the real data -- the textual content is highly repetitive and the run-length
+(RLCSA) text index compresses it well.
+"""
+
+from __future__ import annotations
+
+import random
+from io import StringIO
+
+import numpy as np
+
+from repro.text.pssm import PositionWeightMatrix
+
+__all__ = ["generate_bio_xml", "jaspar_like_matrices", "random_dna"]
+
+_BASES = "ACGT"
+
+
+def random_dna(rng: random.Random, length: int) -> str:
+    """A random DNA string of the given length."""
+    return "".join(rng.choice(_BASES) for _ in range(length))
+
+
+def jaspar_like_matrices(seed: int = 5) -> dict[str, PositionWeightMatrix]:
+    """Three synthetic position frequency matrices shaped like the Jaspar ones used in Figure 18.
+
+    ``M1`` is short (length 8), ``M2`` medium (12) and ``M3`` long (14),
+    mirroring the matrix lengths reported by the paper.
+    """
+    rng = np.random.default_rng(seed)
+    matrices: dict[str, PositionWeightMatrix] = {}
+    for name, length in (("M1", 8), ("M2", 12), ("M3", 14)):
+        counts = rng.integers(0, 10, size=(4, length)).astype(float)
+        # Sharpen a consensus base per column so matches are non-trivial but findable.
+        for column in range(length):
+            counts[rng.integers(0, 4), column] += 25
+        matrices[name] = PositionWeightMatrix.from_counts(counts, name=name)
+    return matrices
+
+
+def generate_bio_xml(
+    num_genes: int = 40,
+    promoter_length: int = 300,
+    exon_length: int = 120,
+    seed: int = 11,
+) -> str:
+    """Generate a chromosome file with ``num_genes`` genes.
+
+    Each gene gets a promoter, a full sequence, and 1--4 transcripts; each
+    transcript lists a subset of the gene's exons and repeats their sequences
+    (plus the concatenation), which makes the collection highly repetitive.
+    """
+    rng = random.Random(seed)
+    out = StringIO()
+    out.write("<chromosome>")
+    out.write("<name>5</name>")
+    for gene_number in range(num_genes):
+        out.write("<gene>")
+        out.write(f"<name>ENSG{gene_number:011d}</name>")
+        out.write(f"<strand>{rng.choice(['1', '-1'])}</strand>")
+        out.write(f"<biotype>{rng.choice(['protein_coding', 'pseudogene', 'lincRNA', 'miRNA'])}</biotype>")
+        out.write(f"<status>{rng.choice(['KNOWN', 'NOVEL', 'PUTATIVE'])}</status>")
+        if rng.random() < 0.7:
+            out.write(f"<description>gene {gene_number} annotated on chromosome five</description>")
+        out.write(f"<promoter>{random_dna(rng, promoter_length)}</promoter>")
+
+        exons = [random_dna(rng, exon_length) for _ in range(rng.randint(2, 6))]
+        gene_sequence = random_dna(rng, 50).join(exons)
+        out.write(f"<sequence>{gene_sequence}</sequence>")
+
+        gene_start = rng.randint(1_000_000, 100_000_000)
+        for transcript_number in range(rng.randint(1, 4)):
+            chosen = [e for e in exons if rng.random() < 0.8] or exons[:1]
+            out.write("<transcript>")
+            out.write(f"<name>ENST{gene_number:07d}{transcript_number:04d}</name>")
+            out.write(f"<start>{gene_start}</start>")
+            out.write(f"<end>{gene_start + len(gene_sequence)}</end>")
+            offset = gene_start
+            for exon_number, exon in enumerate(chosen):
+                out.write("<exon>")
+                out.write(f"<name>ENSE{gene_number:05d}{transcript_number:02d}{exon_number:04d}</name>")
+                out.write(f"<start>{offset}</start>")
+                out.write(f"<end>{offset + len(exon)}</end>")
+                out.write(f"<sequence>{exon}</sequence>")
+                out.write("</exon>")
+                offset += len(exon) + 50
+            out.write(f"<sequence>{''.join(chosen)}</sequence>")
+            if rng.random() < 0.6:
+                out.write(f"<protein>PROT{gene_number:06d}{transcript_number:02d}</protein>")
+            out.write("</transcript>")
+        out.write("</gene>")
+    out.write("</chromosome>")
+    return out.getvalue()

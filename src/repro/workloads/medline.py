@@ -1,0 +1,118 @@
+"""Medline-like document generator.
+
+Reproduces the structure of the Medline bibliographic XML used in the paper's
+text-oriented experiments (Section 6.6): ``MedlineCitationSet`` containing
+``MedlineCitation`` records with ``Article``, ``AbstractText``, ``AuthorList``,
+``PublicationTypeList``, ``MedlineJournalInfo/Country`` and ``MeshHeadingList``
+children.
+
+The abstract text is pseudo-English with a Zipf-ish word distribution; the
+generator plants the specific words and phrases that the paper's query sets
+probe, with controlled (low) frequencies, so the selectivity spectrum of
+queries M01--M11 and W01--W05 -- from a handful of matches up to tens of
+thousands -- is preserved at the smaller scale.
+"""
+
+from __future__ import annotations
+
+import random
+from io import StringIO
+
+from repro.workloads.words import paragraph
+
+__all__ = ["generate_medline_xml", "PLANTED_PHRASES"]
+
+_LAST_NAMES = [
+    "Smith", "Johnson", "Nguyen", "Garcia", "Miller", "Davis", "Martinez", "Lopez",
+    "Virtanen", "Korhonen", "Barros", "Barbieri", "Barker", "Bakst", "Tanaka", "Kim",
+    "Maneth", "Navarro", "Claude", "Arroyuelo",
+]
+
+_COUNTRIES = ["UNITED STATES", "AUSTRALIA", "FINLAND", "CHILE", "FRANCE", "GERMANY", "JAPAN", "CANADA"]
+
+_JOURNALS = [
+    "Journal of Experimental Medicine", "Blood", "Brain Research", "The Lancet",
+    "Journal of Molecular Biology", "Nature Medicine", "Bioinformatics",
+]
+
+_PUBLICATION_TYPES = ["Journal Article", "Review Article", "Case Reports", "Clinical Trial", "Letter", "Editorial"]
+
+#: Phrases planted into abstracts with their approximate per-citation probability.
+#: They drive the selectivity spread of the M and W query sets.
+PLANTED_PHRASES: list[tuple[str, float]] = [
+    ("foot", 0.02),
+    ("feet", 0.02),
+    ("plus", 0.05),
+    ("epididymis", 0.004),
+    ("morphine", 0.01),
+    ("ruminants", 0.003),
+    ("molecule", 0.06),
+    ("blood sample", 0.02),
+    ("is such that", 0.01),
+    ("various types of immune cells", 0.008),
+    ("of the bone marrow", 0.015),
+    ("blood cell", 0.03),
+]
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def generate_medline_xml(num_citations: int = 400, seed: int = 7) -> str:
+    """Generate a Medline-like document with ``num_citations`` citation records."""
+    rng = random.Random(seed)
+    out = StringIO()
+    out.write("<MedlineCitationSet>")
+    for number in range(num_citations):
+        owner = rng.choice(["NLM", "NASA", "PIP"])
+        status = rng.choice(["MEDLINE", "Completed", "In-Process"])
+        out.write(f'<MedlineCitation Owner="{owner}" Status="{status}">')
+        out.write(f"<PMID>{10_000_000 + number}</PMID>")
+        year = rng.randint(1985, 2002)
+        out.write(
+            f"<DateCreated><Year>{year}</Year><Month>{rng.randint(1, 12)}</Month>"
+            f"<Day>{rng.randint(1, 28)}</Day></DateCreated>"
+        )
+        out.write("<Article>")
+        journal = rng.choice(_JOURNALS)
+        out.write(
+            "<Journal><JournalIssue>"
+            f"<Volume>{rng.randint(1, 90)}</Volume><Issue>{rng.randint(1, 12)}</Issue>"
+            f"<PubDate><Year>{year}</Year></PubDate>"
+            f"</JournalIssue><Title>{_escape(journal)}</Title></Journal>"
+        )
+        out.write(f"<ArticleTitle>{_escape(paragraph(rng, 1))}</ArticleTitle>")
+
+        planted = [phrase for phrase, probability in PLANTED_PHRASES if rng.random() < probability]
+        abstract = paragraph(rng, rng.randint(3, 7), extra=planted or None)
+        out.write(f"<Abstract><AbstractText>{_escape(abstract)}</AbstractText></Abstract>")
+
+        out.write("<AuthorList>")
+        for _ in range(rng.randint(1, 5)):
+            last = rng.choice(_LAST_NAMES)
+            initials = chr(rng.randint(ord("A"), ord("Z")))
+            out.write(
+                f"<Author><LastName>{last}</LastName><ForeName>{initials}.</ForeName>"
+                f"<Initials>{initials}</Initials></Author>"
+            )
+        out.write("</AuthorList>")
+        out.write("<Language>eng</Language>")
+        out.write("<PublicationTypeList>")
+        for _ in range(rng.randint(1, 2)):
+            out.write(f"<PublicationType>{rng.choice(_PUBLICATION_TYPES)}</PublicationType>")
+        out.write("</PublicationTypeList>")
+        out.write("</Article>")
+        out.write(
+            "<MedlineJournalInfo>"
+            f"<Country>{rng.choice(_COUNTRIES)}</Country>"
+            f"<MedlineTA>{_escape(journal[:20])}</MedlineTA>"
+            "</MedlineJournalInfo>"
+        )
+        out.write("<MeshHeadingList>")
+        for _ in range(rng.randint(2, 6)):
+            out.write(f"<MeshHeading><DescriptorName>{_escape(paragraph(rng, 1)[:40])}</DescriptorName></MeshHeading>")
+        out.write("</MeshHeadingList>")
+        out.write("</MedlineCitation>")
+    out.write("</MedlineCitationSet>")
+    return out.getvalue()

@@ -1,0 +1,122 @@
+"""The published benchmark query sets.
+
+Queries X01--X17 (XPathMark over XMark data, Figure 9), T01--T05 (Treebank,
+Figure 9), M01--M11 (Medline text queries, Figure 14), W01--W10 (word-based
+queries, Figure 16) and the FM-index probe patterns of Tables II/III are
+reproduced verbatim from the paper (with only the search strings retargeted to
+the synthetic corpora where the originals probe corpus-specific tokens, as
+noted next to each entry).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "XMARK_QUERIES",
+    "TREEBANK_QUERIES",
+    "MEDLINE_QUERIES",
+    "MEDLINE_STRATEGY",
+    "WIKI_QUERIES",
+    "FM_PATTERNS",
+    "PSSM_QUERIES",
+]
+
+#: Figure 9 (X01-X17): tree-oriented queries over XMark documents.
+XMARK_QUERIES: dict[str, str] = {
+    "X01": "/site/regions",
+    "X02": "/site/regions/*/item",
+    "X03": "/site/closed_auctions/closed_auction/annotation/description/text/keyword",
+    "X04": "//listitem//keyword",
+    "X05": "/site/closed_auctions/closed_auction[ annotation/description/text/keyword ]/date",
+    "X06": "/site/closed_auctions/closed_auction[ .//keyword]/date",
+    "X07": "/site/people/person[ profile/gender and profile/age]/name",
+    "X08": "/site/people/person[ phone or homepage]/name",
+    "X09": "/site/people/person[ address and (phone or homepage) and (creditcard or profile)]/name",
+    "X10": "//listitem[not(.//keyword/emph)]//parlist",
+    "X11": "//listitem[ (.//keyword or .//emph) and (.//emph or .//bold)]/parlist",
+    "X12": "//people[ .//person[not(address)] and .//person[not(watches)]]/person[watches]",
+    "X13": "/*[ .//* ]",
+    "X14": "//*",
+    "X15": "//*//*",
+    "X16": "//*//*//*",
+    "X17": "//*//*//*//*",
+}
+
+#: Figure 9 (T01-T05): Treebank queries.
+TREEBANK_QUERIES: dict[str, str] = {
+    "T01": "//NP",
+    "T02": "//S[.//VP and .//NP]/VP/PP[IN]/NP/VBN",
+    "T03": "//NP[.//JJ or .//CC]",
+    "T04": "//CC[ not(.//JJ) ]",
+    "T05": "//NN[.//VBZ or .//IN]/*[.//NN or .//_QUOTE_]",
+}
+
+#: Figure 14 (M01-M11): text-oriented queries over Medline.
+MEDLINE_QUERIES: dict[str, str] = {
+    "M01": '//Article[ .//AbstractText[ contains (., "foot") or contains( . , "feet") ] ]',
+    "M02": '//Article[ .//AbstractText[ contains ( . , "plus") ] ]',
+    "M03": '//Article[ .//AbstractText[ contains ( . , "plus") or contains ( . , "for") ] ]',
+    "M04": '//Article[ .//AbstractText[ contains ( . , "plus") and not(contains ( . , "for")) ] ]',
+    "M05": '//MedlineCitation/Article/AuthorList/Author[ ./LastName[starts-with( . , "Bar")] ]',
+    "M06": '//*[ .//LastName[ contains( ., "Nguyen") ] ]',
+    "M07": '//*//AbstractText[ contains( ., "epididymis") ]',
+    "M08": '//*[ .//PublicationType[ ends-with( ., "Article") ]]',
+    "M09": '//MedlineCitation[ .//Country[ contains( . , "AUSTRALIA") ] ]',
+    "M10": '//MedlineCitation[ contains( . , "blood cell") ]',
+    "M11": '//*/*[ contains( . , "1999\\n11\\n26") ]',
+}
+
+#: The evaluation-strategy annotations of Figure 14: (top-down | bottom-up, FM-index | naive).
+MEDLINE_STRATEGY: dict[str, tuple[str, str]] = {
+    "M01": ("top-down", "fm"),
+    "M02": ("bottom-up", "fm"),
+    "M03": ("top-down", "fm"),
+    "M04": ("top-down", "fm"),
+    "M05": ("bottom-up", "fm"),
+    "M06": ("bottom-up", "fm"),
+    "M07": ("bottom-up", "fm"),
+    "M08": ("bottom-up", "fm"),
+    "M09": ("bottom-up", "fm"),
+    "M10": ("top-down", "naive"),
+    "M11": ("top-down", "naive"),
+}
+
+#: Figure 16 (W01-W10): word-based queries (W01-W05 over Medline, W06-W10 over the wiki dump).
+WIKI_QUERIES: dict[str, str] = {
+    "W01": '//Article[ .//AbstractText[ contains ( ., "blood sample") ] ]',
+    "W02": '//Article[ .//AbstractText[ contains ( ., "is such that") ] ]',
+    "W03": '//Article[ .//AbstractText[ contains( ., "various types of") and contains( ., "immune cells") ] ]',
+    "W04": '//Article[ .//AbstractText[ contains( ., "of the bone marrow") ] ]',
+    "W05": '//Article[ .//AbstractText[ contains( ., "cell") and not(contains( ., "blood")) ] ]',
+    "W06": '//text[ contains ( ., "dark horse")]',
+    "W07": '//text[ contains ( ., "horse") and contains( ., "princess") ]',
+    "W08": '//page/child::title[ contains ( ., "crude oil") ]',
+    "W09": '//page[.//text[ contains( ., "played on a board")]]/title',
+    "W10": '//page[.//text[ contains( ., "whether accidentally or purposefully")]]/title',
+}
+
+#: Tables II/III probe patterns, ordered from very rare to extremely frequent.
+#: The original table probes Medline-specific tokens; the reproduction keeps
+#: the same rare-to-frequent progression over the synthetic vocabulary.
+FM_PATTERNS: list[str] = [
+    "Bakst",
+    "ruminants",
+    "morphine",
+    "AUSTRALIA",
+    "molecule",
+    "brain",
+    "human",
+    "blood",
+    "from",
+    "with",
+    "in",
+    "a",
+    " ",
+]
+
+#: Figure 18: PSSM queries over the BioXML data (matrices M1-M3 are synthetic
+#: Jaspar-like matrices; thresholds are chosen per matrix by the benchmark).
+PSSM_QUERIES: list[str] = [
+    "//promoter[ PSSM( ., {matrix})]",
+    "//exon[ .//sequence[ PSSM( ., {matrix}) ] ]",
+    "//*[ PSSM(., {matrix}) ]",
+]

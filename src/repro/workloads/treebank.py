@@ -1,0 +1,63 @@
+"""Treebank-like document generator.
+
+The paper's Treebank dataset is a deeply recursive XML rendering of parsed
+English sentences, whose defining property is the large number of distinct
+paths and the recursive grammar tags (S, NP, VP, PP, ...).  The generator
+builds random parse trees over the same tag vocabulary used by queries
+T01--T05 (``S``, ``NP``, ``VP``, ``PP``, ``IN``, ``JJ``, ``CC``, ``NN``,
+``VBZ``, ``VBN``, ``_QUOTE_``, ...), with word leaves of scrambled characters
+(the original corpus is encrypted, which the paper notes).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from io import StringIO
+
+__all__ = ["generate_treebank_xml"]
+
+_PHRASE_TAGS = ["S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP", "WHNP", "PRN"]
+_WORD_TAGS = ["NN", "NNS", "NNP", "VB", "VBZ", "VBN", "VBD", "JJ", "RB", "IN", "DT", "CC", "PRP", "TO", "_QUOTE_", "_COMMA_"]
+
+#: Expansion rules: each phrase tag expands into a mix of phrase and word tags.
+_RULES: dict[str, list[list[str]]] = {
+    "S": [["NP", "VP"], ["NP", "VP", "_COMMA_"], ["S", "CC", "S"], ["PP", "NP", "VP"]],
+    "NP": [["DT", "NN"], ["DT", "JJ", "NN"], ["NP", "PP"], ["NNP"], ["NP", "CC", "NP"], ["DT", "NN", "SBAR"]],
+    "VP": [["VBZ", "NP"], ["VBD", "PP"], ["VB", "NP", "PP"], ["VBZ", "SBAR"], ["VBN", "PP"]],
+    "PP": [["IN", "NP"], ["TO", "NP"], ["IN", "NP", "PP"]],
+    "SBAR": [["IN", "S"], ["WHNP", "S"]],
+    "ADJP": [["RB", "JJ"], ["JJ", "PP"]],
+    "ADVP": [["RB"], ["RB", "PP"]],
+    "WHNP": [["DT"], ["PRP"]],
+    "PRN": [["_QUOTE_", "S", "_QUOTE_"], ["_COMMA_", "S", "_COMMA_"]],
+}
+
+
+def _scrambled_word(rng: random.Random) -> str:
+    length = rng.randint(2, 10)
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+def _expand(out: StringIO, rng: random.Random, tag: str, depth: int, max_depth: int) -> None:
+    out.write(f"<{tag}>")
+    if tag in _RULES and depth < max_depth:
+        rule = rng.choice(_RULES[tag])
+        for child in rule:
+            _expand(out, rng, child, depth + 1, max_depth)
+    else:
+        out.write(_scrambled_word(rng))
+    out.write(f"</{tag}>")
+
+
+def generate_treebank_xml(num_sentences: int = 200, max_depth: int = 12, seed: int = 13) -> str:
+    """Generate a Treebank-like corpus of ``num_sentences`` parsed sentences."""
+    rng = random.Random(seed)
+    out = StringIO()
+    out.write("<FILE>")
+    for _ in range(num_sentences):
+        out.write("<EMPTY>")
+        _expand(out, rng, "S", depth=0, max_depth=max_depth)
+        out.write("</EMPTY>")
+    out.write("</FILE>")
+    return out.getvalue()

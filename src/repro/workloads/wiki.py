@@ -1,0 +1,65 @@
+"""Mediawiki/wiktionary-like document generator.
+
+Section 6.6.2 of the paper runs word-based text queries (W06--W10) over a
+2.3 GB snapshot of the English wiktionary.  The generator reproduces the
+``mediawiki / page / (title, revision / text)`` structure and plants the
+phrases those queries look for ("dark horse", "played on a board", "crude
+oil", "whether accidentally or purposefully", ...) into a small fraction of
+the pages, so the word-index experiments exercise the same selectivity
+behaviour at laptop scale.
+"""
+
+from __future__ import annotations
+
+import random
+from io import StringIO
+
+from repro.workloads.words import paragraph
+
+__all__ = ["generate_wiki_xml", "WIKI_PLANTED_PHRASES"]
+
+#: Phrases planted into page text with their per-page probability.
+WIKI_PLANTED_PHRASES: list[tuple[str, float]] = [
+    ("dark horse", 0.01),
+    ("horse", 0.06),
+    ("princess", 0.04),
+    ("played on a board", 0.01),
+    ("whether accidentally or purposefully", 0.005),
+]
+
+_TITLE_WORDS = [
+    "dictionary", "appendix", "crude oil", "horse", "board game", "etymology",
+    "pronunciation", "verb", "noun", "adjective", "translation", "synonym",
+]
+
+
+def _escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def generate_wiki_xml(num_pages: int = 300, seed: int = 23) -> str:
+    """Generate a wiktionary-like document with ``num_pages`` pages."""
+    rng = random.Random(seed)
+    out = StringIO()
+    out.write("<mediawiki>")
+    out.write("<siteinfo><sitename>Wiktionary</sitename><base>http://en.wiktionary.example/</base></siteinfo>")
+    for number in range(num_pages):
+        title = f"{rng.choice(_TITLE_WORDS)} {number}"
+        out.write("<page>")
+        out.write(f"<title>{_escape(title)}</title>")
+        out.write(f"<id>{number + 1}</id>")
+        out.write("<revision>")
+        out.write(f"<id>{rng.randint(100000, 999999)}</id>")
+        out.write(
+            f"<timestamp>20{rng.randint(4, 9):02d}-{rng.randint(1, 12):02d}-"
+            f"{rng.randint(1, 28):02d}T00:00:00Z</timestamp>"
+        )
+        out.write(f"<contributor><username>user{rng.randint(1, 500)}</username></contributor>")
+        out.write(f"<comment>{_escape(paragraph(rng, 1))}</comment>")
+        planted = [phrase for phrase, probability in WIKI_PLANTED_PHRASES if rng.random() < probability]
+        body = paragraph(rng, rng.randint(4, 10), extra=planted or None)
+        out.write(f"<text>{_escape(body)}</text>")
+        out.write("</revision>")
+        out.write("</page>")
+    out.write("</mediawiki>")
+    return out.getvalue()

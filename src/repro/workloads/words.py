@@ -1,0 +1,57 @@
+"""Shared vocabulary and sentence generation for the synthetic corpora.
+
+The text content of the Medline/wiki/XMark generators is built from a small
+English-like vocabulary sampled with a Zipf-ish distribution, so that common
+words ("the", "of", "in", "a", "with", "from") occur orders of magnitude more
+often than rare ones -- this recreates the selectivity spectrum of the FM-index
+experiments (Tables II and III) and of the text queries (Figures 14/15).
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["COMMON_WORDS", "CONTENT_WORDS", "sentence", "paragraph"]
+
+COMMON_WORDS = [
+    "the", "of", "in", "a", "and", "to", "with", "from", "for", "on", "is", "was",
+    "were", "by", "that", "as", "at", "an", "be", "or",
+]
+
+CONTENT_WORDS = [
+    "patient", "protein", "cell", "blood", "brain", "human", "study", "analysis",
+    "treatment", "response", "clinical", "molecule", "gene", "expression", "tissue",
+    "cancer", "tumor", "receptor", "enzyme", "membrane", "antibody", "serum",
+    "plasma", "sample", "group", "level", "activity", "effect", "result", "method",
+    "increase", "decrease", "significant", "observed", "measured", "induced",
+    "associated", "compared", "control", "normal", "disease", "syndrome", "therapy",
+    "dose", "drug", "acid", "bone", "marrow", "liver", "kidney", "heart", "lung",
+    "muscle", "nerve", "immune", "cells", "types", "various", "factor", "growth",
+    "rate", "children", "adults", "women", "men", "age", "years", "region",
+    "sequence", "structure", "function", "binding", "concentration", "temperature",
+]
+
+
+def sentence(rng: random.Random, length: int | None = None, extra: list[str] | None = None) -> str:
+    """One pseudo-English sentence; ``extra`` words are planted at random positions."""
+    length = length or rng.randint(6, 16)
+    words: list[str] = []
+    for _ in range(length):
+        if rng.random() < 0.45:
+            words.append(rng.choice(COMMON_WORDS))
+        else:
+            words.append(rng.choice(CONTENT_WORDS))
+    if extra:
+        for word in extra:
+            words.insert(rng.randrange(len(words) + 1), word)
+    text = " ".join(words)
+    return text[0].upper() + text[1:] + "."
+
+
+def paragraph(rng: random.Random, sentences: int, extra: list[str] | None = None) -> str:
+    """Several sentences; ``extra`` words are planted in one random sentence."""
+    parts = []
+    plant_at = rng.randrange(sentences) if extra else -1
+    for index in range(sentences):
+        parts.append(sentence(rng, extra=extra if index == plant_at else None))
+    return " ".join(parts)

@@ -1,0 +1,271 @@
+"""XMark-like document generator.
+
+Reproduces the element vocabulary and structural properties of the XMark
+auction benchmark (Schmidt et al., VLDB 2002) that the paper's XPathMark
+queries (X01--X17) rely on:
+
+* the ``site / regions / <continent> / item`` hierarchy,
+* ``people / person`` with optional ``phone``, ``homepage``, ``address``,
+  ``creditcard``, ``profile`` (gender/age) and ``watches`` children (queries
+  X07--X09, X12),
+* ``closed_auctions / closed_auction / annotation / description / text /
+  keyword`` chains with ``date`` siblings (X03, X05, X06),
+* recursive ``parlist / listitem`` nesting inside descriptions, with
+  ``keyword`` / ``emph`` / ``bold`` markup (X04, X10, X11) -- ``listitem`` is a
+  *recursive* tag, exactly the property Table VI highlights,
+* ``category`` elements carrying ``id`` attributes.
+
+The ``scale`` parameter controls the number of items/persons/auctions; scale
+1.0 yields a document of a few hundred kilobytes (the paper uses 116 MB--1 GB
+originals; shapes, not sizes, are what the reproduction preserves).
+"""
+
+from __future__ import annotations
+
+import random
+from io import StringIO
+
+from repro.workloads.words import CONTENT_WORDS, sentence
+
+__all__ = ["generate_xmark_xml"]
+
+_CONTINENTS = ["africa", "asia", "australia", "europe", "namerica", "samerica"]
+_KEYWORDS = ["unique", "rare", "vintage", "gold", "silver", "special", "bargain", "mint", "signed", "boxed"]
+
+
+class _Writer:
+    def __init__(self) -> None:
+        self._buffer = StringIO()
+
+    def open(self, tag: str, **attributes: str) -> None:
+        attrs = "".join(f' {name}="{value}"' for name, value in attributes.items())
+        self._buffer.write(f"<{tag}{attrs}>")
+
+    def close(self, tag: str) -> None:
+        self._buffer.write(f"</{tag}>")
+
+    def leaf(self, tag: str, text: str, **attributes: str) -> None:
+        self.open(tag, **attributes)
+        self.text(text)
+        self.close(tag)
+
+    def empty(self, tag: str, **attributes: str) -> None:
+        attrs = "".join(f' {name}="{value}"' for name, value in attributes.items())
+        self._buffer.write(f"<{tag}{attrs}/>")
+
+    def text(self, text: str) -> None:
+        self._buffer.write(text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;"))
+
+    def getvalue(self) -> str:
+        return self._buffer.getvalue()
+
+
+def _rich_text(writer: _Writer, rng: random.Random) -> None:
+    """Mixed content with keyword/emph/bold markup (the `text` element content)."""
+    writer.open("text")
+    pieces = rng.randint(1, 3)
+    for _ in range(pieces):
+        writer.text(sentence(rng, rng.randint(4, 9)) + " ")
+        roll = rng.random()
+        if roll < 0.45:
+            writer.leaf("keyword", rng.choice(_KEYWORDS))
+        elif roll < 0.7:
+            writer.leaf("emph", rng.choice(CONTENT_WORDS))
+        elif roll < 0.85:
+            writer.leaf("bold", rng.choice(CONTENT_WORDS))
+        writer.text(" " + sentence(rng, rng.randint(3, 6)))
+    writer.close("text")
+
+
+def _parlist(writer: _Writer, rng: random.Random, depth: int) -> None:
+    writer.open("parlist")
+    for _ in range(rng.randint(1, 3)):
+        writer.open("listitem")
+        if depth > 0 and rng.random() < 0.35:
+            _parlist(writer, rng, depth - 1)
+        else:
+            _rich_text(writer, rng)
+        writer.close("listitem")
+    writer.close("parlist")
+
+
+def _description(writer: _Writer, rng: random.Random) -> None:
+    writer.open("description")
+    if rng.random() < 0.5:
+        _parlist(writer, rng, depth=2)
+    else:
+        _rich_text(writer, rng)
+    writer.close("description")
+
+
+def _item(writer: _Writer, rng: random.Random, item_id: int, continent: str) -> None:
+    attributes = {"id": f"item{item_id}"}
+    if rng.random() < 0.1:
+        attributes["featured"] = "yes"
+    writer.open("item", **attributes)
+    writer.leaf("location", rng.choice(["United States", "Germany", "Chile", "Finland", "Australia", "France"]))
+    writer.leaf("quantity", str(rng.randint(1, 5)))
+    writer.leaf("name", f"{rng.choice(CONTENT_WORDS)} {rng.choice(CONTENT_WORDS)} {item_id}")
+    writer.open("payment")
+    writer.text(rng.choice(["Money order", "Creditcard", "Cash", "Personal Check"]))
+    writer.close("payment")
+    _description(writer, rng)
+    writer.open("shipping")
+    writer.text(rng.choice(["Will ship internationally", "Buyer pays fixed shipping charges"]))
+    writer.close("shipping")
+    for _ in range(rng.randint(0, 2)):
+        writer.empty("incategory", category=f"category{rng.randint(0, 49)}")
+    if rng.random() < 0.3:
+        writer.open("mailbox")
+        for _ in range(rng.randint(1, 2)):
+            writer.open("mail")
+            writer.leaf("from", f"{rng.choice(CONTENT_WORDS)}@example.org")
+            writer.leaf("to", f"{rng.choice(CONTENT_WORDS)}@example.org")
+            writer.leaf("date", _date(rng))
+            _rich_text(writer, rng)
+            writer.close("mail")
+        writer.close("mailbox")
+    writer.close("item")
+
+
+def _date(rng: random.Random) -> str:
+    return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2002)}"
+
+
+def _person(writer: _Writer, rng: random.Random, person_id: int) -> None:
+    first = rng.choice(["Alice", "Bob", "Carol", "Dave", "Erin", "Frank", "Grace", "Heidi", "Ivan", "Judy"])
+    last = rng.choice(["Smith", "Johnson", "Nguyen", "Garcia", "Miller", "Davis", "Martinez", "Lopez"])
+    writer.open("person", id=f"person{person_id}")
+    writer.leaf("name", f"{first} {last}")
+    writer.leaf("emailaddress", f"mailto:{first.lower()}.{last.lower()}{person_id}@example.org")
+    if rng.random() < 0.5:
+        writer.leaf("phone", f"+{rng.randint(1, 99)} ({rng.randint(100, 999)}) {rng.randint(1000000, 9999999)}")
+    if rng.random() < 0.4:
+        writer.open("address")
+        writer.leaf("street", f"{rng.randint(1, 99)} {rng.choice(CONTENT_WORDS)} St")
+        writer.leaf("city", rng.choice(["Santiago", "Helsinki", "Edinburgh", "Paris", "Sydney", "Boston"]))
+        writer.leaf("country", rng.choice(["Chile", "Finland", "United Kingdom", "France", "Australia", "United States"]))
+        writer.leaf("zipcode", str(rng.randint(10000, 99999)))
+        writer.close("address")
+    if rng.random() < 0.5:
+        writer.leaf("homepage", f"http://www.example.org/~{first.lower()}{person_id}")
+    if rng.random() < 0.4:
+        writer.leaf("creditcard", " ".join(str(rng.randint(1000, 9999)) for _ in range(4)))
+    if rng.random() < 0.6:
+        writer.open("profile", income=str(rng.randint(10000, 100000)))
+        for _ in range(rng.randint(0, 3)):
+            writer.empty("interest", category=f"category{rng.randint(0, 49)}")
+        if rng.random() < 0.6:
+            writer.leaf("education", rng.choice(["High School", "College", "Graduate School", "Other"]))
+        if rng.random() < 0.7:
+            writer.leaf("gender", rng.choice(["male", "female"]))
+        writer.leaf("business", rng.choice(["Yes", "No"]))
+        if rng.random() < 0.7:
+            writer.leaf("age", str(rng.randint(18, 80)))
+        writer.close("profile")
+    if rng.random() < 0.5:
+        writer.open("watches")
+        for _ in range(rng.randint(1, 3)):
+            writer.empty("watch", open_auction=f"open_auction{rng.randint(0, 99)}")
+        writer.close("watches")
+    writer.close("person")
+
+
+def _closed_auction(writer: _Writer, rng: random.Random, number: int, num_items: int, num_persons: int) -> None:
+    writer.open("closed_auction")
+    writer.empty("seller", person=f"person{rng.randrange(max(1, num_persons))}")
+    writer.empty("buyer", person=f"person{rng.randrange(max(1, num_persons))}")
+    writer.empty("itemref", item=f"item{rng.randrange(max(1, num_items))}")
+    writer.leaf("price", f"{rng.randint(1, 500)}.{rng.randint(0, 99):02d}")
+    writer.leaf("date", _date(rng))
+    writer.leaf("quantity", str(rng.randint(1, 5)))
+    writer.leaf("type", rng.choice(["Regular", "Featured"]))
+    writer.open("annotation")
+    writer.leaf("author", f"person{rng.randrange(max(1, num_persons))}")
+    _description(writer, rng)
+    writer.leaf("happiness", str(rng.randint(1, 10)))
+    writer.close("annotation")
+    writer.close("closed_auction")
+
+
+def _open_auction(writer: _Writer, rng: random.Random, number: int, num_items: int, num_persons: int) -> None:
+    writer.open("open_auction", id=f"open_auction{number}")
+    writer.leaf("initial", f"{rng.randint(1, 200)}.{rng.randint(0, 99):02d}")
+    for _ in range(rng.randint(0, 3)):
+        writer.open("bidder")
+        writer.leaf("date", _date(rng))
+        writer.leaf("time", f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:{rng.randint(0, 59):02d}")
+        writer.empty("personref", person=f"person{rng.randrange(max(1, num_persons))}")
+        writer.leaf("increase", f"{rng.randint(1, 50)}.00")
+        writer.close("bidder")
+    writer.leaf("current", f"{rng.randint(1, 700)}.{rng.randint(0, 99):02d}")
+    writer.empty("itemref", item=f"item{rng.randrange(max(1, num_items))}")
+    writer.empty("seller", person=f"person{rng.randrange(max(1, num_persons))}")
+    writer.open("annotation")
+    writer.leaf("author", f"person{rng.randrange(max(1, num_persons))}")
+    _description(writer, rng)
+    writer.close("annotation")
+    writer.leaf("quantity", str(rng.randint(1, 5)))
+    writer.leaf("type", rng.choice(["Regular", "Featured"]))
+    writer.open("interval")
+    writer.leaf("start", _date(rng))
+    writer.leaf("end", _date(rng))
+    writer.close("interval")
+    writer.close("open_auction")
+
+
+def generate_xmark_xml(scale: float = 1.0, seed: int = 42) -> str:
+    """Generate an XMark-like document.
+
+    Parameters
+    ----------
+    scale:
+        Size multiplier; 1.0 yields roughly 60 items, 60 persons and 60
+        auctions (a few hundred kilobytes of XML).
+    seed:
+        Random seed (the output is deterministic for a given seed and scale).
+    """
+    rng = random.Random(seed)
+    num_items = max(6, int(60 * scale))
+    num_persons = max(6, int(60 * scale))
+    num_closed = max(4, int(30 * scale))
+    num_open = max(4, int(30 * scale))
+    num_categories = max(5, int(25 * scale))
+
+    writer = _Writer()
+    writer.open("site")
+
+    writer.open("regions")
+    for index, continent in enumerate(_CONTINENTS):
+        writer.open(continent)
+        share = num_items // len(_CONTINENTS) + (1 if index < num_items % len(_CONTINENTS) else 0)
+        for item_number in range(share):
+            _item(writer, rng, item_id=index * 10_000 + item_number, continent=continent)
+        writer.close(continent)
+    writer.close("regions")
+
+    writer.open("categories")
+    for category in range(num_categories):
+        writer.open("category", id=f"category{category}")
+        writer.leaf("name", f"{rng.choice(CONTENT_WORDS)} {category}")
+        _description(writer, rng)
+        writer.close("category")
+    writer.close("categories")
+
+    writer.open("people")
+    for person in range(num_persons):
+        _person(writer, rng, person)
+    writer.close("people")
+
+    writer.open("open_auctions")
+    for number in range(num_open):
+        _open_auction(writer, rng, number, num_items, num_persons)
+    writer.close("open_auctions")
+
+    writer.open("closed_auctions")
+    for number in range(num_closed):
+        _closed_auction(writer, rng, number, num_items, num_persons)
+    writer.close("closed_auctions")
+
+    writer.close("site")
+    return writer.getvalue()

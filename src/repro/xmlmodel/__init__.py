@@ -1,0 +1,34 @@
+"""XML parsing, the SXSI document model, and serialisation.
+
+Section 2 of the paper: an XML document is modelled as a labelled tree plus an
+ordered set of texts.  An extra root labelled ``&`` tops the document element;
+every text chunk becomes a ``#``-labelled leaf; a node with attributes gets a
+single ``@``-labelled first child, under which each attribute becomes a node
+labelled with the attribute name whose ``%``-labelled leaf child carries the
+attribute value.  Exactly one string is associated with each ``#``/``%`` leaf.
+"""
+
+from repro.xmlmodel.model import (
+    ATTRIBUTES_LABEL,
+    ATTRIBUTE_VALUE_LABEL,
+    ROOT_LABEL,
+    TEXT_LABEL,
+    DocumentModel,
+    build_model,
+)
+from repro.xmlmodel.parser import ParseError, XMLParser, parse_events
+from repro.xmlmodel.serializer import serialize_subtree, serialize_text
+
+__all__ = [
+    "XMLParser",
+    "ParseError",
+    "parse_events",
+    "DocumentModel",
+    "build_model",
+    "ROOT_LABEL",
+    "TEXT_LABEL",
+    "ATTRIBUTES_LABEL",
+    "ATTRIBUTE_VALUE_LABEL",
+    "serialize_subtree",
+    "serialize_text",
+]

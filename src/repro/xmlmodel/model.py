@@ -1,0 +1,203 @@
+"""The SXSI document model.
+
+Builds, from a stream of parse events, the arrays every index of the system is
+constructed from (Section 2 and Figure 1 of the paper):
+
+* the balanced-parentheses bits of the model tree,
+* the tag identifier of every opening parenthesis,
+* the tag-name table (with the special labels ``&``, ``#``, ``@``, ``%``),
+* the list of texts in document order, and the positions of the leaves that
+  carry them.
+
+The model tree contains an extra root labelled ``&`` above the document
+element; every text chunk becomes a ``#`` leaf carrying its string; a node
+with attributes gets an ``@``-labelled first child under which each attribute
+``name="value"`` becomes a ``name``-labelled node with a ``%`` leaf carrying
+``value``.  Empty texts are not stored; whitespace-only texts are kept or
+dropped according to ``keep_whitespace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from repro.xmlmodel.parser import Characters, EndElement, StartElement, parse_events
+
+__all__ = [
+    "ROOT_LABEL",
+    "TEXT_LABEL",
+    "ATTRIBUTES_LABEL",
+    "ATTRIBUTE_VALUE_LABEL",
+    "DocumentModel",
+    "ModelBuilder",
+    "build_model",
+]
+
+ROOT_LABEL = "&"
+TEXT_LABEL = "#"
+ATTRIBUTES_LABEL = "@"
+ATTRIBUTE_VALUE_LABEL = "%"
+
+#: The special labels always occupy the first tag identifiers, in this order.
+SPECIAL_LABELS = (ROOT_LABEL, TEXT_LABEL, ATTRIBUTES_LABEL, ATTRIBUTE_VALUE_LABEL)
+
+
+@dataclass
+class DocumentModel:
+    """The arrays the tree and text indexes are built from."""
+
+    parens: np.ndarray
+    node_tags: np.ndarray
+    tag_names: list[str]
+    text_leaf_positions: list[int]
+    texts: list[bytes]
+    source_bytes: int = 0
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes of the model tree."""
+        return int(self.parens.size // 2)
+
+    @property
+    def num_texts(self) -> int:
+        """Number of texts (``#``/``%`` leaves)."""
+        return len(self.texts)
+
+    @property
+    def num_tags(self) -> int:
+        """Number of distinct labels (tag and attribute names plus specials)."""
+        return len(self.tag_names)
+
+
+@dataclass
+class ModelBuilder:
+    """Incremental builder consuming SAX-style events.
+
+    The builder can be fed events directly (useful for synthetic workload
+    generators that never materialise the XML text) or through
+    :func:`build_model` for parsing an actual document.
+    """
+
+    keep_whitespace: bool = False
+    _parens: list[bool] = field(default_factory=list)
+    _tags: list[int] = field(default_factory=list)
+    _tag_names: list[str] = field(default_factory=lambda: list(SPECIAL_LABELS))
+    _tag_ids: dict[str, int] = field(default_factory=lambda: {name: i for i, name in enumerate(SPECIAL_LABELS)})
+    _texts: list[bytes] = field(default_factory=list)
+    _text_positions: list[int] = field(default_factory=list)
+    _pending_text: list[str] = field(default_factory=list)
+    _depth: int = 0
+    _started: bool = False
+    _finished: bool = False
+
+    # -- label table -------------------------------------------------------------------------
+
+    def _tag_id(self, name: str) -> int:
+        tag = self._tag_ids.get(name)
+        if tag is None:
+            tag = len(self._tag_names)
+            self._tag_names.append(name)
+            self._tag_ids[name] = tag
+        return tag
+
+    # -- low-level emission -------------------------------------------------------------------
+
+    def _open(self, tag: int) -> int:
+        position = len(self._parens)
+        self._parens.append(True)
+        self._tags.append(tag)
+        return position
+
+    def _close(self) -> None:
+        self._parens.append(False)
+        self._tags.append(-1)
+
+    def _emit_text_leaf(self, label: str, value: str) -> None:
+        if value == "":
+            return
+        position = self._open(self._tag_id(label))
+        self._close()
+        self._text_positions.append(position)
+        self._texts.append(value.encode("utf-8"))
+
+    def _flush_text(self) -> None:
+        if not self._pending_text:
+            return
+        value = "".join(self._pending_text)
+        self._pending_text.clear()
+        if value == "":
+            return
+        if not self.keep_whitespace and value.strip() == "":
+            return
+        self._emit_text_leaf(TEXT_LABEL, value)
+
+    # -- event interface --------------------------------------------------------------------------
+
+    def start_document(self) -> None:
+        """Open the extra ``&`` root node."""
+        if self._started:
+            raise ValueError("document already started")
+        self._started = True
+        self._open(self._tag_id(ROOT_LABEL))
+
+    def start_element(self, name: str, attributes: Iterable[tuple[str, str]] = ()) -> None:
+        """Open an element node, emitting its ``@`` subtree first if it has attributes."""
+        if not self._started:
+            self.start_document()
+        self._flush_text()
+        self._open(self._tag_id(name))
+        self._depth += 1
+        attributes = list(attributes)
+        if attributes:
+            self._open(self._tag_id(ATTRIBUTES_LABEL))
+            for attr_name, attr_value in attributes:
+                self._open(self._tag_id(attr_name))
+                self._emit_text_leaf(ATTRIBUTE_VALUE_LABEL, attr_value)
+                self._close()
+            self._close()
+
+    def characters(self, data: str) -> None:
+        """Buffer character data; contiguous chunks are merged into one text."""
+        self._pending_text.append(data)
+
+    def end_element(self, name: str | None = None) -> None:
+        """Close the current element node."""
+        self._flush_text()
+        self._close()
+        self._depth -= 1
+
+    def end_document(self) -> DocumentModel:
+        """Close the ``&`` root and return the finished model."""
+        if self._finished:
+            raise ValueError("document already finished")
+        if self._depth != 0:
+            raise ValueError("unbalanced start/end element calls")
+        self._flush_text()
+        self._close()  # close the & root
+        self._finished = True
+        return DocumentModel(
+            parens=np.asarray(self._parens, dtype=bool),
+            node_tags=np.asarray(self._tags, dtype=np.int64),
+            tag_names=list(self._tag_names),
+            text_leaf_positions=list(self._text_positions),
+            texts=list(self._texts),
+        )
+
+
+def build_model(document: str | bytes, keep_whitespace: bool = False) -> DocumentModel:
+    """Parse an XML document and build its SXSI model."""
+    builder = ModelBuilder(keep_whitespace=keep_whitespace)
+    builder.start_document()
+    for event in parse_events(document):
+        if isinstance(event, StartElement):
+            builder.start_element(event.name, event.attributes)
+        elif isinstance(event, EndElement):
+            builder.end_element(event.name)
+        elif isinstance(event, Characters):
+            builder.characters(event.data)
+    model = builder.end_document()
+    model.source_bytes = len(document.encode("utf-8") if isinstance(document, str) else document)
+    return model

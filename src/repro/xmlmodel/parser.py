@@ -1,0 +1,198 @@
+"""A small, dependency-free XML parser producing SAX-style events.
+
+The parser covers the XML subset exercised by the paper's datasets (XMark,
+Medline, Treebank, mediawiki, BioXML): elements, attributes (single or double
+quoted), character data, CDATA sections, comments, processing instructions and
+the XML declaration, plus the five predefined entities and numeric character
+references.  DTDs are skipped.  It is intentionally strict about tag balance
+because the balanced-parentheses representation depends on it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["XMLParser", "ParseError", "StartElement", "EndElement", "Characters", "parse_events"]
+
+
+class ParseError(ValueError):
+    """Raised when the input is not well formed (for the supported subset)."""
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """Start-tag event: element name and its attributes in document order."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """End-tag event."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Characters:
+    """Character-data event (text between tags, already entity-decoded)."""
+
+    data: str
+
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+_NAME_RE = re.compile(r"[A-Za-z_:][A-Za-z0-9_:.\-]*")
+_ATTR_RE = re.compile(r"\s*([A-Za-z_:][A-Za-z0-9_:.\-]*)\s*=\s*(\"([^\"]*)\"|'([^']*)')")
+
+
+def decode_entities(text: str) -> str:
+    """Replace predefined entities and numeric character references."""
+    if "&" not in text:
+        return text
+
+    def replace(match: re.Match[str]) -> str:
+        body = match.group(1)
+        if body.startswith("#x") or body.startswith("#X"):
+            return chr(int(body[2:], 16))
+        if body.startswith("#"):
+            return chr(int(body[1:]))
+        if body in _ENTITIES:
+            return _ENTITIES[body]
+        raise ParseError(f"unknown entity &{body};")
+
+    return re.sub(r"&([^;&\s]+);", replace, text)
+
+
+class XMLParser:
+    """Event-based parser for the supported XML subset."""
+
+    def __init__(self, document: str | bytes):
+        if isinstance(document, bytes):
+            document = document.decode("utf-8")
+        self._doc = document
+        self._pos = 0
+        self._length = len(document)
+
+    def events(self) -> Iterator[StartElement | EndElement | Characters]:
+        """Yield parse events for the whole document.
+
+        Self-closing elements produce a start event immediately followed by
+        the matching end event.
+        """
+        open_tags: list[str] = []
+        saw_root = False
+        depth = 0
+        while self._pos < self._length:
+            if self._doc[self._pos] == "<":
+                for event in self._parse_markup(open_tags):
+                    if isinstance(event, StartElement):
+                        if depth == 0:
+                            if saw_root:
+                                raise ParseError("multiple root elements")
+                            saw_root = True
+                        depth += 1
+                    elif isinstance(event, EndElement):
+                        depth -= 1
+                    yield event
+            else:
+                end = self._doc.find("<", self._pos)
+                if end == -1:
+                    end = self._length
+                raw = self._doc[self._pos : end]
+                self._pos = end
+                if depth > 0:
+                    yield Characters(decode_entities(raw))
+                elif raw.strip():
+                    raise ParseError("character data outside the root element")
+        if open_tags:
+            raise ParseError(f"unclosed element <{open_tags[-1]}>")
+        if not saw_root:
+            raise ParseError("document has no root element")
+
+    # -- markup handling -------------------------------------------------------------------
+
+    def _parse_markup(self, open_tags: list[str]) -> list[StartElement | EndElement | Characters]:
+        doc, pos = self._doc, self._pos
+        if doc.startswith("<!--", pos):
+            end = doc.find("-->", pos + 4)
+            if end == -1:
+                raise ParseError("unterminated comment")
+            self._pos = end + 3
+            return []
+        if doc.startswith("<![CDATA[", pos):
+            end = doc.find("]]>", pos + 9)
+            if end == -1:
+                raise ParseError("unterminated CDATA section")
+            data = doc[pos + 9 : end]
+            self._pos = end + 3
+            if not open_tags:
+                raise ParseError("CDATA outside the root element")
+            return [Characters(data)]
+        if doc.startswith("<?", pos):
+            end = doc.find("?>", pos + 2)
+            if end == -1:
+                raise ParseError("unterminated processing instruction")
+            self._pos = end + 2
+            return []
+        if doc.startswith("<!", pos):
+            # DOCTYPE or other declarations: skip to the matching '>'.
+            depth = 0
+            cursor = pos + 2
+            while cursor < self._length:
+                char = doc[cursor]
+                if char == "<":
+                    depth += 1
+                elif char == ">":
+                    if depth == 0:
+                        self._pos = cursor + 1
+                        return []
+                    depth -= 1
+                cursor += 1
+            raise ParseError("unterminated declaration")
+        if doc.startswith("</", pos):
+            match = _NAME_RE.match(doc, pos + 2)
+            if not match:
+                raise ParseError(f"malformed end tag at offset {pos}")
+            name = match.group(0)
+            end = doc.find(">", match.end())
+            if end == -1 or doc[match.end() : end].strip():
+                raise ParseError(f"malformed end tag </{name}>")
+            if not open_tags or open_tags[-1] != name:
+                expected = open_tags[-1] if open_tags else None
+                raise ParseError(f"mismatched end tag </{name}>, expected </{expected}>")
+            open_tags.pop()
+            self._pos = end + 1
+            return [EndElement(name)]
+        # Start tag (possibly self-closing).
+        match = _NAME_RE.match(doc, pos + 1)
+        if not match:
+            raise ParseError(f"malformed start tag at offset {pos}")
+        name = match.group(0)
+        cursor = match.end()
+        attributes: list[tuple[str, str]] = []
+        while True:
+            attr = _ATTR_RE.match(doc, cursor)
+            if not attr:
+                break
+            value = attr.group(3) if attr.group(3) is not None else attr.group(4)
+            attributes.append((attr.group(1), decode_entities(value)))
+            cursor = attr.end()
+        rest = doc.find(">", cursor)
+        if rest == -1:
+            raise ParseError(f"unterminated start tag <{name}>")
+        between = doc[cursor:rest].strip()
+        self._pos = rest + 1
+        if between == "/":
+            return [StartElement(name, tuple(attributes)), EndElement(name)]
+        if between:
+            raise ParseError(f"unexpected characters {between!r} in start tag <{name}>")
+        open_tags.append(name)
+        return [StartElement(name, tuple(attributes))]
+
+
+def parse_events(document: str | bytes) -> Iterator[StartElement | EndElement | Characters]:
+    """Parse ``document`` and yield start/end/character events."""
+    return XMLParser(document).events()

@@ -1,0 +1,23 @@
+"""XPath Core+ parsing, compilation to marking tree automata, and evaluation.
+
+Implements item (iii) of the paper (Section 5): the supported fragment
+*Core+* (forward Core XPath plus the text predicates ``=``, ``contains``,
+``starts-with`` and ``ends-with``) is parsed, compiled into an alternating
+marking tree automaton over the first-child/next-sibling binary view, and
+evaluated either top-down (with jumping, memoisation, lazy result sets and
+early formula evaluation) or bottom-up from text matches.
+"""
+
+from repro.xpath.ast import LocationPath, Step, parse_error_hint
+from repro.xpath.engine import QueryResult, XPathEngine
+from repro.xpath.parser import XPathSyntaxError, parse_xpath
+
+__all__ = [
+    "parse_xpath",
+    "XPathSyntaxError",
+    "LocationPath",
+    "Step",
+    "XPathEngine",
+    "QueryResult",
+    "parse_error_hint",
+]

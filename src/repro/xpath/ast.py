@@ -1,0 +1,186 @@
+"""Abstract syntax tree of the XPath Core+ fragment.
+
+The grammar follows Section 5.1 of the paper:
+
+.. code-block:: text
+
+    Core     ::= LocationPath | / LocationPath
+    Location ::= Step (/ Step)*
+    Step     ::= Axis :: NodeTest | Axis :: NodeTest [ Pred ]
+    Axis     ::= descendant | child | self | attribute | following-sibling
+    NodeTest ::= * | TagName | text() | node()
+    Pred     ::= Pred and Pred | Pred or Pred | not(Pred) | Core | (Pred)
+               | Core+ = String | contains(Core+, String)
+               | starts-with(Core+, String) | ends-with(Core+, String)
+
+plus the ``PSSM(value-expr, matrix, threshold)`` extension of Section 6.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "Axis",
+    "NodeTest",
+    "NameTest",
+    "WildcardTest",
+    "TextTest",
+    "NodeTypeTest",
+    "Step",
+    "LocationPath",
+    "Predicate",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "PathExpr",
+    "TextPredicate",
+    "PssmPredicate",
+    "parse_error_hint",
+]
+
+
+class Axis(str, Enum):
+    """The forward axes supported by Core+."""
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    SELF = "self"
+    ATTRIBUTE = "attribute"
+    FOLLOWING_SIBLING = "following-sibling"
+
+
+class NodeTest:
+    """Base class for node tests."""
+
+    def describe(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class NameTest(NodeTest):
+    """Test for a specific element or attribute name."""
+
+    name: str
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class WildcardTest(NodeTest):
+    """The ``*`` test: any element (excludes text and the attribute machinery)."""
+
+    def describe(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class TextTest(NodeTest):
+    """The ``text()`` test: text nodes."""
+
+    def describe(self) -> str:
+        return "text()"
+
+
+@dataclass(frozen=True)
+class NodeTypeTest(NodeTest):
+    """The ``node()`` test: any node."""
+
+    def describe(self) -> str:
+        return "node()"
+
+
+class Predicate:
+    """Base class for filter expressions."""
+
+
+@dataclass(frozen=True)
+class AndExpr(Predicate):
+    """Conjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+
+@dataclass(frozen=True)
+class OrExpr(Predicate):
+    """Disjunction of two predicates."""
+
+    left: Predicate
+    right: Predicate
+
+
+@dataclass(frozen=True)
+class NotExpr(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+
+@dataclass(frozen=True)
+class PathExpr(Predicate):
+    """Existential test: the relative path selects at least one node."""
+
+    path: "LocationPath"
+
+
+@dataclass(frozen=True)
+class TextPredicate(Predicate):
+    """A string predicate applied to the string value of the context node.
+
+    ``kind`` is one of ``equals``, ``contains``, ``starts-with``, ``ends-with``.
+    When the predicate was written with an explicit value expression
+    (``contains(a/b, "x")``), the parser rewrites it into
+    ``a/b[contains(., "x")]`` so that every :class:`TextPredicate` applies to
+    the context node itself.
+    """
+
+    kind: str
+    pattern: str
+
+
+@dataclass(frozen=True)
+class PssmPredicate(Predicate):
+    """Position-specific scoring-matrix predicate (Section 6.7 extension)."""
+
+    matrix_name: str
+    threshold: float | None = None
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test and conjunction of predicates."""
+
+    axis: Axis
+    test: NodeTest
+    predicates: tuple[Predicate, ...] = ()
+
+    def describe(self) -> str:
+        text = f"{self.axis.value}::{self.test.describe()}"
+        for _ in self.predicates:
+            text += "[...]"
+        return text
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A (possibly absolute) sequence of steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = True
+
+    def describe(self) -> str:
+        prefix = "/" if self.absolute else ""
+        return prefix + "/".join(step.describe() for step in self.steps)
+
+    @property
+    def last_step(self) -> Step:
+        """The final step (which determines the selected nodes)."""
+        return self.steps[-1]
+
+
+def parse_error_hint(query: str, position: int) -> str:
+    """Human-readable pointer used in syntax error messages."""
+    return f"{query}\n{' ' * position}^"

@@ -1,0 +1,144 @@
+"""Alternating marking tree automata.
+
+Definition 5.1 of the paper: an automaton is a set of states with *top* states
+(required at the root), *bottom* states (satisfied at ``Nil`` leaves) and a
+transition function guarded by finite or co-finite label sets, mapping to the
+Boolean formulas of :mod:`repro.xpath.formula`.  The automaton operates over
+the first-child/next-sibling binary view of the document tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.xpath.formula import BuiltinPredicate, Formula, FormulaFactory
+
+__all__ = ["LabelGuard", "Transition", "Automaton"]
+
+
+@dataclass(frozen=True)
+class LabelGuard:
+    """A finite or co-finite set of tag identifiers guarding a transition."""
+
+    labels: frozenset[int]
+    cofinite: bool = False
+
+    @classmethod
+    def of(cls, labels: Iterable[int]) -> "LabelGuard":
+        """Finite guard: the transition fires on exactly these labels."""
+        return cls(frozenset(labels), cofinite=False)
+
+    @classmethod
+    def excluding(cls, labels: Iterable[int] = ()) -> "LabelGuard":
+        """Co-finite guard: the transition fires on every label except these."""
+        return cls(frozenset(labels), cofinite=True)
+
+    def matches(self, tag: int) -> bool:
+        """Whether the guard accepts ``tag``."""
+        if self.cofinite:
+            return tag not in self.labels
+        return tag in self.labels
+
+    def describe(self, tag_names: Sequence[str] | None = None) -> str:
+        def name(tag: int) -> str:
+            if tag_names is not None and 0 <= tag < len(tag_names):
+                return tag_names[tag]
+            return f"#{tag}"
+
+        body = ", ".join(name(t) for t in sorted(self.labels))
+        return f"L \\ {{{body}}}" if self.cofinite else f"{{{body}}}"
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One transition ``state, guard -> formula``."""
+
+    state: int
+    guard: LabelGuard
+    formula: Formula
+
+    def describe(self, tag_names: Sequence[str] | None = None) -> str:
+        return f"q{self.state}, {self.guard.describe(tag_names)} -> {self.formula.describe()}"
+
+
+@dataclass
+class Automaton:
+    """A non-deterministic alternating marking automaton."""
+
+    factory: FormulaFactory
+    num_states: int = 0
+    top_states: frozenset[int] = frozenset()
+    bottom_states: frozenset[int] = frozenset()
+    marking_states: frozenset[int] = frozenset()
+    transitions: dict[int, list[Transition]] = field(default_factory=dict)
+    predicates: list[BuiltinPredicate] = field(default_factory=list)
+    #: States whose results can ever carry marks (computed by the compiler);
+    #: used by the early-evaluation optimisation.
+    mark_carrying_states: frozenset[int] = frozenset()
+
+    # -- construction helpers (used by the compiler) --------------------------------------------
+
+    def new_state(self) -> int:
+        """Allocate a fresh state identifier."""
+        state = self.num_states
+        self.num_states += 1
+        self.transitions[state] = []
+        return state
+
+    def add_transition(self, state: int, guard: LabelGuard, formula: Formula) -> None:
+        """Register ``state, guard -> formula``."""
+        self.transitions.setdefault(state, []).append(Transition(state, guard, formula))
+
+    def register_predicate(self, kind: str, pattern: str, threshold: float | None = None) -> BuiltinPredicate:
+        """Create (or reuse) a built-in predicate and return it."""
+        for existing in self.predicates:
+            if existing.kind == kind and existing.pattern == pattern and existing.threshold == threshold:
+                return existing
+        predicate = BuiltinPredicate(len(self.predicates), kind, pattern, threshold)
+        self.predicates.append(predicate)
+        return predicate
+
+    def finalize(self, top: Iterable[int], bottom: Iterable[int], marking: Iterable[int]) -> None:
+        """Fix the state classifications and compute mark-carrying states."""
+        self.top_states = frozenset(top)
+        self.bottom_states = frozenset(bottom)
+        self.marking_states = frozenset(marking)
+        self.mark_carrying_states = self._compute_mark_carrying()
+
+    def _compute_mark_carrying(self) -> frozenset[int]:
+        carrying = set()
+        changed = True
+        while changed:
+            changed = False
+            for state, transitions in self.transitions.items():
+                if state in carrying:
+                    continue
+                for transition in transitions:
+                    formula = transition.formula
+                    if formula.has_mark or (formula.down1_states | formula.down2_states) & carrying:
+                        carrying.add(state)
+                        changed = True
+                        break
+        return frozenset(carrying)
+
+    # -- queries -----------------------------------------------------------------------------------
+
+    def transitions_for(self, state: int, tag: int) -> list[Transition]:
+        """Transitions of ``state`` applicable to a node labelled ``tag``."""
+        return [t for t in self.transitions.get(state, ()) if t.guard.matches(tag)]
+
+    def transitions_of(self, state: int) -> list[Transition]:
+        """All transitions of ``state``."""
+        return list(self.transitions.get(state, ()))
+
+    def describe(self, tag_names: Sequence[str] | None = None) -> str:
+        """Multi-line rendering of the automaton (Figure 3 style)."""
+        lines = [
+            f"states: {self.num_states}, top: {sorted(self.top_states)}, "
+            f"bottom: {sorted(self.bottom_states)}, marking: {sorted(self.marking_states)}"
+        ]
+        for state in range(self.num_states):
+            for transition in self.transitions.get(state, ()):
+                lines.append("  " + transition.describe(tag_names))
+        return "\n".join(lines)

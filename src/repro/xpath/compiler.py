@@ -1,0 +1,374 @@
+"""Compilation of XPath Core+ queries into marking tree automata.
+
+Section 5.2 of the paper: the translation is a one-pass, syntax-directed walk
+of the query -- the resulting automaton is essentially "isomorphic" to the
+query.  Each location step becomes a *spine* state that scans the appropriate
+region of the first-child/next-sibling binary view; each filter becomes a set
+of existential *filter* states; text predicates become built-in predicate
+atoms evaluated against the text index at run time.
+
+The construction rules (with ``q`` the step's state, ``L`` the step's label
+guard and ``phi`` the conjunction of mark / predicates / continuation):
+
+========================  ==================================================
+axis                      transitions of ``q``
+========================  ==================================================
+``descendant``            ``(q, L)  -> phi & v1 q & v2 q``
+                          ``(q, {@}) -> v2 q``  (attribute subtrees skipped)
+                          ``(q, L-all) -> v1 q & v2 q``
+``child``                 ``(q, L)  -> phi & v2 q`` ; ``(q, L-all) -> v2 q``
+``following-sibling``     same as ``child`` (entered through ``v2``)
+``attribute``             helper state scanning for ``@`` plus a state
+                          scanning the attribute names below it
+========================  ==================================================
+
+Filter states use the same scanning shapes but with *disjunctive* recursion
+(existential semantics) and are not bottom states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.errors import UnsupportedQueryError
+from repro.xmlmodel.model import (
+    ATTRIBUTE_VALUE_LABEL,
+    ATTRIBUTES_LABEL,
+    ROOT_LABEL,
+    TEXT_LABEL,
+)
+from repro.xpath.ast import (
+    AndExpr,
+    Axis,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    NodeTypeTest,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    Predicate,
+    PssmPredicate,
+    Step,
+    TextPredicate,
+    TextTest,
+    WildcardTest,
+)
+from repro.xpath.automaton import Automaton, LabelGuard
+from repro.xpath.formula import BuiltinPredicate, Formula, FormulaFactory
+
+__all__ = ["TagResolver", "CompiledQuery", "QueryCompiler", "compile_query"]
+
+
+class TagResolver:
+    """Maps tag names to document tag identifiers.
+
+    Names that do not occur in the document get fresh identifiers beyond the
+    real range, so their guards simply never match any node.
+    """
+
+    def __init__(self, tag_names: Sequence[str]):
+        self._ids = {name: i for i, name in enumerate(tag_names)}
+        self._num_real = len(tag_names)
+        self._missing: dict[str, int] = {}
+
+    def resolve(self, name: str) -> int:
+        """Tag identifier for ``name`` (a fresh, unmatchable id if absent)."""
+        if name in self._ids:
+            return self._ids[name]
+        if name not in self._missing:
+            self._missing[name] = self._num_real + len(self._missing)
+        return self._missing[name]
+
+    @property
+    def root(self) -> int:
+        """Identifier of the ``&`` super-root label."""
+        return self.resolve(ROOT_LABEL)
+
+    @property
+    def text(self) -> int:
+        """Identifier of the ``#`` text-leaf label."""
+        return self.resolve(TEXT_LABEL)
+
+    @property
+    def attributes(self) -> int:
+        """Identifier of the ``@`` attribute-container label."""
+        return self.resolve(ATTRIBUTES_LABEL)
+
+    @property
+    def attribute_value(self) -> int:
+        """Identifier of the ``%`` attribute-value label."""
+        return self.resolve(ATTRIBUTE_VALUE_LABEL)
+
+    def specials(self) -> frozenset[int]:
+        """The four special labels of the document model."""
+        return frozenset((self.root, self.text, self.attributes, self.attribute_value))
+
+
+@dataclass
+class CompiledQuery:
+    """A query compiled to an automaton, plus the metadata other components use."""
+
+    path: LocationPath
+    automaton: Automaton
+    resolver: TagResolver
+    #: Scanning state of every spine step (for attribute steps, the state that
+    #: tests the attribute name).
+    spine_states: list[int] = field(default_factory=list)
+    #: Built-in predicates used by the query, in registration order.
+    predicates: list[BuiltinPredicate] = field(default_factory=list)
+    #: Whether counting mode is exact for this query shape; when ``False`` the
+    #: engine falls back to materialise-and-count (see ``count_safe`` below).
+    count_safe: bool = True
+
+    @property
+    def root_state(self) -> int:
+        """The unique top state."""
+        return next(iter(self.automaton.top_states))
+
+    def describe(self, tag_names: Sequence[str] | None = None) -> str:
+        """Readable rendering of the compiled automaton."""
+        return self.automaton.describe(tag_names)
+
+
+class QueryCompiler:
+    """Compiles Core+ location paths against a fixed document label table."""
+
+    def __init__(self, tag_names: Sequence[str]):
+        self._resolver = TagResolver(tag_names)
+
+    # -- public API ------------------------------------------------------------------------------
+
+    def compile(self, path: LocationPath) -> CompiledQuery:
+        """Compile an absolute Core+ path into a marking automaton."""
+        if not path.absolute:
+            raise UnsupportedQueryError("only absolute queries can be compiled")
+        if not path.steps:
+            raise UnsupportedQueryError("the query must contain at least one location step")
+        factory = FormulaFactory()
+        automaton = Automaton(factory=factory)
+        self._automaton = automaton
+        self._factory = factory
+        self._bottom: set[int] = set()
+        self._marking: set[int] = set()
+        self._spine_states: list[int] = []
+
+        entry = self._compile_spine(list(path.steps))
+        root_state = automaton.new_state()
+        automaton.add_transition(root_state, LabelGuard.of((self._resolver.root,)), entry)
+        automaton.finalize(top=(root_state,), bottom=self._bottom, marking=self._marking)
+
+        self._spine_states.reverse()
+        return CompiledQuery(
+            path=path,
+            automaton=automaton,
+            resolver=self._resolver,
+            spine_states=self._spine_states,
+            predicates=list(automaton.predicates),
+            count_safe=count_safe(path),
+        )
+
+    # -- guards ----------------------------------------------------------------------------------------
+
+    def _guard_for_test(self, test: NodeTest) -> LabelGuard:
+        resolver = self._resolver
+        if isinstance(test, NameTest):
+            return LabelGuard.of((resolver.resolve(test.name),))
+        if isinstance(test, WildcardTest):
+            return LabelGuard.excluding(resolver.specials())
+        if isinstance(test, TextTest):
+            return LabelGuard.of((resolver.text,))
+        if isinstance(test, NodeTypeTest):
+            return LabelGuard.excluding((resolver.root, resolver.attributes, resolver.attribute_value))
+        raise UnsupportedQueryError(f"unsupported node test {test!r}")
+
+    def _complement_guard(self, guard: LabelGuard, also_excluded: frozenset[int] = frozenset()) -> LabelGuard:
+        """Guard matching every label not matched by ``guard`` nor in ``also_excluded``.
+
+        Keeping the per-state guards disjoint ensures that exactly one
+        transition fires per (state, label), which is what makes the counting
+        mode of Section 5.5.3 exact.
+        """
+        if guard.cofinite:
+            return LabelGuard.of(guard.labels - also_excluded)
+        return LabelGuard.excluding(guard.labels | also_excluded)
+
+    # -- spine compilation -------------------------------------------------------------------------------
+
+    def _compile_spine(self, steps: list[Step]) -> Formula:
+        """Compile the steps back to front; return the entry atom for the root."""
+        continuation: Formula | None = None
+        for index in range(len(steps) - 1, -1, -1):
+            continuation = self._compile_step(
+                steps[index],
+                is_last=index == len(steps) - 1,
+                continuation=continuation,
+                next_axis=steps[index + 1].axis if index + 1 < len(steps) else None,
+            )
+        assert continuation is not None
+        return continuation
+
+    def _compile_step(
+        self, step: Step, is_last: bool, continuation: Formula | None, next_axis: Axis | None = None
+    ) -> Formula:
+        factory = self._factory
+        automaton = self._automaton
+        at_id = self._resolver.attributes
+        pred_formula = factory.conjunction(self._compile_predicate(p) for p in step.predicates)
+        payload = factory.true()
+        if is_last:
+            payload = factory.and_(payload, factory.mark())
+        payload = factory.and_(payload, pred_formula)
+        if continuation is not None:
+            payload = factory.and_(payload, continuation)
+        guard = self._guard_for_test(step.test)
+
+        if step.axis is Axis.ATTRIBUTE:
+            attr_state = automaton.new_state()
+            at_state = automaton.new_state()
+            match = factory.and_(factory.opt(payload), factory.down(2, attr_state))
+            automaton.add_transition(attr_state, guard, match)
+            automaton.add_transition(attr_state, self._complement_guard(guard), factory.down(2, attr_state))
+            automaton.add_transition(
+                at_state,
+                LabelGuard.of((at_id,)),
+                factory.and_(factory.down(1, attr_state), factory.down(2, at_state)),
+            )
+            automaton.add_transition(at_state, LabelGuard.excluding((at_id,)), factory.down(2, at_state))
+            self._bottom.update((attr_state, at_state))
+            if is_last:
+                self._marking.add(attr_state)
+            self._spine_states.append(attr_state)
+            return factory.down(1, at_state)
+
+        if step.axis in (Axis.CHILD, Axis.FOLLOWING_SIBLING):
+            state = automaton.new_state()
+            match = factory.and_(factory.opt(payload), factory.down(2, state))
+            automaton.add_transition(state, guard, match)
+            automaton.add_transition(state, self._complement_guard(guard), factory.down(2, state))
+            self._bottom.add(state)
+            if is_last:
+                self._marking.add(state)
+            self._spine_states.append(state)
+            direction = 1 if step.axis is Axis.CHILD else 2
+            return factory.down(direction, state)
+
+        if step.axis is Axis.DESCENDANT:
+            state = automaton.new_state()
+            loop = factory.and_(factory.down(1, state), factory.down(2, state))
+            if not is_last and next_axis is Axis.DESCENDANT:
+                # The continuation's descendant scan already covers every match
+                # reachable through deeper occurrences of this step, so the
+                # recursion below the match can be dropped (prioritised choice
+                # keeps counting exact and set semantics unchanged).
+                match = factory.orelse(
+                    factory.and_(payload, factory.down(2, state)),
+                    loop,
+                )
+            else:
+                match = factory.and_(factory.opt(payload), loop)
+            automaton.add_transition(state, guard, match)
+            automaton.add_transition(state, LabelGuard.of((at_id,)), factory.down(2, state))
+            automaton.add_transition(state, self._complement_guard(guard, frozenset((at_id,))), loop)
+            self._bottom.add(state)
+            if is_last:
+                self._marking.add(state)
+            self._spine_states.append(state)
+            return factory.down(1, state)
+
+        raise UnsupportedQueryError(f"axis {step.axis.value} is not supported in this position")
+
+    # -- predicate compilation ----------------------------------------------------------------------------
+
+    def _compile_predicate(self, predicate: Predicate) -> Formula:
+        factory = self._factory
+        if isinstance(predicate, AndExpr):
+            return factory.and_(self._compile_predicate(predicate.left), self._compile_predicate(predicate.right))
+        if isinstance(predicate, OrExpr):
+            return factory.or_(self._compile_predicate(predicate.left), self._compile_predicate(predicate.right))
+        if isinstance(predicate, NotExpr):
+            return factory.not_(self._compile_predicate(predicate.operand))
+        if isinstance(predicate, TextPredicate):
+            builtin = self._automaton.register_predicate(predicate.kind, predicate.pattern)
+            return factory.predicate(builtin)
+        if isinstance(predicate, PssmPredicate):
+            builtin = self._automaton.register_predicate("pssm", predicate.matrix_name, predicate.threshold)
+            return factory.predicate(builtin)
+        if isinstance(predicate, PathExpr):
+            if not predicate.path.steps:
+                return factory.true()
+            return self._compile_filter_path(list(predicate.path.steps), 0)
+        raise UnsupportedQueryError(f"unsupported predicate {predicate!r}")
+
+    def _compile_filter_path(self, steps: list[Step], index: int) -> Formula:
+        factory = self._factory
+        automaton = self._automaton
+        at_id = self._resolver.attributes
+        step = steps[index]
+        nested = factory.conjunction(self._compile_predicate(p) for p in step.predicates)
+        continuation = self._compile_filter_path(steps, index + 1) if index + 1 < len(steps) else factory.true()
+        success = factory.and_(nested, continuation)
+        guard = self._guard_for_test(step.test)
+
+        if step.axis is Axis.ATTRIBUTE:
+            attr_state = automaton.new_state()
+            at_state = automaton.new_state()
+            scan = factory.down(2, attr_state)
+            automaton.add_transition(attr_state, guard, factory.or_(success, scan))
+            automaton.add_transition(attr_state, self._complement_guard(guard), scan)
+            automaton.add_transition(at_state, LabelGuard.of((at_id,)), factory.down(1, attr_state))
+            automaton.add_transition(at_state, LabelGuard.excluding((at_id,)), factory.down(2, at_state))
+            return factory.down(1, at_state)
+
+        if step.axis in (Axis.CHILD, Axis.FOLLOWING_SIBLING):
+            state = automaton.new_state()
+            scan = factory.down(2, state)
+            automaton.add_transition(state, guard, factory.or_(success, scan))
+            automaton.add_transition(state, self._complement_guard(guard), scan)
+            direction = 1 if step.axis is Axis.CHILD else 2
+            return factory.down(direction, state)
+
+        if step.axis is Axis.DESCENDANT:
+            state = automaton.new_state()
+            scan = factory.or_(factory.down(1, state), factory.down(2, state))
+            automaton.add_transition(state, guard, factory.or_(success, scan))
+            automaton.add_transition(state, LabelGuard.of((at_id,)), factory.down(2, state))
+            automaton.add_transition(state, self._complement_guard(guard, frozenset((at_id,))), scan)
+            return factory.down(1, state)
+
+        if step.axis is Axis.SELF:
+            # self::node() filters are normalised away by the parser; an
+            # explicit self test inside a filter is outside Core+.
+            if isinstance(step.test, NodeTypeTest) and not step.predicates:
+                return success
+            raise UnsupportedQueryError("self:: steps with node tests inside filters are not supported")
+
+        raise UnsupportedQueryError(f"axis {step.axis.value} is not supported inside filters")
+
+
+def count_safe(path: LocationPath) -> bool:
+    """Whether counting mode is exact for this query shape.
+
+    The counting mode adds mark counts instead of materialising sets.  This is
+    exact as long as the marks reached through different conjuncts of one
+    formula are disjoint.  The only shape where they can overlap is a
+    ``descendant`` step whose continuation is neither the last step nor another
+    ``descendant`` step (for example ``//a/b//c`` with nested ``a`` elements):
+    for those the engine counts by materialising (and de-duplicating) instead.
+    """
+    steps = path.steps
+    for index in range(len(steps) - 1):
+        if steps[index].axis is Axis.DESCENDANT:
+            following = steps[index + 1]
+            if following.axis is Axis.DESCENDANT:
+                continue
+            if index + 1 == len(steps) - 1:
+                continue
+            return False
+    return True
+
+
+def compile_query(path: LocationPath, tag_names: Sequence[str]) -> CompiledQuery:
+    """Convenience wrapper: compile ``path`` against a document label table."""
+    return QueryCompiler(tag_names).compile(path)

@@ -1,0 +1,153 @@
+"""The XPath engine facade: parse, plan, compile, evaluate, serialise.
+
+This is the component a :class:`~repro.core.document.Document` delegates its
+query methods to.  Each evaluation goes through the pipeline of the paper:
+
+1. parse the query into the Core+ AST;
+2. plan the strategy (top-down automaton run versus bottom-up from text
+   matches, FM-index versus plain text);
+3. compile the query to a marking tree automaton (cached per query string);
+4. run the evaluator in counting or materialisation mode;
+5. optionally serialise the selected subtrees back to XML.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.options import EvaluationOptions
+from repro.xpath.bottomup import BottomUpEvaluator
+from repro.xpath.compiler import CompiledQuery, QueryCompiler
+from repro.xpath.evaluator import TopDownEvaluator
+from repro.xpath.parser import parse_xpath
+from repro.xpath.planner import QueryPlan, QueryPlanner
+from repro.xpath.runtime import EvaluationStatistics, TextPredicateRuntime
+
+__all__ = ["QueryResult", "XPathEngine"]
+
+
+@dataclass
+class QueryResult:
+    """The outcome of one query evaluation."""
+
+    query: str
+    count: int
+    nodes: list[int] | None = None
+    plan: QueryPlan | None = None
+    statistics: EvaluationStatistics = field(default_factory=EvaluationStatistics)
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __iter__(self):
+        return iter(self.nodes or ())
+
+
+class XPathEngine:
+    """Evaluates Core+ queries over one indexed document."""
+
+    def __init__(self, document):
+        self._document = document
+        self._compiled: dict[str, CompiledQuery] = {}
+        self._parsed: dict[str, object] = {}
+        self._compiler = QueryCompiler(document.tree.tag_names())
+
+    # -- compilation -------------------------------------------------------------------------------------
+
+    def parse(self, query: str):
+        """Parse ``query`` (cached)."""
+        ast = self._parsed.get(query)
+        if ast is None:
+            ast = parse_xpath(query)
+            self._parsed[query] = ast
+        return ast
+
+    def compile(self, query: str) -> CompiledQuery:
+        """Compile ``query`` to its marking automaton (cached)."""
+        compiled = self._compiled.get(query)
+        if compiled is None:
+            compiled = self._compiler.compile(self.parse(query))
+            self._compiled[query] = compiled
+        return compiled
+
+    def explain(self, query: str, options: EvaluationOptions | None = None) -> str:
+        """Describe the compiled automaton and the chosen strategy."""
+        options = options or EvaluationOptions()
+        compiled = self.compile(query)
+        stats = EvaluationStatistics()
+        runtime = TextPredicateRuntime(self._document, stats)
+        plan = QueryPlanner(self._document, runtime).plan(self.parse(query), options.allow_bottom_up)
+        lines = [f"query: {query}", f"strategy: {plan.describe()}"]
+        lines.extend(f"  note: {reason}" for reason in plan.reasons)
+        lines.append(compiled.describe(self._document.tree.tag_names()))
+        return "\n".join(lines)
+
+    # -- evaluation --------------------------------------------------------------------------------------------
+
+    def _execute(self, query: str, options: EvaluationOptions, want_nodes: bool) -> QueryResult:
+        started = time.perf_counter()
+        stats = EvaluationStatistics()
+        runtime = TextPredicateRuntime(self._document, stats)
+        ast = self.parse(query)
+        planner = QueryPlanner(self._document, runtime)
+        plan = planner.plan(ast, allow_bottom_up=options.allow_bottom_up)
+
+        if plan.strategy == "bottom-up":
+            evaluator = BottomUpEvaluator(
+                document=self._document,
+                path=ast,
+                anchor=plan.anchor_predicates,
+                predicate_runtime=runtime,
+                stats=stats,
+            )
+            nodes = evaluator.run()
+            count = len(nodes)
+            result_nodes = nodes if want_nodes else None
+        else:
+            compiled = self.compile(query)
+            use_counting_mode = not want_nodes and compiled.count_safe
+            run_options = options.replace(counting=True) if use_counting_mode else options.replace(counting=False)
+            evaluator = TopDownEvaluator(
+                self._document,
+                compiled,
+                options=run_options,
+                predicate_runtime=runtime,
+                stats=stats,
+            )
+            if use_counting_mode:
+                count = evaluator.count()
+                result_nodes = None
+            else:
+                nodes = evaluator.materialize()
+                count = len(nodes)
+                result_nodes = nodes if want_nodes else None
+        stats.result_nodes = count
+        elapsed = time.perf_counter() - started
+        return QueryResult(
+            query=query,
+            count=count,
+            nodes=result_nodes,
+            plan=plan,
+            statistics=stats,
+            elapsed_seconds=elapsed,
+        )
+
+    def count(self, query: str, options: EvaluationOptions | None = None) -> int:
+        """Number of nodes selected by ``query`` (counting mode)."""
+        return self._execute(query, options or EvaluationOptions(), want_nodes=False).count
+
+    def materialize(self, query: str, options: EvaluationOptions | None = None) -> list[int]:
+        """The selected nodes, in document order."""
+        result = self._execute(query, options or EvaluationOptions(), want_nodes=True)
+        return result.nodes or []
+
+    def evaluate(self, query: str, options: EvaluationOptions | None = None, want_nodes: bool = True) -> QueryResult:
+        """Full evaluation returning the result object (nodes, plan, statistics)."""
+        return self._execute(query, options or EvaluationOptions(), want_nodes=want_nodes)
+
+    def serialize(self, query: str, options: EvaluationOptions | None = None) -> list[str]:
+        """Evaluate and serialise each selected node back to XML text."""
+        nodes = self.materialize(query, options)
+        return [self._document.serialize_node(node) for node in nodes]

@@ -1,0 +1,238 @@
+"""Boolean formulas over automaton states, with hash consing.
+
+Section 5.3 (Definition 5.1) of the paper: transitions of the alternating
+marking automaton map a state and a label set to a Boolean formula built from
+
+``true``, ``false``, ``mark``, conjunction, disjunction, negation, the atoms
+``DOWN1 q`` / ``DOWN2 q`` (an accepting run exists from state ``q`` on the
+first child / next sibling) and built-in predicates (the text predicates and
+the PSSM extension).
+
+Section 5.5.1: all these values are *hash consed* -- structurally equal
+formulas share one object and carry a small integer identifier, so equality
+checks are pointer comparisons and memoisation tables can be indexed by id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["Formula", "FormulaFactory", "BuiltinPredicate"]
+
+# Formula kinds.
+TRUE = "true"
+FALSE = "false"
+MARK = "mark"
+PRED = "pred"
+AND = "and"
+OR = "or"
+NOT = "not"
+DOWN1 = "down1"
+DOWN2 = "down2"
+#: ``OPT f`` ("try"): always true; contributes ``f``'s marks when ``f`` holds.
+#: Used by spine states so a node failing its predicate still lets the scan
+#: continue, without duplicating the recursion in a second transition.
+OPT = "opt"
+#: ``ORELSE(f, g)``: prioritised choice -- ``f``'s value and marks when ``f``
+#: holds, otherwise ``g``'s.  Used when ``f``'s marks are known to subsume
+#: ``g``'s, so counting stays exact while set semantics is preserved.
+ORELSE = "orelse"
+
+
+@dataclass(frozen=True)
+class BuiltinPredicate:
+    """A built-in predicate evaluated against the current tree node.
+
+    ``kind`` is one of ``equals``, ``contains``, ``starts-with``, ``ends-with``
+    or ``pssm``; ``pattern`` holds the search string (or the PSSM matrix name);
+    ``threshold`` is only used by PSSM predicates.  Each predicate used by a
+    query receives a unique ``pid``.
+    """
+
+    pid: int
+    kind: str
+    pattern: str
+    threshold: float | None = None
+
+    def describe(self) -> str:
+        if self.kind == "pssm":
+            return f"PSSM(., {self.pattern})"
+        return f"{self.kind}(., {self.pattern!r})"
+
+
+class Formula:
+    """A hash-consed Boolean formula node.
+
+    Instances must be created through a :class:`FormulaFactory`, which
+    guarantees that structurally equal formulas are the same object.
+    """
+
+    __slots__ = ("kind", "left", "right", "state", "predicate", "fid", "down1_states", "down2_states", "has_mark", "has_pred")
+
+    def __init__(
+        self,
+        kind: str,
+        fid: int,
+        left: "Formula | None" = None,
+        right: "Formula | None" = None,
+        state: int | None = None,
+        predicate: BuiltinPredicate | None = None,
+    ):
+        self.kind = kind
+        self.fid = fid
+        self.left = left
+        self.right = right
+        self.state = state
+        self.predicate = predicate
+        down1: frozenset[int] = frozenset()
+        down2: frozenset[int] = frozenset()
+        has_mark = kind == MARK
+        has_pred = kind == PRED
+        if kind == DOWN1:
+            down1 = frozenset((state,))
+        elif kind == DOWN2:
+            down2 = frozenset((state,))
+        for child in (left, right):
+            if child is not None:
+                down1 |= child.down1_states
+                down2 |= child.down2_states
+                has_mark = has_mark or child.has_mark
+                has_pred = has_pred or child.has_pred
+        self.down1_states = down1
+        self.down2_states = down2
+        self.has_mark = has_mark
+        self.has_pred = has_pred
+
+    # Hash consing makes identity equality sufficient.
+    def __hash__(self) -> int:
+        return self.fid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Formula<{self.describe()}>"
+
+    def describe(self) -> str:
+        """Human-readable rendering (used in tests and `explain` output)."""
+        if self.kind == TRUE:
+            return "T"
+        if self.kind == FALSE:
+            return "F"
+        if self.kind == MARK:
+            return "mark"
+        if self.kind == PRED:
+            return self.predicate.describe()
+        if self.kind == DOWN1:
+            return f"v1 q{self.state}"
+        if self.kind == DOWN2:
+            return f"v2 q{self.state}"
+        if self.kind == NOT:
+            return f"~({self.left.describe()})"
+        if self.kind == OPT:
+            return f"try({self.left.describe()})"
+        if self.kind == ORELSE:
+            return f"({self.left.describe()} ?: {self.right.describe()})"
+        op = " & " if self.kind == AND else " | "
+        return f"({self.left.describe()}{op}{self.right.describe()})"
+
+
+@dataclass
+class FormulaFactory:
+    """Interning factory for formulas (the hash-consing table)."""
+
+    _table: dict[tuple, Formula] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def _intern(self, key: tuple, builder) -> Formula:
+        existing = self._table.get(key)
+        if existing is not None:
+            return existing
+        formula = builder(self._next_id)
+        self._next_id += 1
+        self._table[key] = formula
+        return formula
+
+    # -- leaves -------------------------------------------------------------------------------
+
+    def true(self) -> Formula:
+        """The constant true formula."""
+        return self._intern((TRUE,), lambda fid: Formula(TRUE, fid))
+
+    def false(self) -> Formula:
+        """The constant false formula."""
+        return self._intern((FALSE,), lambda fid: Formula(FALSE, fid))
+
+    def mark(self) -> Formula:
+        """The marking atom: evaluates to true and marks the current node."""
+        return self._intern((MARK,), lambda fid: Formula(MARK, fid))
+
+    def predicate(self, pred: BuiltinPredicate) -> Formula:
+        """A built-in predicate atom."""
+        return self._intern((PRED, pred.pid), lambda fid: Formula(PRED, fid, predicate=pred))
+
+    def down(self, direction: int, state: int) -> Formula:
+        """The atom ``DOWN{direction} state`` (direction 1 = first child, 2 = next sibling)."""
+        kind = DOWN1 if direction == 1 else DOWN2
+        return self._intern((kind, state), lambda fid: Formula(kind, fid, state=state))
+
+    # -- connectives --------------------------------------------------------------------------------
+
+    def and_(self, left: Formula, right: Formula) -> Formula:
+        """Conjunction, with constant folding."""
+        if left.kind == TRUE:
+            return right
+        if right.kind == TRUE:
+            return left
+        if left.kind == FALSE or right.kind == FALSE:
+            return self.false()
+        return self._intern((AND, left.fid, right.fid), lambda fid: Formula(AND, fid, left, right))
+
+    def or_(self, left: Formula, right: Formula) -> Formula:
+        """Disjunction, with constant folding."""
+        if left.kind == FALSE:
+            return right
+        if right.kind == FALSE:
+            return left
+        if left.kind == TRUE or right.kind == TRUE:
+            return self.true()
+        return self._intern((OR, left.fid, right.fid), lambda fid: Formula(OR, fid, left, right))
+
+    def not_(self, operand: Formula) -> Formula:
+        """Negation, with constant folding."""
+        if operand.kind == TRUE:
+            return self.false()
+        if operand.kind == FALSE:
+            return self.true()
+        return self._intern((NOT, operand.fid), lambda fid: Formula(NOT, fid, operand))
+
+    def opt(self, operand: Formula) -> Formula:
+        """Optional ("try") combinator: always true, keeps marks when the operand holds."""
+        if operand.kind in (TRUE, FALSE):
+            return self.true()
+        return self._intern((OPT, operand.fid), lambda fid: Formula(OPT, fid, operand))
+
+    def orelse(self, preferred: Formula, fallback: Formula) -> Formula:
+        """Prioritised choice: the preferred branch when it holds, the fallback otherwise."""
+        if preferred.kind == FALSE:
+            return fallback
+        if fallback.kind == FALSE:
+            return preferred
+        return self._intern(
+            (ORELSE, preferred.fid, fallback.fid), lambda fid: Formula(ORELSE, fid, preferred, fallback)
+        )
+
+    def conjunction(self, formulas: Iterable[Formula]) -> Formula:
+        """Conjunction of arbitrarily many formulas."""
+        result = self.true()
+        for formula in formulas:
+            result = self.and_(result, formula)
+        return result
+
+    def disjunction(self, formulas: Iterable[Formula]) -> Formula:
+        """Disjunction of arbitrarily many formulas."""
+        result = self.false()
+        for formula in formulas:
+            result = self.or_(result, formula)
+        return result

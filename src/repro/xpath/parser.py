@@ -1,0 +1,404 @@
+"""Parser for the XPath Core+ fragment.
+
+Accepts both the explicit syntax used in the paper's examples
+(``/descendant::listitem/child::keyword``) and the abbreviated syntax used by
+the benchmark query sets (``//listitem//keyword``, ``.//emph``, ``@id``,
+``profile/gender``, ``contains(., "x")``, ``not(...)``), and produces the AST
+of :mod:`repro.xpath.ast`.
+
+The abbreviations are normalised during parsing:
+
+* ``//`` becomes a ``descendant`` axis on the following step,
+* a bare name becomes a ``child`` step, ``@name`` an ``attribute`` step,
+* ``.`` becomes a ``self::node()`` step (dropped when it is a no-op),
+* ``contains(expr, "s")`` with ``expr != .`` is rewritten into
+  ``expr[contains(., "s")]`` (and likewise for the other string predicates and
+  for ``expr = "s"``), so every text predicate ends up applying to the string
+  value of its context node.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.xpath.ast import (
+    AndExpr,
+    Axis,
+    LocationPath,
+    NameTest,
+    NodeTest,
+    NodeTypeTest,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    Predicate,
+    PssmPredicate,
+    Step,
+    TextPredicate,
+    TextTest,
+    WildcardTest,
+)
+
+__all__ = ["parse_xpath", "XPathSyntaxError"]
+
+
+class XPathSyntaxError(ValueError):
+    """Raised when a query is not in the supported Core+ fragment."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<DSLASH>//)
+  | (?P<SLASH>/)
+  | (?P<DCOLON>::)
+  | (?P<LBRACKET>\[) | (?P<RBRACKET>\])
+  | (?P<LPAREN>\() | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<EQ>=)
+  | (?P<STAR>\*)
+  | (?P<AT>@)
+  | (?P<DOT>\.)
+  | (?P<STRING>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<NUMBER>\d+(?:\.\d+)?)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_.\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_AXIS_NAMES = {
+    "child": Axis.CHILD,
+    "descendant": Axis.DESCENDANT,
+    "self": Axis.SELF,
+    "attribute": Axis.ATTRIBUTE,
+    "following-sibling": Axis.FOLLOWING_SIBLING,
+}
+
+_TEXT_FUNCTIONS = {"contains": "contains", "starts-with": "starts-with", "ends-with": "ends-with"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    value: str
+    position: int
+
+
+def _tokenize(query: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(query):
+        match = _TOKEN_RE.match(query, position)
+        if not match:
+            raise XPathSyntaxError(f"unexpected character {query[position]!r} at offset {position} in {query!r}")
+        kind = match.lastgroup or ""
+        value = match.group(0)
+        position = match.end()
+        if kind == "WS":
+            continue
+        if kind == "NAME" and value == "following" and query[position : position + 9] == "-sibling:":
+            # 'following-sibling' contains a '-', which the NAME pattern
+            # already consumes; nothing special to do, kept for clarity.
+            pass
+        tokens.append(_Token(kind, value, match.start()))
+    return tokens
+
+
+def _decode_string(raw: str) -> str:
+    body = raw[1:-1]
+    return (
+        body.replace("\\n", "\n")
+        .replace("\\t", "\t")
+        .replace('\\"', '"')
+        .replace("\\'", "'")
+        .replace("\\\\", "\\")
+    )
+
+
+class _Parser:
+    def __init__(self, query: str):
+        self._query = query
+        self._tokens = _tokenize(query)
+        self._index = 0
+
+    # -- token helpers --------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token | None:
+        index = self._index + offset
+        return self._tokens[index] if index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of query: {self._query!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise XPathSyntaxError(
+                f"expected {kind} but found {token.value!r} at offset {token.position} in {self._query!r}"
+            )
+        return token
+
+    def _accept(self, kind: str) -> _Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    def _at_kind(self, kind: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token is not None and token.kind == kind
+
+    # -- entry point -------------------------------------------------------------------------
+
+    def parse(self) -> LocationPath:
+        if not self._tokens:
+            raise XPathSyntaxError("empty query")
+        path = self._parse_path(require_absolute=True)
+        if self._peek() is not None:
+            token = self._peek()
+            raise XPathSyntaxError(
+                f"unexpected trailing {token.value!r} at offset {token.position} in {self._query!r}"
+            )
+        return path
+
+    # -- paths ------------------------------------------------------------------------------------
+
+    def _parse_path(self, require_absolute: bool) -> LocationPath:
+        steps: list[Step] = []
+        absolute = False
+        pending_descendant = False
+        if self._at_kind("DSLASH"):
+            self._next()
+            absolute = True
+            pending_descendant = True
+        elif self._at_kind("SLASH"):
+            self._next()
+            absolute = True
+        elif require_absolute:
+            raise XPathSyntaxError(f"query must be absolute (start with / or //): {self._query!r}")
+
+        while True:
+            step = self._parse_step(force_descendant=pending_descendant)
+            pending_descendant = False
+            if step is not None:
+                steps.append(step)
+            if self._at_kind("DSLASH"):
+                self._next()
+                pending_descendant = True
+                continue
+            if self._at_kind("SLASH"):
+                self._next()
+                continue
+            break
+        steps = self._normalize_steps(steps)
+        if absolute and not steps:
+            raise XPathSyntaxError(f"absolute query selects nothing: {self._query!r}")
+        return LocationPath(tuple(steps), absolute=absolute)
+
+    def _normalize_steps(self, steps: list[Step]) -> list[Step]:
+        normalized: list[Step] = []
+        for step in steps:
+            is_trivial_self = (
+                step.axis is Axis.SELF and isinstance(step.test, NodeTypeTest) and not step.predicates
+            )
+            if is_trivial_self and normalized:
+                continue
+            if (
+                step.axis is Axis.SELF
+                and isinstance(step.test, NodeTypeTest)
+                and step.predicates
+                and normalized
+            ):
+                previous = normalized.pop()
+                normalized.append(
+                    Step(previous.axis, previous.test, previous.predicates + step.predicates)
+                )
+                continue
+            normalized.append(step)
+        # A leading trivial self step on a relative path (the bare '.') is kept
+        # so that predicates like [.] still parse; drop it if more steps follow.
+        if len(normalized) > 1 and normalized[0].axis is Axis.SELF and not normalized[0].predicates:
+            normalized = normalized[1:]
+        return normalized
+
+    def _parse_step(self, force_descendant: bool) -> Step | None:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError(f"missing location step at end of {self._query!r}")
+
+        axis: Axis | None = None
+        if token.kind == "NAME" and token.value in _AXIS_NAMES and self._at_kind("DCOLON", 1):
+            axis = _AXIS_NAMES[self._next().value]
+            self._expect("DCOLON")
+        elif token.kind == "AT":
+            self._next()
+            axis = Axis.ATTRIBUTE
+
+        test = self._parse_node_test()
+        if axis is None:
+            axis = Axis.SELF if isinstance(test, _SelfDot) else Axis.CHILD
+        if isinstance(test, _SelfDot):
+            test = NodeTypeTest()
+        if force_descendant:
+            if axis in (Axis.CHILD, Axis.DESCENDANT):
+                axis = Axis.DESCENDANT
+            elif axis is Axis.SELF:
+                axis = Axis.DESCENDANT
+            else:
+                raise XPathSyntaxError(f"'//' followed by axis {axis.value} is not supported: {self._query!r}")
+
+        predicates: list[Predicate] = []
+        while self._at_kind("LBRACKET"):
+            self._next()
+            predicates.append(self._parse_or_expr())
+            self._expect("RBRACKET")
+        return Step(axis, test, tuple(predicates))
+
+    def _parse_node_test(self) -> NodeTest | "_SelfDot":
+        token = self._next()
+        if token.kind == "STAR":
+            return WildcardTest()
+        if token.kind == "DOT":
+            return _SelfDot()
+        if token.kind == "NAME":
+            if token.value in ("text", "node") and self._at_kind("LPAREN") and self._at_kind("RPAREN", 1):
+                self._next()
+                self._next()
+                return TextTest() if token.value == "text" else NodeTypeTest()
+            return NameTest(token.value)
+        raise XPathSyntaxError(
+            f"expected a node test but found {token.value!r} at offset {token.position} in {self._query!r}"
+        )
+
+    # -- predicates ------------------------------------------------------------------------------------
+
+    def _parse_or_expr(self) -> Predicate:
+        left = self._parse_and_expr()
+        while self._at_kind("NAME") and self._peek().value == "or":
+            self._next()
+            left = OrExpr(left, self._parse_and_expr())
+        return left
+
+    def _parse_and_expr(self) -> Predicate:
+        left = self._parse_unary_expr()
+        while self._at_kind("NAME") and self._peek().value == "and":
+            self._next()
+            left = AndExpr(left, self._parse_unary_expr())
+        return left
+
+    def _parse_unary_expr(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise XPathSyntaxError(f"unexpected end of predicate in {self._query!r}")
+        if token.kind == "NAME" and token.value == "not" and self._at_kind("LPAREN", 1):
+            self._next()
+            self._next()
+            inner = self._parse_or_expr()
+            self._expect("RPAREN")
+            return NotExpr(inner)
+        if token.kind == "LPAREN":
+            self._next()
+            inner = self._parse_or_expr()
+            self._expect("RPAREN")
+            return inner
+        if token.kind == "NAME" and token.value in _TEXT_FUNCTIONS and self._at_kind("LPAREN", 1):
+            return self._parse_text_function(_TEXT_FUNCTIONS[token.value])
+        if token.kind == "NAME" and token.value.upper() == "PSSM" and self._at_kind("LPAREN", 1):
+            return self._parse_pssm()
+        return self._parse_path_comparison()
+
+    def _parse_text_function(self, kind: str) -> Predicate:
+        self._next()  # function name
+        self._expect("LPAREN")
+        value_path = self._parse_relative_path_in_predicate()
+        self._expect("COMMA")
+        pattern = _decode_string(self._expect("STRING").value)
+        self._expect("RPAREN")
+        return _attach_text_predicate(value_path, TextPredicate(kind, pattern))
+
+    def _parse_pssm(self) -> Predicate:
+        self._next()  # PSSM
+        self._expect("LPAREN")
+        value_path = self._parse_relative_path_in_predicate()
+        self._expect("COMMA")
+        name_token = self._next()
+        if name_token.kind not in ("NAME", "STRING"):
+            raise XPathSyntaxError(f"PSSM matrix name expected at offset {name_token.position}")
+        matrix_name = name_token.value if name_token.kind == "NAME" else _decode_string(name_token.value)
+        threshold = None
+        if self._accept("COMMA"):
+            threshold = float(self._expect("NUMBER").value)
+        self._expect("RPAREN")
+        return _attach_text_predicate(value_path, PssmPredicate(matrix_name, threshold))
+
+    def _parse_path_comparison(self) -> Predicate:
+        path = self._parse_relative_path_in_predicate()
+        if self._accept("EQ"):
+            pattern = _decode_string(self._expect("STRING").value)
+            return _attach_text_predicate(path, TextPredicate("equals", pattern))
+        if not path.steps:
+            raise XPathSyntaxError(f"'.' alone is not a valid predicate in {self._query!r}")
+        return PathExpr(path)
+
+    def _parse_relative_path_in_predicate(self) -> LocationPath:
+        steps: list[Step] = []
+        pending_descendant = False
+        if self._at_kind("DSLASH"):
+            # A predicate path may not be absolute in Core+; treat '//x' as './/x'.
+            self._next()
+            pending_descendant = True
+        while True:
+            step = self._parse_step(force_descendant=pending_descendant)
+            pending_descendant = False
+            if step is not None:
+                steps.append(step)
+            if self._at_kind("DSLASH"):
+                self._next()
+                pending_descendant = True
+                continue
+            if self._at_kind("SLASH"):
+                self._next()
+                continue
+            break
+        steps = self._normalize_steps(steps)
+        return LocationPath(tuple(steps), absolute=False)
+
+
+class _SelfDot:
+    """Marker returned by the node-test parser when it sees '.'."""
+
+
+def _attach_text_predicate(path: LocationPath, predicate: Predicate) -> Predicate:
+    """Rewrite ``f(path, "s")`` into ``path[f(., "s")]`` (or keep it on '.')."""
+    if not path.steps:
+        return predicate
+    if (
+        len(path.steps) == 1
+        and path.steps[0].axis is Axis.SELF
+        and isinstance(path.steps[0].test, NodeTypeTest)
+        and not path.steps[0].predicates
+    ):
+        # The value expression is '.' (or self::node()): the predicate applies
+        # directly to the context node.
+        return predicate
+    last = path.steps[-1]
+    new_last = Step(last.axis, last.test, last.predicates + (predicate,))
+    return PathExpr(LocationPath(path.steps[:-1] + (new_last,), absolute=False))
+
+
+def parse_xpath(query: str) -> LocationPath:
+    """Parse an XPath Core+ query into its AST.
+
+    Raises
+    ------
+    XPathSyntaxError
+        If the query is malformed or uses unsupported features (backward axes,
+        arithmetic, positional predicates, joins, ...).
+    """
+    return _Parser(query).parse()

@@ -1,0 +1,153 @@
+"""Tests for formulas, automata and the XPath-to-automaton compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnsupportedQueryError
+from repro.xpath.automaton import Automaton, LabelGuard
+from repro.xpath.compiler import QueryCompiler, TagResolver, count_safe
+from repro.xpath.formula import BuiltinPredicate, FormulaFactory
+from repro.xpath.parser import parse_xpath
+
+TAGS = ["&", "#", "@", "%", "site", "listitem", "keyword", "emph", "person", "id"]
+
+
+def compile_query(query: str):
+    return QueryCompiler(TAGS).compile(parse_xpath(query))
+
+
+class TestFormulaFactory:
+    def test_hash_consing(self):
+        factory = FormulaFactory()
+        a = factory.and_(factory.down(1, 3), factory.down(2, 3))
+        b = factory.and_(factory.down(1, 3), factory.down(2, 3))
+        assert a is b
+
+    def test_constant_folding(self):
+        factory = FormulaFactory()
+        down = factory.down(1, 0)
+        assert factory.and_(factory.true(), down) is down
+        assert factory.and_(down, factory.false()).kind == "false"
+        assert factory.or_(factory.false(), down) is down
+        assert factory.or_(down, factory.true()).kind == "true"
+        assert factory.not_(factory.true()).kind == "false"
+        assert factory.opt(factory.false()).kind == "true"
+        assert factory.orelse(factory.false(), down) is down
+
+    def test_down_state_tracking(self):
+        factory = FormulaFactory()
+        formula = factory.and_(factory.down(1, 1), factory.and_(factory.down(2, 2), factory.mark()))
+        assert formula.down1_states == frozenset({1})
+        assert formula.down2_states == frozenset({2})
+        assert formula.has_mark
+
+    def test_describe(self):
+        factory = FormulaFactory()
+        predicate = BuiltinPredicate(0, "contains", "x")
+        formula = factory.or_(factory.predicate(predicate), factory.not_(factory.down(1, 2)))
+        text = formula.describe()
+        assert "contains" in text and "~" in text and "v1 q2" in text
+
+
+class TestLabelGuard:
+    def test_finite(self):
+        guard = LabelGuard.of((1, 2))
+        assert guard.matches(1) and not guard.matches(3)
+
+    def test_cofinite(self):
+        guard = LabelGuard.excluding((1,))
+        assert guard.matches(0) and guard.matches(99) and not guard.matches(1)
+
+    def test_describe_with_names(self):
+        assert "site" in LabelGuard.of((4,)).describe(TAGS)
+        assert "L \\" in LabelGuard.excluding((0,)).describe(TAGS)
+
+
+class TestAutomatonStructure:
+    def test_states_and_classification(self):
+        compiled = compile_query("//listitem//keyword")
+        automaton = compiled.automaton
+        assert automaton.num_states == 3  # two spine states + root state
+        assert len(automaton.top_states) == 1
+        assert len(automaton.marking_states) == 1
+        # The root state is not a bottom state; the spine states are.
+        assert automaton.top_states.isdisjoint(automaton.bottom_states)
+        assert compiled.spine_states[-1] in automaton.marking_states
+
+    def test_transitions_for_dispatch(self):
+        compiled = compile_query("//keyword")
+        automaton = compiled.automaton
+        keyword = compiled.resolver.resolve("keyword")
+        state = compiled.spine_states[0]
+        matching = automaton.transitions_for(state, keyword)
+        assert len(matching) == 1
+        assert matching[0].formula.has_mark
+        other = automaton.transitions_for(state, compiled.resolver.resolve("emph"))
+        assert len(other) == 1 and not other[0].formula.has_mark
+
+    def test_missing_tag_gets_fresh_identifier(self):
+        resolver = TagResolver(TAGS)
+        fresh = resolver.resolve("doesnotexist")
+        assert fresh >= len(TAGS)
+        assert resolver.resolve("doesnotexist") == fresh
+        assert resolver.resolve("other") != fresh
+
+    def test_mark_carrying_states(self):
+        compiled = compile_query("//listitem[.//emph]//keyword")
+        automaton = compiled.automaton
+        # Spine states carry marks, the filter state for .//emph does not.
+        carrying = automaton.mark_carrying_states
+        assert set(compiled.spine_states) <= carrying
+        assert len(carrying) < automaton.num_states
+
+    def test_predicate_registration_deduplicates(self):
+        factory_automaton = Automaton(factory=FormulaFactory())
+        first = factory_automaton.register_predicate("contains", "x")
+        second = factory_automaton.register_predicate("contains", "x")
+        third = factory_automaton.register_predicate("contains", "y")
+        assert first is second and third is not first
+
+    def test_describe_contains_transitions(self):
+        compiled = compile_query("//keyword")
+        text = compiled.describe(TAGS)
+        assert "keyword" in text and "mark" in text
+
+    def test_text_predicates_registered(self):
+        compiled = compile_query('//keyword[contains(., "red") or starts-with(., "b")]')
+        kinds = sorted(p.kind for p in compiled.predicates)
+        assert kinds == ["contains", "starts-with"]
+
+    def test_attribute_axis_produces_helper_state(self):
+        compiled = compile_query("/descendant::person/attribute::id")
+        assert compiled.automaton.num_states == 4  # person + @-scan + attribute + root
+
+
+class TestCompilerErrors:
+    def test_relative_query_rejected(self):
+        compiler = QueryCompiler(TAGS)
+        with pytest.raises(UnsupportedQueryError):
+            compiler.compile(parse_xpath("//a").__class__(steps=parse_xpath("//a").steps, absolute=False))
+
+    def test_self_name_test_in_filter_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            compile_query("//a[self::b]")
+
+
+class TestCountSafety:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ("//a", True),
+            ("//a//b", True),
+            ("//a//b//c", True),
+            ("//a/b", True),
+            ("/a/b/c", True),
+            ("//a/b//c", False),
+            ("//a/b/c", False),
+            ("//*//*", True),
+            ("//a[x]/b", True),
+        ],
+    )
+    def test_count_safe_shapes(self, query, expected):
+        assert count_safe(parse_xpath(query)) is expected

@@ -1,0 +1,140 @@
+"""Tests for the balanced-parentheses structure (range-min-max navigation)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree import BalancedParentheses
+
+
+def random_tree_parens(rng: random.Random, num_nodes: int) -> str:
+    """Generate the parentheses string of a random tree with ``num_nodes`` nodes."""
+
+    def subtree(nodes: int) -> str:
+        if nodes == 1:
+            return "()"
+        remaining = nodes - 1
+        parts = []
+        while remaining:
+            take = rng.randint(1, remaining)
+            parts.append(subtree(take))
+            remaining -= take
+        return "(" + "".join(parts) + ")"
+
+    return subtree(num_nodes)
+
+
+def naive_matches(parens: str) -> dict[int, int]:
+    stack, matches = [], {}
+    for i, c in enumerate(parens):
+        if c == "(":
+            stack.append(i)
+        else:
+            matches[stack.pop()] = i
+    return matches
+
+
+def naive_enclose(parens: str, i: int) -> int:
+    matches = naive_matches(parens)
+    best = -1
+    for open_pos, close_pos in matches.items():
+        if open_pos < i and close_pos > matches.get(i, i):
+            if open_pos > best:
+                best = open_pos
+    return best
+
+
+class TestValidation:
+    def test_rejects_unbalanced(self):
+        with pytest.raises(ValueError):
+            BalancedParentheses("(()")
+        with pytest.raises(ValueError):
+            BalancedParentheses("(()))(")
+
+    def test_accepts_empty(self):
+        assert len(BalancedParentheses("")) == 0
+
+    def test_str_roundtrip(self):
+        assert str(BalancedParentheses("(()())")) == "(()())"
+
+
+class TestSmallExamples:
+    PARENS = "((()())(()))"
+
+    @pytest.fixture(scope="class")
+    def bp(self):
+        return BalancedParentheses(self.PARENS)
+
+    def test_is_open(self, bp):
+        assert bp.is_open(0)
+        assert not bp.is_open(len(self.PARENS) - 1)
+
+    def test_excess(self, bp):
+        excess = 0
+        for i, c in enumerate(self.PARENS):
+            excess += 1 if c == "(" else -1
+            assert bp.excess(i) == excess
+
+    def test_find_close_matches_naive(self, bp):
+        for open_pos, close_pos in naive_matches(self.PARENS).items():
+            assert bp.find_close(open_pos) == close_pos
+
+    def test_find_open_matches_naive(self, bp):
+        for open_pos, close_pos in naive_matches(self.PARENS).items():
+            assert bp.find_open(close_pos) == open_pos
+
+    def test_enclose(self, bp):
+        assert bp.enclose(0) == -1
+        assert bp.enclose(1) == 0
+        assert bp.enclose(2) == 1
+        assert bp.enclose(4) == 1
+        assert bp.enclose(7) == 0
+        assert bp.enclose(8) == 7
+
+    def test_rank_select_open(self, bp):
+        opens = [i for i, c in enumerate(self.PARENS) if c == "("]
+        for j, position in enumerate(opens, start=1):
+            assert bp.select_open(j) == position
+            assert bp.rank_open(position) == j - 1
+
+    def test_wrong_parenthesis_kind_raises(self, bp):
+        with pytest.raises(ValueError):
+            bp.find_close(len(self.PARENS) - 1)
+        with pytest.raises(ValueError):
+            bp.find_open(0)
+        with pytest.raises(ValueError):
+            bp.enclose(len(self.PARENS) - 1)
+
+
+class TestLargeAndRandom:
+    def test_deep_tree_crosses_many_blocks(self):
+        # A path of 5000 nodes: find_close of the root must search far ahead.
+        parens = "(" * 5000 + ")" * 5000
+        bp = BalancedParentheses(parens)
+        assert bp.find_close(0) == len(parens) - 1
+        assert bp.find_close(4999) == 5000
+        assert bp.enclose(4999) == 4998
+
+    def test_wide_tree(self):
+        parens = "(" + "()" * 3000 + ")"
+        bp = BalancedParentheses(parens)
+        assert bp.find_close(0) == len(parens) - 1
+        assert bp.enclose(5999) == 0
+
+    @given(st.integers(min_value=1, max_value=120), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_trees_match_naive(self, num_nodes, seed):
+        rng = random.Random(seed)
+        parens = random_tree_parens(rng, num_nodes)
+        bp = BalancedParentheses(parens)
+        matches = naive_matches(parens)
+        for open_pos, close_pos in matches.items():
+            assert bp.find_close(open_pos) == close_pos
+            assert bp.find_open(close_pos) == open_pos
+        probe = rng.sample(sorted(matches), min(10, len(matches)))
+        for open_pos in probe:
+            assert bp.enclose(open_pos) == naive_enclose(parens, open_pos)

@@ -1,0 +1,141 @@
+"""Tests for the baseline engines and the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document
+from repro.baseline import DomEngine, StreamingEngine, build_dom
+from repro.core.errors import UnsupportedQueryError
+from repro.workloads import (
+    FM_PATTERNS,
+    MEDLINE_QUERIES,
+    WIKI_QUERIES,
+    XMARK_QUERIES,
+    generate_bio_xml,
+    generate_medline_xml,
+    generate_treebank_xml,
+    generate_wiki_xml,
+    generate_xmark_xml,
+    jaspar_like_matrices,
+)
+from repro.workloads.medline import PLANTED_PHRASES
+from repro.xmlmodel import build_model
+
+
+class TestDomEngine:
+    def test_build_dom_structure(self, paper_example_model):
+        root = build_dom(paper_example_model)
+        assert root.label == "&"
+        parts = root.children[0]
+        assert parts.label == "parts"
+        assert [c.label for c in parts.children] == ["part", "part"]
+        assert root.string_value() == "penblue40Soon discontinued.rubber30"
+
+    def test_counts_match_succinct_engine(self, small_site_document, small_site_model):
+        dom = DomEngine(small_site_model)
+        for query in ("//keyword", "//person[phone or homepage]/name", "/site/regions/*/item"):
+            assert dom.count(query) == small_site_document.count(query)
+
+    def test_attributes(self, small_site_model):
+        dom = DomEngine(small_site_model)
+        assert dom.count("//person[@id]") == 3
+        assert dom.count('//person[@id = "p1"]') == 1
+
+    def test_serialize(self, small_site_model):
+        dom = DomEngine(small_site_model)
+        assert dom.serialize("//keyword")[0] == "<keyword>red</keyword>"
+
+    def test_pssm_unsupported(self, small_site_model):
+        dom = DomEngine(small_site_model)
+        with pytest.raises(UnsupportedQueryError):
+            dom.count("//keyword[PSSM(., M1)]")
+
+
+class TestStreamingEngine:
+    def test_counts_match_indexed_engine(self, xmark_xml, xmark_document):
+        stream = StreamingEngine(xmark_xml)
+        for name in ("X01", "X02", "X03", "X04", "X14"):
+            query = XMARK_QUERIES[name]
+            assert stream.count(query) == xmark_document.count(query), name
+
+    def test_text_node_steps(self, small_site_document):
+        xml_count = StreamingEngine(
+            "<a><b>x</b><b>y</b><c/></a>"
+        ).count("//b/text()")
+        assert xml_count == 2
+
+    def test_rejects_predicates(self):
+        with pytest.raises(UnsupportedQueryError):
+            StreamingEngine("<a/>").count("//a[b]")
+
+    def test_rejects_attribute_axis(self):
+        with pytest.raises(UnsupportedQueryError):
+            StreamingEngine("<a/>").count("//a/@id")
+
+
+class TestWorkloadGenerators:
+    def test_generators_are_deterministic(self):
+        assert generate_xmark_xml(scale=0.1, seed=7) == generate_xmark_xml(scale=0.1, seed=7)
+        assert generate_medline_xml(num_citations=5, seed=1) == generate_medline_xml(num_citations=5, seed=1)
+        assert generate_treebank_xml(num_sentences=5, seed=1) == generate_treebank_xml(num_sentences=5, seed=1)
+
+    def test_generators_produce_wellformed_xml(self, xmark_xml, medline_xml, treebank_xml, wiki_xml, bio_xml):
+        for xml in (xmark_xml, medline_xml, treebank_xml, wiki_xml, bio_xml):
+            model = build_model(xml)
+            assert model.num_nodes > 10
+
+    def test_xmark_vocabulary_supports_queries(self, xmark_document):
+        counts = xmark_document.tag_counts()
+        for tag in ("site", "regions", "item", "listitem", "keyword", "person", "closed_auction", "parlist"):
+            assert counts.get(tag, 0) > 0, tag
+        # listitem must be recursive (nested below itself), as in real XMark.
+        listitem = xmark_document.tree.tag_id("listitem")
+        assert Document  # keep import referenced
+        from repro.tree import TagPositionTables
+
+        assert TagPositionTables(xmark_document.tree).is_recursive(listitem)
+
+    def test_xmark_scaling(self):
+        small = generate_xmark_xml(scale=0.1, seed=2)
+        large = generate_xmark_xml(scale=0.4, seed=2)
+        assert len(large) > 2 * len(small)
+
+    def test_medline_planted_phrases_present(self, medline_document):
+        collection = medline_document.text_collection
+        found = sum(1 for phrase, _ in PLANTED_PHRASES if collection.contains_exists(phrase))
+        assert found >= len(PLANTED_PHRASES) // 2
+
+    def test_medline_queries_have_results(self, medline_document):
+        total = sum(medline_document.count(MEDLINE_QUERIES[name]) for name in ("M02", "M03", "M05", "M08"))
+        assert total > 0
+
+    def test_fm_patterns_have_spread(self, medline_document):
+        counts = [medline_document.text_collection.global_count(p) for p in FM_PATTERNS]
+        assert counts[-1] > 100  # the space character is extremely frequent
+        assert min(counts) < 10
+
+    def test_treebank_is_deep_and_recursive(self, treebank_document):
+        from repro.tree import TagPositionTables
+
+        np_tag = treebank_document.tree.tag_id("NP")
+        assert TagPositionTables(treebank_document.tree).is_recursive(np_tag)
+        assert treebank_document.count("//NP") > 20
+
+    def test_wiki_planted_phrases(self, wiki_xml):
+        doc = Document.from_string(wiki_xml)
+        assert doc.count(WIKI_QUERIES["W07"]) >= 0
+        assert doc.count("//page") == 60
+
+    def test_bio_document_matches_dtd(self, bio_xml):
+        doc = Document.from_string(bio_xml)
+        assert doc.count("/chromosome/gene") == 8
+        assert doc.count("//gene/promoter") == 8
+        assert doc.count("//transcript/exon/sequence") > 0
+        # Transcripts repeat exon sequences: the text is highly repetitive.
+
+    def test_jaspar_like_matrices(self):
+        matrices = jaspar_like_matrices()
+        assert sorted(matrices) == ["M1", "M2", "M3"]
+        assert matrices["M1"].length == 8
+        assert matrices["M3"].length == 14

@@ -1,0 +1,136 @@
+"""Unit and property tests for the plain bit vector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import BitVector
+
+
+def naive_rank(bits: list[int], value: int, i: int) -> int:
+    return sum(1 for b in bits[:i] if bool(b) == bool(value))
+
+
+class TestBasics:
+    def test_empty_vector(self):
+        bv = BitVector([])
+        assert len(bv) == 0
+        assert bv.count_ones == 0
+        assert bv.rank1(0) == 0
+        assert bv.rank1(10) == 0
+
+    def test_single_bits(self):
+        assert BitVector([1])[0] == 1
+        assert BitVector([0])[0] == 0
+
+    def test_length_and_counts(self):
+        bv = BitVector([1, 0, 1, 1, 0])
+        assert len(bv) == 5
+        assert bv.count_ones == 3
+        assert bv.count_zeros == 2
+
+    def test_getitem_and_negative_index(self):
+        bv = BitVector([1, 0, 1])
+        assert bv[0] == 1
+        assert bv[1] == 0
+        assert bv[-1] == 1
+
+    def test_getitem_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(IndexError):
+            bv[2]
+
+    def test_from_positions(self):
+        bv = BitVector.from_positions([0, 3, 7], 8)
+        assert [bv[i] for i in range(8)] == [1, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_to_numpy_roundtrip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1] * 23
+        assert BitVector(bits).to_numpy().tolist() == [bool(b) for b in bits]
+
+    def test_equality_and_hash(self):
+        a = BitVector([1, 0, 1])
+        b = BitVector(np.array([True, False, True]))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitVector([1, 0, 0])
+
+    def test_size_in_bits_reasonable(self):
+        bv = BitVector([1] * 1000)
+        # Bitmap plus the rank directory: well under 4 bits of overhead per bit here.
+        assert bv.size_in_bits() < 1000 * 4
+
+
+class TestRankSelect:
+    def test_rank_across_word_boundaries(self):
+        bits = [i % 3 == 0 for i in range(200)]
+        bv = BitVector(bits)
+        for i in range(0, 201, 7):
+            assert bv.rank1(i) == naive_rank(bits, 1, i)
+            assert bv.rank0(i) == naive_rank(bits, 0, i)
+
+    def test_rank_clamps_out_of_range(self):
+        bv = BitVector([1, 1, 0])
+        assert bv.rank1(100) == 2
+        assert bv.rank1(-5) == 0
+        assert bv.rank0(100) == 1
+
+    def test_select_matches_positions(self):
+        bits = [1, 0, 0, 1, 1, 0, 1]
+        bv = BitVector(bits)
+        ones = [i for i, b in enumerate(bits) if b]
+        for j, position in enumerate(ones, start=1):
+            assert bv.select1(j) == position
+        zeros = [i for i, b in enumerate(bits) if not b]
+        for j, position in enumerate(zeros, start=1):
+            assert bv.select0(j) == position
+
+    def test_select_out_of_range(self):
+        bv = BitVector([1, 0])
+        with pytest.raises(ValueError):
+            bv.select1(2)
+        with pytest.raises(ValueError):
+            bv.select0(2)
+
+    def test_generic_rank_select(self):
+        bv = BitVector([0, 1, 1, 0])
+        assert bv.rank(1, 3) == 2
+        assert bv.rank(0, 3) == 1
+        assert bv.select(1, 1) == 1
+        assert bv.select(0, 2) == 3
+
+    def test_next_and_prev_one(self):
+        bv = BitVector([0, 1, 0, 0, 1, 0])
+        assert bv.next_one(0) == 1
+        assert bv.next_one(2) == 4
+        assert bv.next_one(5) == -1
+        assert bv.prev_one(5) == 4
+        assert bv.prev_one(0) == -1
+        assert bv.prev_one(1) == 1
+
+
+class TestProperties:
+    @given(st.lists(st.booleans(), max_size=600))
+    @settings(max_examples=60, deadline=None)
+    def test_rank_matches_naive(self, bits):
+        bv = BitVector(bits)
+        for i in range(0, len(bits) + 1, max(1, len(bits) // 17)):
+            assert bv.rank1(i) == naive_rank(bits, 1, i)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=600))
+    @settings(max_examples=60, deadline=None)
+    def test_select_is_inverse_of_rank(self, bits):
+        bv = BitVector(bits)
+        for j in range(1, bv.count_ones + 1):
+            position = bv.select1(j)
+            assert bits[position]
+            assert bv.rank1(position) == j - 1
+
+    @given(st.lists(st.booleans(), max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_totals(self, bits):
+        bv = BitVector(bits)
+        assert bv.rank1(len(bits)) + bv.rank0(len(bits)) == len(bits)

@@ -1,0 +1,99 @@
+"""Cross-validation: the succinct automaton engine versus the independent DOM engine.
+
+Every published query set is evaluated by both engines over the synthetic
+workloads; results must agree node-by-node (the DOM engine numbers nodes by
+preorder, exactly like the succinct tree).  This is the strongest correctness
+evidence in the suite: the two implementations share no evaluation code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EvaluationOptions
+from repro.workloads import MEDLINE_QUERIES, TREEBANK_QUERIES, XMARK_QUERIES
+
+
+def preorders(document, query, options=None):
+    return [document.tree.preorder(node) for node in document.query(query, options)]
+
+
+class TestXMarkQueries:
+    @pytest.mark.parametrize("name", sorted(XMARK_QUERIES))
+    def test_counts_and_nodes_match_dom(self, name, xmark_document, xmark_dom):
+        query = XMARK_QUERIES[name]
+        assert preorders(xmark_document, query) == xmark_dom.preorders(query)
+
+    @pytest.mark.parametrize("name", sorted(XMARK_QUERIES))
+    def test_counting_mode_matches_materialisation(self, name, xmark_document, xmark_dom):
+        query = XMARK_QUERIES[name]
+        assert xmark_document.count(query) == xmark_dom.count(query)
+
+
+class TestTreebankQueries:
+    @pytest.mark.parametrize("name", sorted(TREEBANK_QUERIES))
+    def test_matches_dom(self, name, treebank_document, treebank_dom):
+        query = TREEBANK_QUERIES[name]
+        assert preorders(treebank_document, query) == treebank_dom.preorders(query)
+        assert treebank_document.count(query) == treebank_dom.count(query)
+
+
+class TestMedlineQueries:
+    @pytest.mark.parametrize("name", sorted(set(MEDLINE_QUERIES) - {"M11"}))
+    def test_matches_dom(self, name, medline_document, medline_dom):
+        query = MEDLINE_QUERIES[name]
+        assert preorders(medline_document, query) == medline_dom.preorders(query)
+
+    def test_m11_newline_query_runs(self, medline_document, medline_dom):
+        # M11 probes a string with newlines that the synthetic corpus does not
+        # contain; both engines must simply agree (typically on zero results).
+        query = MEDLINE_QUERIES["M11"]
+        assert preorders(medline_document, query) == medline_dom.preorders(query)
+
+
+class TestOptimizationEquivalence:
+    """Figure 12's ablation must not change results, only running time."""
+
+    CONFIGURATIONS = {
+        "naive": EvaluationOptions.naive(),
+        "jumping-only": EvaluationOptions.naive().replace(jumping=True, use_tag_tables=True),
+        "caching-only": EvaluationOptions.naive().replace(memoization=True),
+        "no-lazy": EvaluationOptions().replace(lazy_result_sets=False),
+        "no-early": EvaluationOptions().replace(early_evaluation=False),
+        "all": EvaluationOptions(),
+    }
+
+    @pytest.mark.parametrize("name", ["X02", "X04", "X06", "X10", "X12", "X13", "X15"])
+    def test_xmark_results_equal_across_configurations(self, name, xmark_document, xmark_dom):
+        query = XMARK_QUERIES[name]
+        expected = xmark_dom.preorders(query)
+        for label, options in self.CONFIGURATIONS.items():
+            got = preorders(xmark_document, query, options)
+            assert got == expected, f"configuration {label} changed the result of {name}"
+
+    @pytest.mark.parametrize("name", ["M02", "M05", "M09"])
+    def test_bottom_up_equals_top_down(self, name, medline_document, medline_dom):
+        query = MEDLINE_QUERIES[name]
+        top_down = preorders(medline_document, query, EvaluationOptions(allow_bottom_up=False))
+        default = preorders(medline_document, query)
+        assert top_down == default == medline_dom.preorders(query)
+
+
+class TestStatisticsSanity:
+    def test_visited_nodes_bounded_by_document(self, xmark_document):
+        result = xmark_document.evaluate(XMARK_QUERIES["X04"])
+        stats = result.statistics
+        assert 0 < stats.visited_nodes <= xmark_document.num_nodes
+        assert stats.results == stats.result_nodes if hasattr(stats, "results") else True
+        assert stats.result_nodes == result.count
+
+    def test_jumping_visits_fewer_nodes(self, xmark_document):
+        query = XMARK_QUERIES["X04"]
+        with_jumping = xmark_document.evaluate(query, EvaluationOptions())
+        without = xmark_document.evaluate(query, EvaluationOptions.naive())
+        assert with_jumping.count == without.count
+        assert with_jumping.statistics.visited_nodes <= without.statistics.visited_nodes
+
+    def test_selective_query_visits_small_fraction(self, xmark_document):
+        result = xmark_document.evaluate(XMARK_QUERIES["X03"], EvaluationOptions())
+        assert result.statistics.visited_nodes < xmark_document.num_nodes / 2

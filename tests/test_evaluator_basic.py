@@ -1,0 +1,173 @@
+"""Hand-checked evaluation results on small documents (all axes and predicates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, EvaluationOptions
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return Document.from_string(
+        """
+        <library>
+          <shelf id="s1" floor="2">
+            <book year="1999"><title>Compressed Indexes</title><author>Navarro</author>
+              <chapter><title>Rank and Select</title><note>succinct</note></chapter>
+              <chapter><title>Wavelet Trees</title></chapter>
+            </book>
+            <book year="2005"><title>Tree Automata</title><author>Maneth</author></book>
+          </shelf>
+          <shelf id="s2">
+            <book year="2010"><title>XPath Evaluation</title><author>Nguyen</author>
+              <chapter><title>Jumping</title><note>fast</note></chapter>
+            </book>
+            <magazine><title>SPE</title></magazine>
+          </shelf>
+        </library>
+        """
+    )
+
+
+class TestAxes:
+    def test_child_chain(self, doc):
+        assert doc.count("/library/shelf/book") == 3
+        assert doc.count("/library/shelf/book/title") == 3
+        assert doc.count("/library/book") == 0
+
+    def test_descendant(self, doc):
+        assert doc.count("//title") == 7
+        assert doc.count("//chapter//title") == 3
+        assert doc.count("//book//title") == 6
+
+    def test_wildcard(self, doc):
+        assert doc.count("/library/*") == 2
+        assert doc.count("/library/shelf/*") == 4
+        assert doc.count("//shelf//*") == 19
+
+    def test_text_nodes(self, doc):
+        assert doc.count("//title/text()") == 7
+        assert doc.count("//note/text()") == 2
+        assert doc.count("/descendant::text()") == 12
+
+    def test_attribute_axis(self, doc):
+        assert doc.count("//shelf/attribute::id") == 2
+        assert doc.count("//book/@year") == 3
+        assert doc.count("//shelf/@floor") == 1
+        assert doc.count("/descendant::*/attribute::*") == 6
+
+    def test_following_sibling(self, doc):
+        assert doc.count("//book/following-sibling::book") == 1
+        assert doc.count("//book/following-sibling::magazine") == 1
+        assert doc.count("//chapter/following-sibling::chapter") == 1
+
+    def test_node_test(self, doc):
+        assert doc.count("/library/shelf/node()") == 4
+
+
+class TestPredicates:
+    def test_existence_filters(self, doc):
+        assert doc.count("//book[chapter]") == 2
+        assert doc.count("//book[chapter/note]") == 2
+        assert doc.count("//book[.//note]") == 2
+        assert doc.count("//shelf[magazine]") == 1
+
+    def test_boolean_combinations(self, doc):
+        assert doc.count("//book[chapter and author]") == 2
+        assert doc.count("//book[chapter or magazine]") == 2
+        assert doc.count("//book[not(chapter)]") == 1
+        assert doc.count("//shelf[book and not(magazine)]") == 1
+
+    def test_attribute_filters(self, doc):
+        assert doc.count("//book[@year]") == 3
+        assert doc.count('//book[@year = "2005"]') == 1
+        assert doc.count("//shelf[@floor]/book") == 2
+
+    def test_text_predicates(self, doc):
+        assert doc.count('//title[contains(., "Tree")]') == 2
+        assert doc.count('//book[contains(.//title, "Wavelet")]') == 1
+        assert doc.count('//author[starts-with(., "N")]') == 2
+        assert doc.count('//title[ends-with(., "Indexes")]') == 1
+        assert doc.count('//note[. = "fast"]') == 1
+        assert doc.count('//book[.//note[. = "fast"]]/author') == 1
+
+    def test_mixed_content_string_value(self, doc):
+        mixed = Document.from_string("<a>01<b>23</b>45</a>")
+        assert mixed.count('/a[contains(., "1234")]') == 1
+        assert mixed.count('/a[contains(., "135")]') == 0
+
+    def test_predicate_on_intermediate_step(self, doc):
+        assert doc.count("/library/shelf[@id]/book/title") == 3
+        assert doc.count('/library/shelf[@id = "s2"]/book/title') == 1
+
+    def test_nested_filters(self, doc):
+        assert doc.count("//shelf[book[chapter[note]]]") == 2
+        assert doc.count("//shelf[book[not(chapter)]]") == 1
+
+
+class TestResultIdentity:
+    def test_nodes_are_tree_handles(self, doc):
+        nodes = doc.query("//book")
+        assert len(nodes) == 3
+        for node in nodes:
+            assert doc.tree.tag_name_of(node) == "book"
+
+    def test_document_order(self, doc):
+        nodes = doc.query("//title")
+        assert nodes == sorted(nodes)
+
+    def test_serialize_results(self, doc):
+        assert doc.serialize("//note") == ["<note>succinct</note>", "<note>fast</note>"]
+
+    def test_count_equals_materialisation(self, doc):
+        for query in ("//title", "//book[chapter]", "//shelf//*", "//book/@year"):
+            assert doc.count(query) == len(doc.query(query))
+
+    def test_evaluate_result_object(self, doc):
+        result = doc.evaluate("//book[chapter]")
+        assert result.count == 2
+        assert result.plan is not None
+        assert result.statistics.visited_nodes > 0
+        assert result.elapsed_seconds >= 0
+        assert list(result) == result.nodes
+
+
+class TestEmptyAndEdgeCases:
+    def test_no_matches(self, doc):
+        assert doc.count("//nonexistent") == 0
+        assert doc.query("//book[xyz]") == []
+        assert doc.serialize("//nonexistent") == []
+
+    def test_root_only_queries(self, doc):
+        assert doc.count("/library") == 1
+        assert doc.count("/*") == 1
+
+    def test_empty_elements(self):
+        empty = Document.from_string("<a><b/><b/></a>")
+        assert empty.count("//b") == 2
+        assert empty.count("//b[c]") == 0
+        assert empty.count('//b[contains(., "x")]') == 0
+        assert empty.count('//a[contains(., "")]') == 1
+
+    def test_deep_document_no_recursion_error(self):
+        depth = 4000
+        xml = "".join(f"<n{'>' }" for _ in range(depth)) + "x" + "".join("</n>" for _ in range(depth))
+        deep = Document.from_string(xml)
+        assert deep.count("//n") == depth
+        assert deep.count("//n[not(n)]") == 1
+
+    def test_wide_document(self):
+        wide = Document.from_string("<a>" + "<b/>" * 3000 + "</a>")
+        assert wide.count("//b") == 3000
+        assert wide.count("/a/b") == 3000
+
+
+class TestOptionsBehaviour:
+    def test_counting_option_direct(self, doc):
+        options = EvaluationOptions(counting=True)
+        assert doc.count("//title", options) == 7
+
+    def test_explain_output(self, doc):
+        text = doc.explain('//book[contains(.//title, "Tree")]')
+        assert "strategy" in text and "q0" in text

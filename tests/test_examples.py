@@ -1,0 +1,50 @@
+"""The example scripts must run end to end (small parameters)."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [name, *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    run_example("quickstart.py", [])
+    output = capsys.readouterr().out
+    assert "count //book" in output
+    assert "strategy:" in output
+
+
+def test_xmark_example(capsys):
+    run_example("xmark_auction_queries.py", ["0.1"])
+    output = capsys.readouterr().out
+    assert "X01" in output and "X17" in output
+
+
+def test_medline_example(capsys):
+    run_example("medline_text_search.py", ["40"])
+    output = capsys.readouterr().out
+    assert "M01" in output and "M11" in output
+
+
+def test_bio_example(capsys):
+    run_example("bio_sequence_queries.py", ["5"])
+    output = capsys.readouterr().out
+    assert "PSSM" in output
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "xmark_auction_queries.py", "medline_text_search.py", "bio_sequence_queries.py"])
+def test_examples_exist(script):
+    assert (EXAMPLES / script).exists()

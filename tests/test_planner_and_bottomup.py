@@ -1,0 +1,122 @@
+"""Tests for the strategy planner and the bottom-up evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document, EvaluationOptions
+from repro.workloads import MEDLINE_QUERIES, MEDLINE_STRATEGY
+from repro.xpath.planner import QueryPlanner
+from repro.xpath.runtime import EvaluationStatistics, TextPredicateRuntime
+
+
+@pytest.fixture(scope="module")
+def articles():
+    return Document.from_string(
+        """
+        <db>
+          <article><title>Compressed Indexes</title><abstract>succinct structures for text search</abstract>
+            <author><last>Navarro</last></author></article>
+          <article><title>Streaming XPath</title><abstract>evaluation of xpath over streams</abstract>
+            <author><last>Olteanu</last></author></article>
+          <article><title>Tree Automata</title><abstract>marking automata for xpath evaluation</abstract>
+            <author><last>Maneth</last></author></article>
+          <article><title>Mixed</title><abstract>plain abstract text</abstract>
+            <summary>one <b>two</b> three</summary>
+            <author><last>Nobody</last></author></article>
+        </db>
+        """
+    )
+
+
+def plan_for(document, query, allow_bottom_up=True):
+    stats = EvaluationStatistics()
+    runtime = TextPredicateRuntime(document, stats)
+    planner = QueryPlanner(document, runtime)
+    return planner.plan(document.engine.parse(query), allow_bottom_up=allow_bottom_up)
+
+
+class TestPlanner:
+    def test_tree_only_query_is_top_down(self, articles):
+        plan = plan_for(articles, "//article[author]")
+        assert plan.strategy == "top-down"
+        assert not plan.uses_fm_index
+
+    def test_selective_text_predicate_goes_bottom_up(self, articles):
+        plan = plan_for(articles, '//article[ .//abstract[ contains(., "streams") ] ]')
+        assert plan.strategy == "bottom-up"
+        assert plan.uses_fm_index
+        assert plan.seed_estimate == 1
+
+    def test_bottom_up_disabled_by_option(self, articles):
+        plan = plan_for(articles, '//article[ .//abstract[ contains(., "streams") ] ]', allow_bottom_up=False)
+        assert plan.strategy == "top-down"
+
+    def test_intermediate_predicate_prevents_bottom_up(self, articles):
+        plan = plan_for(articles, '//article[author]/abstract[contains(., "xpath")]')
+        assert plan.strategy == "top-down"
+
+    def test_or_of_text_predicates_is_anchored(self, articles):
+        plan = plan_for(articles, '//abstract[ contains(., "streams") or contains(., "succinct") ]')
+        assert plan.strategy == "bottom-up"
+        assert plan.seed_estimate == 2
+
+    def test_mixed_content_forces_naive(self, articles):
+        plan = plan_for(articles, '//summary[ contains(., "one two") ]')
+        assert plan.strategy == "top-down"
+        assert plan.uses_naive_text
+
+    def test_describe(self, articles):
+        plan = plan_for(articles, '//abstract[ contains(., "streams") ]')
+        assert "bottom-up" in plan.describe()
+
+    def test_unselective_predicate_stays_top_down(self, articles):
+        # "xpath" appears in as many abstracts as there are candidate articles.
+        plan = plan_for(articles, '//abstract[ contains(., "a") ]')
+        assert plan.strategy == "top-down"
+
+
+class TestBottomUpResults:
+    @pytest.mark.parametrize(
+        "query,expected",
+        [
+            ('//article[ .//abstract[ contains(., "xpath") ] ]/title', 2),
+            ('//abstract[ contains(., "succinct") ]', 1),
+            ('//article[ .//last[ starts-with(., "M") ] ]', 1),
+            ('//article[ .//abstract[ ends-with(., "search") ] ]', 1),
+            ('//last[ . = "Navarro" ]', 1),
+        ],
+    )
+    def test_counts(self, articles, query, expected):
+        assert articles.count(query) == expected
+        top_down = articles.count(query, EvaluationOptions(allow_bottom_up=False))
+        assert top_down == expected
+
+    def test_bottom_up_strategy_recorded(self, articles):
+        result = articles.evaluate('//abstract[ contains(., "streams") ]')
+        assert result.plan.strategy == "bottom-up"
+        assert result.statistics.strategy == "bottom-up"
+
+    def test_child_spine_verification(self, articles):
+        # The spine uses child steps; the upward verification must enforce them.
+        assert articles.count('/db/article/abstract[contains(., "streams")]') == 1
+        assert articles.count('/db/wrong/abstract[contains(., "streams")]') == 0
+
+
+class TestPaperStrategyAnnotations:
+    """Figure 14 annotates each Medline query with its expected strategy."""
+
+    @pytest.mark.parametrize("name", sorted(MEDLINE_STRATEGY))
+    def test_strategy_annotation(self, name, medline_document):
+        query = MEDLINE_QUERIES[name]
+        expected_strategy, expected_text = MEDLINE_STRATEGY[name]
+        result = medline_document.evaluate(query, want_nodes=False)
+        if expected_strategy == "bottom-up":
+            # The planner may still fall back to top-down when the synthetic
+            # corpus makes the predicate unselective; it must never do the
+            # opposite (bottom-up where the paper says it is impossible).
+            assert result.plan.strategy in ("bottom-up", "top-down")
+        else:
+            assert result.plan.strategy == "top-down"
+        if expected_text == "naive":
+            assert result.plan.uses_naive_text or not result.plan.uses_fm_index

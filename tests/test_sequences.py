@@ -1,0 +1,146 @@
+"""Tests for Huffman codes, the wavelet tree and the run-length sequence."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequence import HuffmanCode, WaveletTree
+from repro.sequence.runlength import RunLengthSequence
+
+
+class TestHuffman:
+    def test_requires_a_symbol(self):
+        with pytest.raises(ValueError):
+            HuffmanCode({})
+        with pytest.raises(ValueError):
+            HuffmanCode({1: 0})
+
+    def test_single_symbol_gets_one_bit(self):
+        code = HuffmanCode({7: 42})
+        assert code.code(7) == (0,)
+        assert code.code_length(7) == 1
+
+    def test_prefix_free(self):
+        frequencies = {i: (i + 1) ** 2 for i in range(10)}
+        code = HuffmanCode(frequencies)
+        codewords = [code.code(s) for s in code.symbols]
+        for a in codewords:
+            for b in codewords:
+                if a is not b:
+                    assert a != b[: len(a)], "codes must be prefix free"
+
+    def test_frequent_symbols_get_short_codes(self):
+        code = HuffmanCode({0: 1000, 1: 10, 2: 10, 3: 10})
+        assert code.code_length(0) <= min(code.code_length(s) for s in (1, 2, 3))
+
+    def test_average_length_beats_fixed_width(self):
+        frequencies = {i: 2 ** (8 - i) for i in range(8)}
+        code = HuffmanCode(frequencies)
+        assert code.average_length(frequencies) < 3  # log2(8) = 3 bits fixed width
+
+    def test_encode(self):
+        code = HuffmanCode({1: 3, 2: 1})
+        bits = code.encode([1, 2, 1])
+        assert len(bits) == code.code_length(1) * 2 + code.code_length(2)
+
+
+class TestWaveletTree:
+    def test_empty_sequence(self):
+        wt = WaveletTree([])
+        assert len(wt) == 0
+        assert wt.rank(5, 0) == 0
+
+    def test_access_rank_select_small(self):
+        data = b"abracadabra"
+        wt = WaveletTree(data)
+        assert wt.to_list() == list(data)
+        assert wt.rank(ord("a"), len(data)) == data.count(b"a")
+        assert wt.select(ord("a"), 1) == 0
+        assert wt.select(ord("r"), 2) == data.index(b"r", 3)
+
+    def test_rank_of_absent_symbol(self):
+        wt = WaveletTree(b"aaa")
+        assert wt.rank(ord("z"), 3) == 0
+
+    def test_select_out_of_range(self):
+        wt = WaveletTree(b"ab")
+        with pytest.raises(ValueError):
+            wt.select(ord("a"), 2)
+
+    def test_alphabet_and_counts(self):
+        wt = WaveletTree([5, 5, 9, 1])
+        assert wt.alphabet == [1, 5, 9]
+        assert wt.count(5) == 2
+        assert wt.count(3) == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=12), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_model(self, data):
+        wt = WaveletTree(data)
+        for i, symbol in enumerate(data):
+            assert wt.access(i) == symbol
+        for symbol in set(data):
+            positions = [i for i, s in enumerate(data) if s == symbol]
+            for prefix in range(0, len(data) + 1, max(1, len(data) // 11)):
+                assert wt.rank(symbol, prefix) == sum(1 for p in positions if p < prefix)
+            for j, position in enumerate(positions, start=1):
+                assert wt.select(symbol, j) == position
+
+    def test_large_random_bytes(self):
+        rng = random.Random(99)
+        data = bytes(rng.randrange(256) for _ in range(3000))
+        wt = WaveletTree(data)
+        counter = Counter(data)
+        for symbol in list(counter)[:20]:
+            assert wt.rank(symbol, len(data)) == counter[symbol]
+
+
+class TestRunLengthSequence:
+    def test_empty(self):
+        rl = RunLengthSequence([])
+        assert len(rl) == 0
+        assert rl.rank(1, 10) == 0
+
+    def test_runs_detected(self):
+        rl = RunLengthSequence([1, 1, 1, 2, 2, 1])
+        assert rl.num_runs == 3
+        assert rl.to_list() == [1, 1, 1, 2, 2, 1]
+
+    def test_rank_select_access(self):
+        data = [0] * 10 + [3] * 5 + [0] * 2
+        rl = RunLengthSequence(data)
+        assert rl.access(12) == 3
+        assert rl.rank(0, 17) == 12
+        assert rl.rank(3, 12) == 2
+        assert rl.select(0, 11) == 15
+        assert rl.select(3, 5) == 14
+
+    def test_select_out_of_range(self):
+        rl = RunLengthSequence([1, 1])
+        with pytest.raises(ValueError):
+            rl.select(1, 3)
+        with pytest.raises(ValueError):
+            rl.select(9, 1)
+
+    def test_repetitive_input_compresses(self):
+        data = ([7] * 500 + [8] * 500) * 3
+        rl = RunLengthSequence(data)
+        assert rl.num_runs == 6
+        assert rl.size_in_bits() < len(data)  # far below 1 bit per symbol here
+
+    @given(st.lists(st.integers(min_value=0, max_value=4), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_wavelet_tree(self, data):
+        rl = RunLengthSequence(data)
+        wt = WaveletTree(data)
+        for i in range(len(data)):
+            assert rl.access(i) == wt.access(i)
+        for symbol in set(data):
+            assert rl.rank(symbol, len(data)) == wt.rank(symbol, len(data))
+            for prefix in range(0, len(data), max(1, len(data) // 7)):
+                assert rl.rank(symbol, prefix) == wt.rank(symbol, prefix)

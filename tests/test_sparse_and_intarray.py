@@ -1,0 +1,114 @@
+"""Tests for the sparse bit vector (sarray) and the packed integer array."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bits import PackedIntArray, SparseBitVector
+
+
+class TestSparseBitVector:
+    def test_basic_rank_select(self):
+        sv = SparseBitVector([2, 5, 9], 12)
+        assert len(sv) == 12
+        assert sv.count_ones == 3
+        assert sv.rank1(0) == 0
+        assert sv.rank1(3) == 1
+        assert sv.rank1(12) == 3
+        assert sv.select1(1) == 2
+        assert sv.select1(3) == 9
+
+    def test_membership(self):
+        sv = SparseBitVector([1, 4], 6)
+        assert [sv[i] for i in range(6)] == [0, 1, 0, 0, 1, 0]
+
+    def test_from_dense(self):
+        sv = SparseBitVector.from_dense([0, 1, 1, 0, 1])
+        assert sv.count_ones == 3
+        assert sv.positions().tolist() == [1, 2, 4]
+
+    def test_next_prev_one(self):
+        sv = SparseBitVector([3, 8], 10)
+        assert sv.next_one(0) == 3
+        assert sv.next_one(4) == 8
+        assert sv.next_one(9) == -1
+        assert sv.prev_one(9) == 8
+        assert sv.prev_one(2) == -1
+
+    def test_count_in_range(self):
+        sv = SparseBitVector([1, 3, 5, 7], 10)
+        assert sv.count_in_range(2, 6) == 2
+        assert sv.count_in_range(0, 10) == 4
+        assert sv.count_in_range(6, 2) == 0
+
+    def test_rejects_out_of_range_and_duplicates(self):
+        with pytest.raises(ValueError):
+            SparseBitVector([10], 5)
+        with pytest.raises(ValueError):
+            SparseBitVector([1, 1], 5)
+
+    def test_select_out_of_range(self):
+        with pytest.raises(ValueError):
+            SparseBitVector([1], 5).select1(2)
+
+    @given(st.sets(st.integers(min_value=0, max_value=300), max_size=60), st.integers(min_value=301, max_value=400))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_select_match_dense_model(self, positions, length):
+        sv = SparseBitVector(sorted(positions), length)
+        dense = [1 if i in positions else 0 for i in range(length)]
+        for i in range(0, length + 1, 13):
+            assert sv.rank1(i) == sum(dense[:i])
+        for j, position in enumerate(sorted(positions), start=1):
+            assert sv.select1(j) == position
+
+
+class TestPackedIntArray:
+    def test_roundtrip_default_width(self):
+        values = [0, 5, 1023, 7, 512]
+        arr = PackedIntArray(values)
+        assert arr.to_list() == values
+        assert arr.width == 10
+
+    def test_roundtrip_explicit_width(self):
+        values = [1, 2, 3]
+        arr = PackedIntArray(values, width=20)
+        assert list(arr) == values
+
+    def test_cross_word_boundaries(self):
+        values = list(range(100))
+        arr = PackedIntArray(values, width=7)
+        assert arr.to_list() == values
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            PackedIntArray([8], width=3)
+        with pytest.raises(ValueError):
+            PackedIntArray([1], width=0)
+
+    def test_index_errors(self):
+        arr = PackedIntArray([1, 2, 3])
+        with pytest.raises(IndexError):
+            arr[3]
+        assert arr[-1] == 3
+
+    def test_equality_and_hash(self):
+        assert PackedIntArray([1, 2], width=4) == PackedIntArray([1, 2], width=4)
+        assert PackedIntArray([1, 2], width=4) != PackedIntArray([1, 3], width=4)
+        assert hash(PackedIntArray([9], width=5)) == hash(PackedIntArray([9], width=5))
+
+    def test_empty(self):
+        arr = PackedIntArray([])
+        assert len(arr) == 0
+        assert arr.to_list() == []
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**17 - 1), max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, values):
+        arr = PackedIntArray(values, width=17)
+        assert arr.to_list() == values
+
+    def test_to_numpy(self):
+        values = [4, 9, 16]
+        assert PackedIntArray(values).to_numpy().tolist() == values

@@ -1,0 +1,204 @@
+"""Tests for the succinct tree interface: navigation, tagged jumps, text links."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree import NIL, PointerTree, SuccinctTree, TagPositionTables, TagSequence
+from repro.xmlmodel import build_model
+
+
+@pytest.fixture(scope="module")
+def tree(paper_example_model):
+    model = paper_example_model
+    return SuccinctTree(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions)
+
+
+class TestTagSequence:
+    def test_basic(self):
+        # positions: (a (b b) a) with tags a=0, b=1
+        open_tags = [0, 1, -1, -1]
+        closing = [-1, -1, 1, 0]
+        tags = TagSequence(open_tags, 2, closing)
+        assert tags.tag_at(0) == 0
+        assert tags.tag_at(2) == -1
+        assert tags.closing_tag_at(2) == 1
+        assert tags.rank(1, 4) == 1
+        assert tags.select(0, 1) == 0
+        assert tags.next_occurrence(1, 0) == 1
+        assert tags.prev_occurrence(0, 3) == 0
+        assert tags.count(1) == 1
+        assert tags.count_in_range(1, 0, 4) == 1
+
+    def test_requires_closing_tags_when_needed(self):
+        with pytest.raises(ValueError):
+            TagSequence([0, -1], 1)
+
+    def test_unknown_tag_queries(self):
+        tags = TagSequence([0, -1], 1, [-1, 0])
+        assert tags.rank(5, 2) == 0
+        assert tags.next_occurrence(5, 0) == -1
+        assert tags.occurrences(5).size == 0
+
+
+class TestPaperExample:
+    """The running example of Figure 1: 17 nodes, 6 texts."""
+
+    def test_counts(self, tree):
+        assert tree.num_nodes == 17
+        assert tree.num_texts == 6
+        assert tree.num_tags >= 8
+
+    def test_root_and_document_element(self, tree):
+        assert tree.tag_name_of(tree.root) == "&"
+        parts = tree.first_child(tree.root)
+        assert tree.tag_name_of(parts) == "parts"
+        assert tree.parent(parts) == tree.root
+        assert tree.parent(tree.root) == NIL
+
+    def test_preorder_and_subtree_size(self, tree):
+        assert tree.preorder(tree.root) == 1
+        assert tree.subtree_size(tree.root) == 17
+        parts = tree.first_child(tree.root)
+        assert tree.subtree_size(parts) == 16
+        assert tree.node_at_preorder(2) == parts
+
+    def test_children_and_siblings(self, tree):
+        parts = tree.first_child(tree.root)
+        children = list(tree.children(parts))
+        assert [tree.tag_name_of(c) for c in children] == ["part", "part"]
+        part1, part2 = children
+        assert tree.next_sibling(part1) == part2
+        assert tree.next_sibling(part2) == NIL
+        assert tree.is_ancestor(parts, part2)
+        assert not tree.is_ancestor(part1, part2)
+
+    def test_attribute_subtree_shape(self, tree):
+        parts = tree.first_child(tree.root)
+        part1 = tree.first_child(parts)
+        at_node = tree.first_child(part1)
+        assert tree.tag_name_of(at_node) == "@"
+        name_node = tree.first_child(at_node)
+        assert tree.tag_name_of(name_node) == "name"
+        value_node = tree.first_child(name_node)
+        assert tree.tag_name_of(value_node) == "%"
+        assert tree.is_leaf(value_node)
+        assert tree.is_text_leaf(value_node)
+
+    def test_tagged_desc_and_foll(self, tree):
+        parts = tree.first_child(tree.root)
+        stock = tree.tag_id("stock")
+        first_stock = tree.tagged_desc(parts, stock)
+        assert tree.tag_name_of(first_stock) == "stock"
+        second_stock = tree.tagged_foll(first_stock, stock)
+        assert second_stock != NIL and second_stock != first_stock
+        assert tree.tagged_foll(second_stock, stock) == NIL
+        assert tree.tagged_desc(first_stock, stock) == NIL
+
+    def test_tagged_foll_below_limit(self, tree):
+        parts = tree.first_child(tree.root)
+        part1 = tree.first_child(parts)
+        stock = tree.tag_id("stock")
+        first_stock = tree.tagged_desc(part1, stock)
+        # The next stock is in the second part, outside part1's subtree.
+        assert tree.tagged_foll_below(first_stock, stock, part1) == NIL
+        assert tree.tagged_foll_below(first_stock, stock, parts) != NIL
+
+    def test_tagged_prec(self, tree):
+        stock = tree.tag_id("stock")
+        color = tree.tag_id("color")
+        second_stock = tree.tagged_nodes(stock)[1]
+        prec = tree.tagged_prec(int(second_stock), color)
+        assert tree.tag_name_of(prec) == "color"
+
+    def test_subtree_tags(self, tree):
+        parts = tree.first_child(tree.root)
+        assert tree.subtree_tags(parts, tree.tag_id("stock")) == 2
+        assert tree.subtree_tags(parts, tree.tag_id("color")) == 1
+        part2 = tree.next_sibling(tree.first_child(parts))
+        assert tree.subtree_tags(part2, tree.tag_id("color")) == 0
+
+    def test_text_connections(self, tree, paper_example_model):
+        texts = [t.decode() for t in paper_example_model.texts]
+        # Each text leaf maps back to its identifier and vice versa.
+        for text_id in range(tree.num_texts):
+            node = tree.node_of_text(text_id)
+            assert tree.is_text_leaf(node)
+            assert tree.text_id_of_node(node) == text_id
+            assert tree.xml_id_text(text_id) == tree.preorder(node)
+        parts = tree.first_child(tree.root)
+        first, last = tree.text_ids(parts)
+        assert (first, last) == (0, tree.num_texts)
+        part2 = tree.next_sibling(tree.first_child(parts))
+        first2, last2 = tree.text_ids(part2)
+        assert [texts[i] for i in range(first2, last2)] == ["rubber", "30"]
+
+    def test_tag_name_mapping(self, tree):
+        assert tree.tag_id("stock") >= 0
+        assert tree.tag_id("nonexistent") == -1
+        assert tree.tag_name(tree.tag_id("color")) == "color"
+        assert tree.tag_count(tree.tag_id("part")) == 2
+        assert tree.tag_count(-5) == 0
+
+    def test_depth(self, tree):
+        parts = tree.first_child(tree.root)
+        assert tree.depth(tree.root) == 1
+        assert tree.depth(parts) == 2
+
+    def test_preorder_nodes_enumeration(self, tree):
+        nodes = list(tree.preorder_nodes())
+        assert len(nodes) == tree.num_nodes
+        assert nodes[0] == tree.root
+        assert all(nodes[i] < nodes[i + 1] for i in range(len(nodes) - 1))
+
+
+class TestTagTables:
+    def test_descendant_and_child_tables(self, tree):
+        tables = TagPositionTables(tree)
+        part = tree.tag_id("part")
+        stock = tree.tag_id("stock")
+        color = tree.tag_id("color")
+        assert tables.occurs_as_descendant(part, stock)
+        assert tables.occurs_as_child(part, stock)
+        assert not tables.occurs_as_child(stock, part)
+        assert not tables.is_recursive(part)
+        assert tables.occurs_as_following_sibling(color, stock)
+        assert not tables.occurs_as_following_sibling(stock, color)
+        assert tables.occurs_as_following(color, stock)
+        assert stock in tables.descendants_of(part)
+
+    def test_out_of_range_tags(self, tree):
+        tables = TagPositionTables(tree)
+        assert not tables.occurs_as_descendant(999, 0)
+        assert not tables.occurs_as_child(-1, 0)
+        assert tables.descendants_of(999) == set()
+
+
+class TestPointerTree:
+    def test_matches_succinct_structure(self, paper_example_model, tree):
+        model = paper_example_model
+        pointer = PointerTree(model.parens, model.node_tags, model.tag_names)
+        assert pointer.num_nodes == tree.num_nodes
+        assert pointer.count_nodes() == tree.num_nodes
+        part = pointer.tag_id("part")
+        assert pointer.count_tag(part) == 2
+        # Root's first child is 'parts', whose parent is the root.
+        parts = pointer.first_child(pointer.root)
+        assert pointer.tag_name_of(parts) == "parts"
+        assert pointer.parent(parts) == pointer.root
+        assert pointer.next_sibling(parts) == -1
+
+    def test_preorder_traversal_order(self, xmark_model):
+        pointer = PointerTree(xmark_model.parens, xmark_model.node_tags, xmark_model.tag_names)
+        order = list(pointer.preorder_traversal())
+        assert order == sorted(order)
+        assert len(order) == xmark_model.num_nodes
+
+    def test_size_larger_than_succinct(self, xmark_model):
+        pointer = PointerTree(xmark_model.parens, xmark_model.node_tags, xmark_model.tag_names)
+        succinct = SuccinctTree(
+            xmark_model.parens, xmark_model.node_tags, xmark_model.tag_names, xmark_model.text_leaf_positions
+        )
+        # The pointer representation uses 2 machine words per node; the
+        # parentheses structure alone is far smaller (the paper's Section 6.4).
+        assert pointer.size_in_bits() > succinct.parentheses.size_in_bits() * 5

@@ -1,0 +1,106 @@
+"""Tests for the SXSI text collection operations (Section 3.2) and the naive backend."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text import NaiveTextCollection, TextCollection
+
+TEXTS = ["pen", "Soon discontinued", "blue", "40", "rubber", "30", "blues", "disco"]
+
+WORD = st.text(alphabet="abc", max_size=6)
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return TextCollection(TEXTS, sample_rate=4)
+
+
+@pytest.fixture(scope="module")
+def naive():
+    return NaiveTextCollection([t.encode() for t in TEXTS])
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("pattern", ["b", "blue", "o", "disco", "40", "x", "ue", ""])
+    def test_contains(self, collection, naive, pattern):
+        assert collection.contains(pattern).tolist() == naive.contains(pattern.encode()).tolist()
+
+    @pytest.mark.parametrize("pattern", ["b", "blue", "S", "4", "disco", "zz"])
+    def test_starts_with(self, collection, naive, pattern):
+        assert collection.starts_with(pattern).tolist() == naive.starts_with(pattern.encode()).tolist()
+
+    @pytest.mark.parametrize("pattern", ["0", "e", "ued", "blue", "s", "zzz"])
+    def test_ends_with(self, collection, naive, pattern):
+        assert collection.ends_with(pattern).tolist() == naive.ends_with(pattern.encode()).tolist()
+
+    @pytest.mark.parametrize("pattern", TEXTS + ["nope", "blu"])
+    def test_equals(self, collection, naive, pattern):
+        assert collection.equals(pattern).tolist() == naive.equals(pattern.encode()).tolist()
+
+    @pytest.mark.parametrize("pattern", ["blue", "40", "a", "zzz", "rubber"])
+    def test_comparisons(self, collection, naive, pattern):
+        assert collection.less_than(pattern).tolist() == naive.less_than(pattern.encode()).tolist()
+        assert collection.less_equal(pattern).tolist() == naive.less_equal(pattern.encode()).tolist()
+        assert collection.greater_than(pattern).tolist() == naive.greater_than(pattern.encode()).tolist()
+        assert collection.greater_equal(pattern).tolist() == naive.greater_equal(pattern.encode()).tolist()
+
+    @pytest.mark.parametrize("pattern", ["b", "o", "disco", ""])
+    def test_global_count(self, collection, naive, pattern):
+        assert collection.global_count(pattern) >= 0
+        if pattern:
+            assert collection.global_count(pattern) == naive.global_count(pattern.encode())
+
+    def test_report_occurrences(self, collection, naive):
+        assert collection.report_occurrences("ue") == naive.report_occurrences(b"ue")
+
+
+class TestApi:
+    def test_get_text_roundtrip(self, collection):
+        for doc, text in enumerate(TEXTS):
+            assert collection.get_text_str(doc) == text
+
+    def test_get_text_without_plain_store(self):
+        tc = TextCollection(TEXTS, sample_rate=4, keep_plain_text=False)
+        assert tc.plain is None
+        assert [tc.get_text_str(d) for d in tc.documents()] == TEXTS
+
+    def test_contains_exists_and_count(self, collection):
+        assert collection.contains_exists("blue")
+        assert not collection.contains_exists("zzz")
+        assert collection.contains_count("b") == 3
+
+    def test_contains_auto_matches_fm(self, collection):
+        assert collection.contains_auto("b", cutoff=0).tolist() == collection.contains(
+            "b"
+        ).tolist()
+        assert collection.contains_auto("b", cutoff=10**9).tolist() == collection.contains("b").tolist()
+
+    def test_empty_collection(self):
+        tc = TextCollection([])
+        assert tc.num_texts == 1  # a single empty text placeholder
+        assert tc.contains("x").size == 0
+
+    def test_size_in_bits_positive(self, collection):
+        assert collection.size_in_bits() > 0
+
+    def test_empty_pattern_conventions(self, collection):
+        assert collection.contains("").size == len(TEXTS)
+        assert collection.starts_with("").size == len(TEXTS)
+        assert collection.less_than("").size == 0
+
+
+class TestPropertyAgainstNaive:
+    @given(st.lists(WORD, min_size=1, max_size=8), WORD)
+    @settings(max_examples=50, deadline=None)
+    def test_all_operations(self, texts, pattern):
+        collection = TextCollection(texts, sample_rate=3)
+        naive = NaiveTextCollection([t.encode() for t in texts])
+        encoded = pattern.encode()
+        assert collection.contains(pattern).tolist() == naive.contains(encoded).tolist()
+        assert collection.starts_with(pattern).tolist() == naive.starts_with(encoded).tolist()
+        assert collection.ends_with(pattern).tolist() == naive.ends_with(encoded).tolist()
+        assert collection.equals(pattern).tolist() == naive.equals(encoded).tolist()
+        assert collection.less_than(pattern).tolist() == naive.less_than(encoded).tolist()

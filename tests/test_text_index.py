@@ -1,0 +1,147 @@
+"""Tests for the suffix array, the BWT of collections and the FM-index."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.bwt import bwt_of_collection
+from repro.text.fm_index import FMIndex
+from repro.text.suffix_array import build_suffix_array, suffix_array_of_bytes
+
+TEXT_ALPHABET = st.text(alphabet="abcd", max_size=30)
+
+
+def naive_suffix_array(data: list[int]) -> list[int]:
+    return sorted(range(len(data)), key=lambda i: data[i:])
+
+
+class TestSuffixArray:
+    def test_empty_and_single(self):
+        assert build_suffix_array(np.array([], dtype=np.int64)).tolist() == []
+        assert build_suffix_array(np.array([5], dtype=np.int64)).tolist() == [0]
+
+    def test_known_example(self):
+        # banana with distinct ranks: suffixes sorted lexicographically.
+        data = [ord(c) for c in "banana"]
+        assert build_suffix_array(np.array(data)).tolist() == naive_suffix_array(data)
+
+    def test_bytes_helper(self):
+        text = b"mississippi"
+        assert suffix_array_of_bytes(text).tolist() == naive_suffix_array(list(text))
+
+    @given(st.lists(st.integers(min_value=1, max_value=5), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_sort(self, data):
+        got = build_suffix_array(np.array(data, dtype=np.int64)).tolist()
+        # Prefix doubling pads short suffixes with -1 (smaller than any rank),
+        # matching the shorter-suffix-first convention of the naive model.
+        assert got == naive_suffix_array(data)
+
+
+class TestCollectionBWT:
+    def test_terminator_rows_in_text_order(self):
+        texts = [b"pen", b"blue", b"40", b"rubber"]
+        transform = bwt_of_collection(texts)
+        # The suffix of rank i starts with the terminator of text i.
+        for i in range(len(texts)):
+            position = int(transform.suffix_array[i])
+            assert transform.doc_of_position[position] == i
+            end = int(transform.text_starts[i]) + len(texts[i])
+            assert position == end
+
+    def test_rejects_empty_collection_and_nul(self):
+        with pytest.raises(ValueError):
+            bwt_of_collection([])
+        with pytest.raises(ValueError):
+            bwt_of_collection([b"a\x00b"])
+
+    def test_doc_row_map_points_to_text_starts(self):
+        texts = [b"aa", b"ab", b"ba"]
+        transform = bwt_of_collection(texts)
+        assert sorted(transform.doc_row_map.tolist()) == [0, 1, 2]
+
+
+class TestFMIndex:
+    @pytest.fixture(scope="class")
+    def paper_texts(self):
+        return [b"pen", b"Soon discontinued", b"blue", b"40", b"rubber", b"30"]
+
+    @pytest.fixture(scope="class")
+    def fm(self, paper_texts):
+        return FMIndex(paper_texts, sample_rate=4)
+
+    def test_extraction_roundtrip(self, fm, paper_texts):
+        assert fm.extract_all() == paper_texts
+
+    def test_count(self, fm, paper_texts):
+        joined = b"\x00".join(paper_texts)
+        for pattern in (b"n", b"ue", b"disco", b"zzz", b"0"):
+            assert fm.count(pattern) == joined.count(pattern)
+
+    def test_count_empty_pattern(self, fm):
+        assert fm.count(b"") == len(fm)
+
+    def test_locate_positions_match_occurrences(self, paper_texts):
+        fm = FMIndex(paper_texts, sample_rate=2)
+        positions = fm.locate(b"u")
+        docs = sorted(fm.position_to_doc(int(p)) for p in positions)
+        expected = []
+        for doc, text in enumerate(paper_texts):
+            for offset, byte in enumerate(text):
+                if byte == ord("u"):
+                    expected.append((doc, offset))
+        assert docs == sorted(expected)
+
+    def test_dollar_docs_in_range_finds_prefixed_texts(self, fm):
+        sp, ep = fm.backward_search(b"b")
+        assert set(fm.dollar_docs_in_range(sp, ep).tolist()) == {2}  # "blue"
+
+    def test_lf_raises_on_terminator_rows(self, fm):
+        dollar_row = int(fm._dollar_rows[0])  # noqa: SLF001 - white-box check
+        with pytest.raises(ValueError):
+            fm.lf(dollar_row)
+
+    def test_sample_rate_validation(self, paper_texts):
+        with pytest.raises(ValueError):
+            FMIndex(paper_texts, sample_rate=0)
+
+    def test_text_lengths(self, fm, paper_texts):
+        for doc, text in enumerate(paper_texts):
+            assert fm.text_length(doc) == len(text)
+
+    @given(st.lists(TEXT_ALPHABET, min_size=1, max_size=8), st.text(alphabet="abcd", min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_count_matches_naive(self, texts, pattern):
+        encoded = [t.encode() for t in texts]
+        fm = FMIndex(encoded, sample_rate=3)
+        needle = pattern.encode()
+        # Count *overlapping* occurrences (what the FM-index reports); note that
+        # occurrences cannot span texts because the terminator byte intervenes.
+        expected = sum(
+            1
+            for text in encoded
+            for start in range(len(text) - len(needle) + 1)
+            if text[start : start + len(needle)] == needle
+        )
+        assert fm.count(needle) == expected
+
+    @given(st.lists(TEXT_ALPHABET, min_size=1, max_size=6))
+    @settings(max_examples=50, deadline=None)
+    def test_extraction_property(self, texts):
+        encoded = [t.encode() for t in texts]
+        fm = FMIndex(encoded, sample_rate=5)
+        assert fm.extract_all() == encoded
+
+    def test_different_sample_rates_agree(self):
+        rng = random.Random(3)
+        texts = [bytes(rng.choice(b"abcde") for _ in range(rng.randint(1, 40))) for _ in range(20)]
+        fast = FMIndex(texts, sample_rate=2)
+        slow = FMIndex(texts, sample_rate=64)
+        for pattern in (b"a", b"ab", b"cde", b"ee"):
+            assert fast.count(pattern) == slow.count(pattern)
+            assert sorted(fast.locate(pattern).tolist()) == sorted(slow.locate(pattern).tolist())

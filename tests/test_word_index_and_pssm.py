@@ -1,0 +1,152 @@
+"""Tests for the word-based text index and the PSSM search extension."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.text import RLCSAIndex, TextCollection, WordTextIndex
+from repro.text.pssm import PositionWeightMatrix, pssm_scan, pssm_search
+from repro.text.word_index import tokenize_words
+
+
+class TestTokenizer:
+    def test_basic_tokenisation(self):
+        assert tokenize_words(b"The quick, brown fox!") == [b"the", b"quick", b"brown", b"fox"]
+
+    def test_numbers_and_apostrophes(self):
+        assert tokenize_words(b"it's 42 o'clock") == [b"it's", b"42", b"o'clock"]
+
+    def test_empty(self):
+        assert tokenize_words(b"...") == []
+
+
+class TestWordTextIndex:
+    TEXTS = [
+        "the quick brown fox jumps over the lazy dog",
+        "a dark horse is an unexpected winner",
+        "the princess rode a white horse",
+        "board games are played on a board",
+        "crude oil prices and the quick recovery",
+    ]
+
+    @pytest.fixture(scope="class")
+    def index(self):
+        return WordTextIndex(self.TEXTS)
+
+    def test_vocabulary(self, index):
+        assert index.vocabulary_size > 10
+        assert index.num_texts == len(self.TEXTS)
+
+    def test_single_word(self, index):
+        assert index.contains("horse").tolist() == [1, 2]
+        assert index.contains_count("the") == 3
+
+    def test_phrase_at_word_boundaries(self, index):
+        assert index.contains("dark horse").tolist() == [1]
+        assert index.contains("quick brown").tolist() == [0]
+        assert index.contains("played on a board").tolist() == [3]
+
+    def test_phrase_not_across_texts(self, index):
+        assert index.contains("dog a dark").size == 0
+
+    def test_unknown_word(self, index):
+        assert index.contains("unicorn").size == 0
+        assert not index.contains_exists("unicorn")
+
+    def test_word_vs_substring_semantics(self, index):
+        # 'hors' matches as a substring but not as a word (the paper's trade-off).
+        assert index.contains("hors").size == 0
+        substring = TextCollection(self.TEXTS, sample_rate=4)
+        assert substring.contains("hors").size == 2
+
+    def test_global_count(self, index):
+        assert index.global_count("the") == 4
+        assert index.global_count("board") == 2
+
+    def test_words_of(self, index):
+        assert index.words_of(1)[:2] == [b"a", b"dark"]
+
+
+class TestPSSM:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        counts = [
+            [9, 0, 0, 1],  # A
+            [0, 9, 0, 1],  # C
+            [0, 0, 9, 1],  # G
+            [1, 1, 1, 7],  # T
+        ]
+        return PositionWeightMatrix.from_counts(counts, name="test")
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            PositionWeightMatrix.from_counts([[1, 2], [3, 4]])
+
+    def test_score_window(self, matrix):
+        assert matrix.length == 4
+        consensus = matrix.score_window(b"ACGT")
+        other = matrix.score_window(b"TTTA")
+        assert consensus > other
+        assert consensus <= matrix.max_score() + 1e-9
+        assert other >= matrix.min_score() - 1e-9
+
+    def test_score_window_length_check(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.score_window(b"ACG")
+
+    def test_search_matches_scan(self, matrix):
+        rng = random.Random(17)
+        texts = ["".join(rng.choice("ACGT") for _ in range(80)) for _ in range(30)]
+        texts[3] = texts[3][:10] + "ACGT" + texts[3][14:]
+        collection = TextCollection(texts, sample_rate=4)
+        threshold = matrix.max_score() - 0.5
+        indexed = pssm_search(collection, matrix, threshold)
+        scanned = pssm_scan([t.encode() for t in texts], matrix, threshold)
+        assert indexed.tolist() == scanned
+
+    def test_search_over_rlcsa(self, matrix):
+        texts = ["ACGTACGTACGT", "TTTTTTTT", "ACGTACGTACGT"]
+        collection = RLCSAIndex(texts)
+        hits = pssm_search(collection, matrix, matrix.max_score() - 0.5)
+        assert hits.tolist() == [0, 2]
+
+    def test_threshold_above_max_finds_nothing(self, matrix):
+        collection = TextCollection(["ACGTACGT"], sample_rate=2)
+        assert pssm_search(collection, matrix, matrix.max_score() + 10).size == 0
+
+    def test_non_dna_symbols_never_match(self, matrix):
+        collection = TextCollection(["hello world", "ACGT"], sample_rate=2)
+        hits = pssm_search(collection, matrix, matrix.max_score() - 0.5)
+        assert hits.tolist() == [1]
+
+
+class TestRLCSA:
+    def test_agrees_with_fm_collection(self):
+        rng = random.Random(5)
+        exon = "".join(rng.choice("ACGT") for _ in range(50))
+        texts = [exon, exon, exon + "TTT", "GG" + exon]
+        rlcsa = RLCSAIndex(texts)
+        fm = TextCollection(texts, sample_rate=4)
+        for pattern in ("ACG", exon[:10], "TTT", "GGZ"):
+            assert rlcsa.contains(pattern).tolist() == fm.contains(pattern).tolist()
+            assert rlcsa.global_count(pattern) == fm.global_count(pattern)
+
+    def test_extraction(self):
+        texts = ["ACGT" * 5, "ACGT" * 5]
+        rlcsa = RLCSAIndex(texts)
+        assert [rlcsa.get_text_str(d) for d in rlcsa.documents()] == texts
+
+    def test_run_count_small_for_repetitive_data(self):
+        texts = ["AAAA" * 200, "AAAA" * 200]
+        rlcsa = RLCSAIndex(texts)
+        assert rlcsa.num_runs < 20
+
+    def test_size_smaller_than_fm_for_repetitive_data(self):
+        base = "ACGTTGCA" * 40
+        texts = [base for _ in range(20)]
+        rlcsa = RLCSAIndex(texts)
+        fm = TextCollection(texts, sample_rate=16, keep_plain_text=False)
+        assert rlcsa.fm_index._sequence.size_in_bits() < fm.fm_index._sequence.size_in_bits()

@@ -1,0 +1,173 @@
+"""Tests for the XML parser, the SXSI document model and serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Document
+from repro.xmlmodel import ParseError, build_model, parse_events, serialize_subtree, serialize_text
+from repro.xmlmodel.model import ModelBuilder
+from repro.xmlmodel.parser import Characters, EndElement, StartElement
+from repro.tree import SuccinctTree
+
+
+class TestParser:
+    def test_simple_document(self):
+        events = list(parse_events("<a><b>hi</b></a>"))
+        assert events == [
+            StartElement("a"),
+            StartElement("b"),
+            Characters("hi"),
+            EndElement("b"),
+            EndElement("a"),
+        ]
+
+    def test_attributes_both_quote_styles(self):
+        events = list(parse_events("<a x=\"1\" y='two'/>"))
+        assert events[0] == StartElement("a", (("x", "1"), ("y", "two")))
+        assert events[1] == EndElement("a")
+
+    def test_self_closing(self):
+        events = list(parse_events("<a><b/><c/></a>"))
+        names = [e.name for e in events if isinstance(e, StartElement)]
+        assert names == ["a", "b", "c"]
+
+    def test_entities_and_numeric_references(self):
+        events = list(parse_events("<a>&amp;&lt;&gt;&quot;&apos;&#65;&#x42;</a>"))
+        assert events[1] == Characters("&<>\"'AB")
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(ParseError):
+            list(parse_events("<a>&nope;</a>"))
+
+    def test_cdata_comments_pi_doctype(self):
+        xml = (
+            "<?xml version='1.0'?><!DOCTYPE a SYSTEM 'x.dtd'><a><!-- note -->"
+            "<![CDATA[1 < 2 & 3]]><?target data?></a>"
+        )
+        events = list(parse_events(xml))
+        assert Characters("1 < 2 & 3") in events
+
+    def test_mismatched_tags(self):
+        with pytest.raises(ParseError):
+            list(parse_events("<a><b></a></b>"))
+
+    def test_unclosed_element(self):
+        with pytest.raises(ParseError):
+            list(parse_events("<a><b></b>"))
+
+    def test_multiple_roots(self):
+        with pytest.raises(ParseError):
+            list(parse_events("<a/><b/>"))
+
+    def test_text_outside_root(self):
+        with pytest.raises(ParseError):
+            list(parse_events("boom<a/>"))
+
+    def test_bytes_input(self):
+        events = list(parse_events(b"<a>caf\xc3\xa9</a>"))
+        assert events[1] == Characters("café")
+
+
+class TestModelBuilder:
+    def test_paper_example_counts(self, paper_example_model):
+        model = paper_example_model
+        assert model.num_nodes == 17
+        assert model.num_texts == 6
+        assert [t.decode() for t in model.texts] == ["pen", "blue", "40", "Soon discontinued.", "rubber", "30"]
+        assert model.tag_names[:4] == ["&", "#", "@", "%"]
+
+    def test_whitespace_dropped_by_default(self):
+        model = build_model("<a>\n  <b>x</b>\n</a>")
+        assert [t.decode() for t in model.texts] == ["x"]
+
+    def test_whitespace_kept_on_request(self):
+        model = build_model("<a>\n  <b>x</b>\n</a>", keep_whitespace=True)
+        assert len(model.texts) == 3
+
+    def test_empty_texts_never_stored(self):
+        model = build_model("<a><b></b></a>")
+        assert model.texts == []
+        assert model.num_nodes == 3  # &, a, b
+
+    def test_adjacent_text_chunks_merged(self):
+        model = build_model("<a>one &amp; two</a>")
+        assert [t.decode() for t in model.texts] == ["one & two"]
+
+    def test_builder_event_api(self):
+        builder = ModelBuilder()
+        builder.start_document()
+        builder.start_element("doc", [("lang", "en")])
+        builder.start_element("p")
+        builder.characters("hello")
+        builder.end_element()
+        builder.end_element()
+        model = builder.end_document()
+        assert model.num_texts == 2  # the attribute value and the text
+        assert "doc" in model.tag_names and "lang" in model.tag_names
+
+    def test_builder_validates_balance(self):
+        builder = ModelBuilder()
+        builder.start_document()
+        builder.start_element("a")
+        with pytest.raises(ValueError):
+            builder.end_document()
+
+    def test_source_bytes_recorded(self):
+        xml = "<a>x</a>"
+        assert build_model(xml).source_bytes == len(xml)
+
+
+class TestSerializer:
+    def _tree_and_texts(self, xml: str):
+        model = build_model(xml)
+        tree = SuccinctTree(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions)
+        texts = [t.decode() for t in model.texts]
+        return tree, (lambda i: texts[i])
+
+    def test_roundtrip_simple(self):
+        xml = '<part name="pen"><color>blue</color><stock>40</stock>Soon discontinued.</part>'
+        tree, get_text = self._tree_and_texts(f"<parts>{xml}</parts>")
+        parts = tree.first_child(tree.root)
+        part = tree.first_child(parts)
+        assert serialize_subtree(tree, get_text, part) == xml
+
+    def test_root_serialisation(self):
+        xml = "<a><b>x</b><c/></a>"
+        tree, get_text = self._tree_and_texts(xml)
+        assert serialize_subtree(tree, get_text, tree.root) == xml
+
+    def test_escaping(self):
+        tree, get_text = self._tree_and_texts('<a v="x&amp;y">1 &lt; 2 &amp; 3</a>')
+        output = serialize_subtree(tree, get_text, tree.root)
+        assert output == '<a v="x&amp;y">1 &lt; 2 &amp; 3</a>'
+
+    def test_string_value(self):
+        tree, get_text = self._tree_and_texts("<a>one<b>two</b>three</a>")
+        assert serialize_text(tree, get_text, tree.root) == "onetwothree"
+
+    def test_document_serialize_matches(self, small_site_document):
+        doc = small_site_document
+        outputs = doc.serialize("//keyword")
+        assert outputs == ["<keyword>red</keyword>", "<keyword>blue</keyword>", "<keyword>rare</keyword>"]
+
+    def test_document_string_value(self, paper_example_document):
+        doc = paper_example_document
+        parts = doc.tree.first_child(doc.tree.root)
+        assert doc.string_value(parts) == "penblue40Soon discontinued.rubber30"
+
+
+class TestDocumentRoundtrip:
+    @pytest.mark.parametrize(
+        "xml",
+        [
+            "<a/>",
+            "<a>text</a>",
+            "<a><b>x</b><b>y</b></a>",
+            '<a id="1"><b k="v">x</b></a>',
+            "<root><x>1</x><y><z>deep</z></y></root>",
+        ],
+    )
+    def test_parse_index_serialize(self, xml):
+        doc = Document.from_string(xml)
+        assert doc.serialize_node(doc.tree.root) == xml

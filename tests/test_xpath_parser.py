@@ -1,0 +1,164 @@
+"""Tests for the XPath Core+ parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import MEDLINE_QUERIES, TREEBANK_QUERIES, WIKI_QUERIES, XMARK_QUERIES
+from repro.xpath.ast import (
+    AndExpr,
+    Axis,
+    NameTest,
+    NodeTypeTest,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    PssmPredicate,
+    TextPredicate,
+    TextTest,
+    WildcardTest,
+)
+from repro.xpath.parser import XPathSyntaxError, parse_xpath
+
+
+class TestBasicPaths:
+    def test_child_steps(self):
+        path = parse_xpath("/site/regions")
+        assert path.absolute
+        assert [s.axis for s in path.steps] == [Axis.CHILD, Axis.CHILD]
+        assert [s.test.name for s in path.steps] == ["site", "regions"]
+
+    def test_descendant_abbreviation(self):
+        path = parse_xpath("//listitem//keyword")
+        assert [s.axis for s in path.steps] == [Axis.DESCENDANT, Axis.DESCENDANT]
+
+    def test_mixed_abbreviation(self):
+        path = parse_xpath("//a/b")
+        assert [s.axis for s in path.steps] == [Axis.DESCENDANT, Axis.CHILD]
+
+    def test_explicit_axes(self):
+        path = parse_xpath("/descendant::listitem/child::keyword")
+        assert [s.axis for s in path.steps] == [Axis.DESCENDANT, Axis.CHILD]
+
+    def test_wildcard_text_node_tests(self):
+        path = parse_xpath("/descendant::*/child::text()/child::node()")
+        assert isinstance(path.steps[0].test, WildcardTest)
+        assert isinstance(path.steps[1].test, TextTest)
+        assert isinstance(path.steps[2].test, NodeTypeTest)
+
+    def test_text_as_element_name(self):
+        path = parse_xpath("//text/keyword")
+        assert isinstance(path.steps[0].test, NameTest)
+        assert path.steps[0].test.name == "text"
+
+    def test_attribute_abbreviation(self):
+        path = parse_xpath("//person[@id]/name")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PathExpr)
+        assert predicate.path.steps[0].axis is Axis.ATTRIBUTE
+
+    def test_describe(self):
+        assert parse_xpath("//a").describe() == "/descendant::a"
+
+
+class TestPredicates:
+    def test_boolean_structure(self):
+        path = parse_xpath("/a[b and (c or not(d))]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, AndExpr)
+        assert isinstance(predicate.right, OrExpr)
+        assert isinstance(predicate.right.right, NotExpr)
+
+    def test_relative_path_predicate(self):
+        path = parse_xpath("/a[b/c]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PathExpr)
+        assert [s.test.name for s in predicate.path.steps] == ["b", "c"]
+
+    def test_dot_descendant_predicate(self):
+        path = parse_xpath("/a[.//keyword]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PathExpr)
+        assert predicate.path.steps[0].axis is Axis.DESCENDANT
+
+    def test_contains_on_self(self):
+        path = parse_xpath('//a[contains(., "x")]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, TextPredicate)
+        assert predicate.kind == "contains" and predicate.pattern == "x"
+
+    def test_contains_on_path_is_rewritten(self):
+        path = parse_xpath('//a[contains(b/c, "x")]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PathExpr)
+        inner = predicate.path.steps[-1].predicates[0]
+        assert isinstance(inner, TextPredicate) and inner.pattern == "x"
+
+    def test_equality_predicate(self):
+        path = parse_xpath('//gender[. = "female"]')
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, TextPredicate)
+        assert predicate.kind == "equals"
+
+    def test_string_escapes(self):
+        path = parse_xpath('//a[contains(., "1999\\n11")]')
+        assert path.steps[0].predicates[0].pattern == "1999\n11"
+
+    def test_starts_and_ends_with(self):
+        starts = parse_xpath('//a[starts-with(., "x")]').steps[0].predicates[0]
+        ends = parse_xpath('//a[ends-with(., "y")]').steps[0].predicates[0]
+        assert starts.kind == "starts-with" and ends.kind == "ends-with"
+
+    def test_pssm(self):
+        path = parse_xpath("//promoter[ PSSM(., M1) ]")
+        predicate = path.steps[0].predicates[0]
+        assert isinstance(predicate, PssmPredicate)
+        assert predicate.matrix_name == "M1"
+        with_threshold = parse_xpath("//promoter[ PSSM(., M1, 12.5) ]").steps[0].predicates[0]
+        assert with_threshold.threshold == 12.5
+
+    def test_nested_predicates(self):
+        path = parse_xpath("//people[ .//person[not(address)] ]/person[watches]")
+        outer = path.steps[0].predicates[0]
+        assert isinstance(outer, PathExpr)
+        inner = outer.path.steps[0].predicates[0]
+        assert isinstance(inner, NotExpr)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "",
+            "site",  # not absolute
+            "//",
+            "/a[",
+            "/a]",
+            "/a[contains(.)]",
+            "/a[b ==]",
+            "//a/following::b",  # unsupported axis name is parsed as an element; '::' makes it fail
+            "/a[@]",
+            '/a[5 = "x"]',
+        ],
+    )
+    def test_rejects_invalid_queries(self, query):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(query)
+
+
+class TestPublishedQuerySets:
+    @pytest.mark.parametrize("name,query", sorted(XMARK_QUERIES.items()))
+    def test_xmark_queries_parse(self, name, query):
+        assert parse_xpath(query).absolute
+
+    @pytest.mark.parametrize("name,query", sorted(TREEBANK_QUERIES.items()))
+    def test_treebank_queries_parse(self, name, query):
+        assert parse_xpath(query).absolute
+
+    @pytest.mark.parametrize("name,query", sorted(MEDLINE_QUERIES.items()))
+    def test_medline_queries_parse(self, name, query):
+        assert parse_xpath(query).absolute
+
+    @pytest.mark.parametrize("name,query", sorted(WIKI_QUERIES.items()))
+    def test_wiki_queries_parse(self, name, query):
+        assert parse_xpath(query).absolute
