@@ -1,0 +1,67 @@
+"""Persistence: build versus save + load, wall time and on-disk bytes.
+
+The point of the storage layer is *build once, load fast*: reviving a saved
+index must be much cheaper than re-parsing the XML and rebuilding the
+suffix-array/BWT machinery.  This module measures both paths on the mid-size
+XMark document and reports the on-disk footprint next to the in-memory index
+size estimate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Document, IndexOptions
+
+from _bench_utils import print_table, timer
+
+
+@pytest.fixture(scope="module")
+def saved_index(xmark_small_document, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "xmark.sxsi"
+    xmark_small_document.save(path)
+    return path
+
+
+def test_document_save(benchmark, xmark_small_document, tmp_path):
+    benchmark.pedantic(
+        xmark_small_document.save, args=(tmp_path / "out.sxsi",), rounds=3, iterations=1
+    )
+
+
+def test_document_load(benchmark, saved_index):
+    loaded = benchmark.pedantic(Document.load, args=(saved_index,), rounds=3, iterations=1)
+    assert loaded.count("//item") > 0
+
+
+def test_report_store_load(benchmark, xmark_small_xml, tmp_path):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    path = tmp_path / "xmark.sxsi"
+
+    with timer() as build:
+        document = Document.from_string(xmark_small_xml, IndexOptions(sample_rate=16))
+    with timer() as save:
+        document.save(path)
+    with timer() as load:
+        loaded = Document.load(path)
+
+    # The revived index must answer exactly like the built one.
+    for query in ("//item", "//person/name", '//item[contains(., "a")]'):
+        assert loaded.count(query) == document.count(query)
+
+    disk_bytes = path.stat().st_size
+    index_bytes = document.stats()["total_bytes"]
+    print_table(
+        "Store: build vs save+load on XMark-small",
+        ["path", "time (ms)", "bytes"],
+        [
+            ["build (parse + index)", f"{build.milliseconds:.0f}", len(xmark_small_xml.encode())],
+            ["save", f"{save.milliseconds:.0f}", disk_bytes],
+            ["load", f"{load.milliseconds:.0f}", disk_bytes],
+            ["in-memory estimate", "-", index_bytes],
+        ],
+    )
+    # Shape check: loading a saved index beats rebuilding it from XML.
+    assert load.milliseconds < build.milliseconds

@@ -7,7 +7,10 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Document, EvaluationOptions, IndexOptions
+import tempfile
+from pathlib import Path
+
+from repro import Document, DocumentStore, EvaluationOptions, IndexOptions
 
 
 def main() -> None:
@@ -29,7 +32,12 @@ def main() -> None:
     # sequence for the tree.  The index *replaces* the document.
     doc = Document.from_string(xml, IndexOptions(sample_rate=16))
     print(f"indexed {doc.num_nodes} nodes, {doc.num_texts} texts, {doc.num_tags} labels")
-    print(f"index size: {doc.index_size_bits()['total'] // 8} bytes\n")
+
+    # Per-component size breakdown (tree / tag tables / text index / plain store).
+    stats = doc.stats()
+    for name, entry in stats["components"].items():
+        print(f"  {name:<11} {entry['bytes']:>6} bytes")
+    print(f"  {'total':<11} {stats['total_bytes']:>6} bytes\n")
 
     # Counting, materialising and serialising queries.
     print("count //book                       =", doc.count("//book"))
@@ -51,7 +59,19 @@ def main() -> None:
     naive = doc.evaluate("//book//author", EvaluationOptions.naive())
     tuned = doc.evaluate("//book//author")
     print(f"//book//author: naive visited {naive.statistics.visited_nodes} nodes,"
-          f" optimised visited {tuned.statistics.visited_nodes}")
+          f" optimised visited {tuned.statistics.visited_nodes}\n")
+
+    # Build once, save, serve from a sharded store (no XML reparse on load).
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "catalog.sxsi"
+        doc.save(path)
+        loaded = Document.load(path)
+        print(f"saved {path.stat().st_size} bytes; reloaded count //book =", loaded.count("//book"))
+
+        store = DocumentStore(Path(tmp) / "store", num_shards=4, cache_size=2)
+        store.add("catalog", doc)
+        store.add_xml("more", "<catalog><book><title>Managing Gigabytes</title></book></catalog>")
+        print("store count_all //book       =", store.count_all("//book"))
 
 
 if __name__ == "__main__":

@@ -1,4 +1,8 @@
-"""Setuptools entry point (kept for environments without the ``wheel`` package)."""
+"""Setuptools entry point (kept for environments without the ``wheel`` package).
+
+All package metadata lives in ``pyproject.toml``; this shim only exists so
+legacy ``python setup.py``-style tooling keeps working.
+"""
 
 from setuptools import setup
 

@@ -16,18 +16,31 @@ Quickstart
 """
 
 from repro.core.document import Document
-from repro.core.errors import ReproError, UnsupportedQueryError
+from repro.core.errors import (
+    CorruptedFileError,
+    DocumentNotFoundError,
+    ReproError,
+    StorageError,
+    UnsupportedQueryError,
+    VersionMismatchError,
+)
 from repro.core.options import EvaluationOptions, IndexOptions
+from repro.store.document_store import DocumentStore
 from repro.xpath.engine import QueryResult
 
 __all__ = [
     "Document",
+    "DocumentStore",
     "IndexOptions",
     "EvaluationOptions",
     "QueryResult",
     "ReproError",
     "UnsupportedQueryError",
+    "StorageError",
+    "CorruptedFileError",
+    "VersionMismatchError",
+    "DocumentNotFoundError",
     "__version__",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -20,9 +20,12 @@ constants.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import BinaryIO, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["BitVector"]
 
@@ -38,7 +41,7 @@ def _popcount_words(words: np.ndarray) -> np.ndarray:
     return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.uint32)
 
 
-class BitVector:
+class BitVector(Serializable):
     """Immutable bit vector with ``rank``/``select`` support.
 
     Parameters
@@ -87,6 +90,45 @@ class BitVector:
         if len(positions):
             arr[np.asarray(positions, dtype=np.int64)] = True
         return cls(arr)
+
+    @classmethod
+    def _from_words(cls, words: np.ndarray, length: int) -> "BitVector":
+        """Rebuild from packed words, recomputing the rank directory."""
+        bv = cls.__new__(cls)
+        bv._length = int(length)
+        bv._words = np.ascontiguousarray(words, dtype=np.uint64)
+        n_words = bv._words.size
+        counts = _popcount_words(bv._words) if n_words else np.zeros(0, dtype=np.uint32)
+        bv._rank_blocks = np.zeros(n_words + 1, dtype=np.uint64)
+        if n_words:
+            np.cumsum(counts, out=bv._rank_blocks[1:])
+        bv._total_ones = int(bv._rank_blocks[-1]) if n_words else 0
+        return bv
+
+    # -- persistence -----------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the bit vector (packed words + length)."""
+        writer = ChunkWriter(fp)
+        writer.header("BitVector")
+        writer.int("NBIT", self._length)
+        writer.array("WORD", self._words)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "BitVector":
+        """Read a bit vector written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("BitVector")
+        length = reader.int("NBIT")
+        words = reader.array("WORD")
+        if length < 0 or words.size != (length + _WORD_BITS - 1) // _WORD_BITS:
+            raise CorruptedFileError(f"bit vector of {length} bits cannot have {words.size} words")
+        words = words.astype(np.uint64, copy=False)
+        # Padding bits past `length` must be clear, or rank/select silently lie.
+        tail_bits = length % _WORD_BITS
+        if tail_bits and int(words[-1]) >> tail_bits:
+            raise CorruptedFileError("bit vector has set bits beyond its length")
+        return cls._from_words(words, length)
 
     # -- basic protocol --------------------------------------------------------
 

@@ -9,14 +9,17 @@ back-to-back into 64-bit words.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import BinaryIO, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["PackedIntArray"]
 
 
-class PackedIntArray:
+class PackedIntArray(Serializable):
     """Immutable array of fixed-width unsigned integers.
 
     Parameters
@@ -100,6 +103,34 @@ class PackedIntArray:
         head = list(self.to_list()[:8])
         suffix = ", ..." if self._length > 8 else ""
         return f"PackedIntArray({head}{suffix}, length={self._length}, width={self._width})"
+
+    # -- persistence ------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the packed array (length, width and packed words)."""
+        writer = ChunkWriter(fp)
+        writer.header("PackedIntArray")
+        writer.int("NVAL", self._length)
+        writer.int("WDTH", self._width)
+        writer.array("WORD", self._words)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "PackedIntArray":
+        """Read a packed array written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("PackedIntArray")
+        length = reader.int("NVAL")
+        width = reader.int("WDTH")
+        words = reader.array("WORD").astype(np.uint64, copy=False)
+        if not 1 <= width <= 64 or length < 0:
+            raise CorruptedFileError(f"invalid packed array geometry (length={length}, width={width})")
+        if words.size != (length * width + 63) // 64 + 1:
+            raise CorruptedFileError(f"packed array of {length}x{width} bits cannot have {words.size} words")
+        arr = cls.__new__(cls)
+        arr._length = int(length)
+        arr._width = int(width)
+        arr._words = words
+        return arr
 
     # -- accessors --------------------------------------------------------------
 

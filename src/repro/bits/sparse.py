@@ -19,14 +19,17 @@ rank O(log n)).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import BinaryIO, Iterable, Iterator, Sequence
 
 import numpy as np
+
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["SparseBitVector"]
 
 
-class SparseBitVector:
+class SparseBitVector(Serializable):
     """A bit vector stored as the sorted list of its one-positions.
 
     Parameters
@@ -91,6 +94,30 @@ class SparseBitVector:
             return 64
         width = max(1, int(self._length - 1).bit_length())
         return int(self._positions.size * width + 2 * self._positions.size)
+
+    # -- persistence -------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the sparse vector (sorted one-positions + universe size)."""
+        writer = ChunkWriter(fp)
+        writer.header("SparseBitVector")
+        writer.int("NBIT", self._length)
+        writer.array("ONES", self._positions)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "SparseBitVector":
+        """Read a sparse vector written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("SparseBitVector")
+        length = reader.int("NBIT")
+        positions = reader.array("ONES").astype(np.int64, copy=False)
+        if positions.size:
+            if positions[0] < 0 or positions[-1] >= length or np.any(np.diff(positions) <= 0):
+                raise CorruptedFileError("sparse bit vector positions are not strictly increasing in range")
+        sbv = cls.__new__(cls)
+        sbv._positions = positions
+        sbv._length = int(length)
+        return sbv
 
     # -- rank / select -----------------------------------------------------------
 

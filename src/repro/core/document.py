@@ -15,11 +15,14 @@ API:
 from __future__ import annotations
 
 import os
-from typing import Iterable, Sequence
+from dataclasses import asdict
+from typing import BinaryIO, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.errors import CorruptedFileError
 from repro.core.options import EvaluationOptions, IndexOptions
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 from repro.text.pssm import PositionWeightMatrix
 from repro.text.rlcsa import RLCSAIndex
 from repro.text.text_collection import TextCollection
@@ -33,16 +36,17 @@ from repro.xpath.engine import QueryResult, XPathEngine
 __all__ = ["Document"]
 
 
-class Document:
+class Document(Serializable):
     """An indexed XML document supporting XPath Core+ search.
 
-    Use the constructors :meth:`from_string`, :meth:`from_file` or
-    :meth:`from_model` rather than ``__init__`` directly.
+    Use the constructors :meth:`from_string`, :meth:`from_file`,
+    :meth:`from_model` or :meth:`load` rather than ``__init__`` directly.
     """
 
     def __init__(self, model: DocumentModel, options: IndexOptions | None = None):
         self.options = options or IndexOptions()
-        self.model = model
+        self._model: DocumentModel | None = model
+        self._source_bytes = int(model.source_bytes)
         self.tree = SuccinctTree(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions)
         self.tag_tables = TagPositionTables(self.tree)
 
@@ -86,6 +90,67 @@ class Document:
         """Index a prebuilt document model (used by the synthetic generators)."""
         return cls(model, options)
 
+    # -- persistence -------------------------------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise every index of the document (tree, tag tables, text, word).
+
+        The raw document model is *not* stored: the indexes replace it, and
+        :attr:`model` is rebuilt from them on demand after a load.  PSSM
+        registrations (:meth:`register_pssm`) are runtime state and are not
+        persisted.
+        """
+        writer = ChunkWriter(fp)
+        writer.header("Document")
+        writer.json(
+            "META",
+            {
+                "options": asdict(self.options),
+                "source_bytes": self._source_bytes,
+                "word_semantics": bool(self.word_semantics),
+            },
+        )
+        writer.child("TREE", self.tree)
+        writer.child("TTAB", self.tag_tables)
+        writer.child("TXTC", self.text_collection)
+        writer.int("WRD?", 0 if self.word_index is None else 1)
+        if self.word_index is not None:
+            writer.child("WIDX", self.word_index)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "Document":
+        """Read a document written by :meth:`write`; no XML parsing, no index build."""
+        reader = ChunkReader(fp)
+        reader.header("Document")
+        meta = reader.json("META")
+        doc = cls.__new__(cls)
+        try:
+            doc.options = IndexOptions(**meta["options"])
+        except (KeyError, TypeError) as exc:
+            raise CorruptedFileError(f"invalid document metadata: {exc}") from exc
+        doc._model = None
+        doc._source_bytes = int(meta.get("source_bytes", 0))
+        doc.tree = reader.child("TREE", SuccinctTree)
+        doc.tag_tables = reader.child("TTAB", TagPositionTables)
+        doc.text_collection = reader.child("TXTC", TextCollection)
+        doc.word_index = reader.child("WIDX", WordTextIndex) if reader.int("WRD?") else None
+        doc.word_semantics = bool(meta.get("word_semantics", False))
+        doc._engine = XPathEngine(doc)
+        doc._pcdata_only = {}
+        doc._pssm_registry = {}
+        return doc
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the indexed document to ``path`` (see :meth:`write`)."""
+        with open(path, "wb") as handle:
+            self.write(handle)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Document":
+        """Load a document previously written by :meth:`save`."""
+        with open(path, "rb") as handle:
+            return cls.read(handle)
+
     # -- basic statistics --------------------------------------------------------------------------------
 
     @property
@@ -108,17 +173,78 @@ class Document:
         """The underlying XPath engine."""
         return self._engine
 
-    def index_size_bits(self) -> dict[str, int]:
-        """Approximate per-component index sizes in bits (Figure 8 material)."""
-        tree_bits = self.tree.size_in_bits()
-        text_bits = self.text_collection.fm_index.size_in_bits()
+    @property
+    def model(self) -> DocumentModel:
+        """The document model the indexes were built from.
+
+        Documents revived through :meth:`load` do not carry the model; it is
+        reconstructed (and cached) from the succinct indexes on first access.
+        """
+        if self._model is None:
+            self._model = self._rebuild_model()
+        return self._model
+
+    def _rebuild_model(self) -> DocumentModel:
+        tree = self.tree
+        parens = tree.parentheses.to_numpy()
+        node_tags = np.full(parens.size, -1, dtype=np.int64)
+        tags = tree.tag_sequence
+        for tag in range(tree.num_tags):
+            node_tags[tags.occurrences(tag)] = tag
+        texts = [self.text_collection.get_text(i) for i in range(tree.num_texts)]
+        return DocumentModel(
+            parens=parens,
+            node_tags=node_tags,
+            tag_names=list(tree.tag_names()),
+            text_leaf_positions=tree.text_leaf_positions(),
+            texts=texts,
+            source_bytes=self._source_bytes,
+        )
+
+    def _component_bits(self) -> dict[str, int]:
+        """Size in bits of every index component (single source for the size APIs)."""
         plain = self.text_collection.plain
-        plain_bits = plain.size_in_bits() if plain is not None else 0
         return {
-            "tree": tree_bits,
-            "text_index": text_bits,
-            "plain_text": plain_bits,
-            "total": tree_bits + text_bits + plain_bits,
+            "tree": self.tree.size_in_bits(),
+            "tag_tables": self.tag_tables.size_in_bits(),
+            "text_index": self.text_collection.fm_index.size_in_bits(),
+            "plain_text": plain.size_in_bits() if plain is not None else 0,
+            "word_index": self.word_index.size_in_bits() if self.word_index is not None else 0,
+        }
+
+    def index_size_bits(self) -> dict[str, int]:
+        """Approximate per-component index sizes in bits (Figure 8 material).
+
+        Covers the paper's three components only; :meth:`stats` adds the tag
+        tables and the optional word index.
+        """
+        bits = self._component_bits()
+        return {
+            "tree": bits["tree"],
+            "text_index": bits["text_index"],
+            "plain_text": bits["plain_text"],
+            "total": bits["tree"] + bits["text_index"] + bits["plain_text"],
+        }
+
+    def stats(self) -> dict:
+        """Per-component size breakdown of the index, in bits and bytes.
+
+        Components: the succinct tree (parentheses + tags + leaf bitmap), the
+        relative tag-position tables, the text self-index (FM or RLCSA), the
+        optional plain-text store and the optional word index.
+        """
+        component_bits = self._component_bits()
+        total_bits = sum(component_bits.values())
+        return {
+            "num_nodes": self.num_nodes,
+            "num_texts": self.num_texts,
+            "num_tags": self.num_tags,
+            "source_bytes": self._source_bytes,
+            "components": {
+                name: {"bits": bits, "bytes": (bits + 7) // 8} for name, bits in component_bits.items()
+            },
+            "total_bits": total_bits,
+            "total_bytes": (total_bits + 7) // 8,
         }
 
     # -- text access ----------------------------------------------------------------------------------------

@@ -2,7 +2,14 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "UnsupportedQueryError"]
+__all__ = [
+    "ReproError",
+    "UnsupportedQueryError",
+    "StorageError",
+    "CorruptedFileError",
+    "VersionMismatchError",
+    "DocumentNotFoundError",
+]
 
 
 class ReproError(Exception):
@@ -15,3 +22,19 @@ class UnsupportedQueryError(ReproError):
     The paper's fragment excludes backward axes, positional predicates,
     arithmetic and joins; the same restrictions apply here.
     """
+
+
+class StorageError(ReproError):
+    """Base class for errors of the index persistence layer."""
+
+
+class CorruptedFileError(StorageError):
+    """A saved index failed an integrity check (bad magic, checksum or framing)."""
+
+
+class VersionMismatchError(StorageError):
+    """A saved index uses a codec version this library cannot read."""
+
+
+class DocumentNotFoundError(StorageError):
+    """A :class:`~repro.store.document_store.DocumentStore` lookup for an unknown identifier."""

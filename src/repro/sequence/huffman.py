@@ -10,7 +10,12 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import BinaryIO, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["HuffmanCode"]
 
@@ -28,7 +33,7 @@ class _Node:
         return (self.weight, self.order) < (other.weight, other.order)
 
 
-class HuffmanCode:
+class HuffmanCode(Serializable):
     """Canonical-by-construction Huffman code over integer symbols.
 
     Parameters
@@ -68,6 +73,41 @@ class HuffmanCode:
         assert node.left is not None and node.right is not None
         self._assign(node.left, prefix + (0,))
         self._assign(node.right, prefix + (1,))
+
+    # -- persistence -------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the codebook (symbols, codeword lengths, packed code bits)."""
+        symbols = sorted(self._codes)
+        lengths = np.array([len(self._codes[s]) for s in symbols], dtype=np.int64)
+        flat = np.array([bit for s in symbols for bit in self._codes[s]], dtype=np.uint8)
+        writer = ChunkWriter(fp)
+        writer.header("HuffmanCode")
+        writer.array("SYMS", np.array(symbols, dtype=np.int64))
+        writer.array("LENS", lengths)
+        writer.int("NBIT", int(flat.size))
+        writer.array("BITS", np.packbits(flat) if flat.size else np.zeros(0, dtype=np.uint8))
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "HuffmanCode":
+        """Read a codebook written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("HuffmanCode")
+        symbols = reader.array("SYMS").astype(np.int64, copy=False)
+        lengths = reader.array("LENS").astype(np.int64, copy=False)
+        n_bits = reader.int("NBIT")
+        packed = reader.array("BITS")
+        if symbols.size != lengths.size or int(lengths.sum()) != n_bits or np.any(lengths < 1):
+            raise CorruptedFileError("Huffman codebook arrays are inconsistent")
+        flat = np.unpackbits(packed)[:n_bits] if n_bits else np.zeros(0, dtype=np.uint8)
+        code = cls.__new__(cls)
+        code._codes = {}
+        offset = 0
+        for symbol, length in zip(symbols, lengths):
+            code._codes[int(symbol)] = tuple(int(b) for b in flat[offset : offset + int(length)])
+            offset += int(length)
+        code._root_symbols = [int(s) for s in symbols]
+        return code
 
     # -- accessors --------------------------------------------------------------
 

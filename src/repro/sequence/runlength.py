@@ -15,14 +15,17 @@ far better.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Sequence
+from typing import BinaryIO, Sequence
 
 import numpy as np
+
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["RunLengthSequence"]
 
 
-class RunLengthSequence:
+class RunLengthSequence(Serializable):
     """Rank/select/access over a run-length encoded integer sequence."""
 
     def __init__(self, sequence: Sequence[int] | bytes | np.ndarray):
@@ -30,22 +33,26 @@ class RunLengthSequence:
             seq = np.frombuffer(bytes(sequence), dtype=np.uint8).astype(np.int64)
         else:
             seq = np.asarray(sequence, dtype=np.int64)
-        self._length = int(seq.size)
-        if self._length == 0:
-            self._run_symbols = np.zeros(0, dtype=np.int64)
-            self._run_starts = np.zeros(0, dtype=np.int64)
-            self._counts: Counter[int] = Counter()
-            self._per_symbol: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        length = int(seq.size)
+        if length == 0:
+            self._init_from_runs(0, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
             return
         change = np.flatnonzero(np.diff(seq) != 0) + 1
-        run_starts = np.concatenate(([0], change))
-        self._run_starts = run_starts.astype(np.int64)
-        self._run_symbols = seq[run_starts].astype(np.int64)
+        run_starts = np.concatenate(([0], change)).astype(np.int64)
+        self._init_from_runs(length, run_starts, seq[run_starts].astype(np.int64))
+
+    def _init_from_runs(self, length: int, run_starts: np.ndarray, run_symbols: np.ndarray) -> None:
+        """Set up the per-symbol directories given the run decomposition."""
+        self._length = int(length)
+        self._run_starts = run_starts
+        self._run_symbols = run_symbols
+        self._counts: Counter[int] = Counter()
+        self._per_symbol: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        if self._length == 0:
+            return
         run_ends = np.concatenate((run_starts[1:], [self._length]))
         run_lengths = run_ends - run_starts
-        self._counts = Counter()
         # Per-symbol directories: run start positions and cumulative lengths.
-        self._per_symbol = {}
         for symbol in np.unique(self._run_symbols):
             mask = self._run_symbols == symbol
             starts = self._run_starts[mask]
@@ -54,6 +61,34 @@ class RunLengthSequence:
             np.cumsum(lengths, out=cumulative[1:])
             self._per_symbol[int(symbol)] = (starts, cumulative)
             self._counts[int(symbol)] = int(cumulative[-1])
+
+    # -- persistence --------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the run decomposition (starts + symbols + total length)."""
+        writer = ChunkWriter(fp)
+        writer.header("RunLengthSequence")
+        writer.int("NLEN", self._length)
+        writer.array("RSTA", self._run_starts)
+        writer.array("RSYM", self._run_symbols)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "RunLengthSequence":
+        """Read a run-length sequence written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("RunLengthSequence")
+        length = reader.int("NLEN")
+        starts = reader.array("RSTA").astype(np.int64, copy=False)
+        symbols = reader.array("RSYM").astype(np.int64, copy=False)
+        if starts.size != symbols.size or length < 0:
+            raise CorruptedFileError("run-length sequence arrays are inconsistent")
+        if starts.size and (starts[0] != 0 or np.any(np.diff(starts) <= 0) or starts[-1] >= length):
+            raise CorruptedFileError("run starts are not strictly increasing from zero")
+        if bool(starts.size) != bool(length):
+            raise CorruptedFileError("run decomposition does not match the sequence length")
+        seq = cls.__new__(cls)
+        seq._init_from_runs(length, starts, symbols)
+        return seq
 
     # -- basic protocol -----------------------------------------------------------
 

@@ -13,13 +13,16 @@ involved (``O(H0)`` on average), using one plain bitmap per internal node.
 
 from __future__ import annotations
 
+import struct
 from collections import Counter
-from typing import Sequence
+from typing import BinaryIO, Sequence
 
 import numpy as np
 
 from repro.bits.bitvector import BitVector
+from repro.core.errors import CorruptedFileError
 from repro.sequence.huffman import HuffmanCode
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["WaveletTree"]
 
@@ -34,7 +37,7 @@ class _WTNode:
         self.symbol: int | None = None  # set on leaves
 
 
-class WaveletTree:
+class WaveletTree(Serializable):
     """Huffman-shaped wavelet tree with rank/select/access.
 
     Parameters
@@ -74,6 +77,67 @@ class WaveletTree:
         node.left = self._build(seq[~bits], depth + 1, left_syms)
         node.right = self._build(seq[bits], depth + 1, right_syms)
         return node
+
+    # -- persistence --------------------------------------------------------------
+
+    def _write_node(self, writer: ChunkWriter, node: _WTNode) -> None:
+        if node.symbol is not None:
+            writer.chunk("NODE", struct.pack("<Bq", 1, node.symbol))
+            return
+        writer.chunk("NODE", struct.pack("<Bq", 0, 0))
+        assert node.bitmap is not None and node.left is not None and node.right is not None
+        writer.child("BMAP", node.bitmap)
+        self._write_node(writer, node.left)
+        self._write_node(writer, node.right)
+
+    @classmethod
+    def _read_node(cls, reader: ChunkReader) -> _WTNode:
+        payload = reader.chunk("NODE")
+        if len(payload) != 9:
+            raise CorruptedFileError("malformed wavelet tree node")
+        is_leaf, symbol = struct.unpack("<Bq", payload)
+        node = _WTNode()
+        if is_leaf:
+            node.symbol = int(symbol)
+            return node
+        node.bitmap = reader.child("BMAP", BitVector)
+        node.left = cls._read_node(reader)
+        node.right = cls._read_node(reader)
+        return node
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise symbol counts, the Huffman codebook and the node bitmaps."""
+        writer = ChunkWriter(fp)
+        writer.header("WaveletTree")
+        writer.int("NLEN", self._length)
+        symbols = sorted(self._counts)
+        writer.array("SYMS", np.array(symbols, dtype=np.int64))
+        writer.array("FREQ", np.array([self._counts[s] for s in symbols], dtype=np.int64))
+        if self._length:
+            assert self._code is not None and self._root is not None
+            writer.child("HUFF", self._code)
+            self._write_node(writer, self._root)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "WaveletTree":
+        """Read a wavelet tree written by :meth:`write` (no rebuild from the sequence)."""
+        reader = ChunkReader(fp)
+        reader.header("WaveletTree")
+        length = reader.int("NLEN")
+        symbols = reader.array("SYMS").astype(np.int64, copy=False)
+        freqs = reader.array("FREQ").astype(np.int64, copy=False)
+        if symbols.size != freqs.size or length < 0 or int(freqs.sum()) != length:
+            raise CorruptedFileError("wavelet tree symbol counts are inconsistent")
+        tree = cls.__new__(cls)
+        tree._length = int(length)
+        tree._counts = Counter({int(s): int(f) for s, f in zip(symbols, freqs)})
+        if length == 0:
+            tree._root = None
+            tree._code = None
+            return tree
+        tree._code = reader.child("HUFF", HuffmanCode)
+        tree._root = cls._read_node(reader)
+        return tree
 
     # -- basic protocol ----------------------------------------------------------
 

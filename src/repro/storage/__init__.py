@@ -1,0 +1,13 @@
+"""Index persistence: a versioned binary codec for every succinct structure.
+
+The structures themselves carry ``write(fp)``/``read(fp)`` and
+``to_bytes()``/``from_bytes()`` methods (mixed in from
+:class:`~repro.storage.codec.Serializable`); this package provides the shared
+chunk framing, the integrity checks and the error types.  The user-facing
+entry points are :meth:`repro.Document.save` / :meth:`repro.Document.load`
+and the sharded :class:`~repro.store.document_store.DocumentStore`.
+"""
+
+from repro.storage.codec import FORMAT_VERSION, MAGIC, ChunkReader, ChunkWriter, Serializable, peek_kind
+
+__all__ = ["MAGIC", "FORMAT_VERSION", "ChunkWriter", "ChunkReader", "Serializable", "peek_kind"]

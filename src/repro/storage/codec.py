@@ -1,0 +1,227 @@
+"""Versioned binary codec for the succinct structures.
+
+Every persisted structure is framed the same way:
+
+* a **header** -- the magic ``SXSI``, a little-endian ``uint16`` format
+  version, and the *kind* of the payload (the class name, length-prefixed);
+* a sequence of **chunks** -- ``[name:4 ascii][length:u64][crc32:u32][payload]``.
+
+Chunks are read back in writing order and every payload is verified against
+its CRC-32, so truncation, bit rot and mismatched files surface as typed
+:class:`~repro.core.errors.StorageError` subclasses instead of garbage
+structures.  Nested structures are stored as child chunks holding the child's
+complete serialisation (header included), which keeps every ``from_bytes``
+self-describing.
+
+The codec is deliberately dumb: fixed little-endian framing, no compression,
+no references.  The structures themselves are already compressed; what
+matters here is that loading is a handful of ``numpy`` buffer copies instead
+of an index construction.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+import zlib
+from typing import BinaryIO, Iterable
+
+import numpy as np
+
+from repro.core.errors import CorruptedFileError, StorageError, VersionMismatchError
+
+__all__ = ["MAGIC", "FORMAT_VERSION", "ChunkWriter", "ChunkReader", "Serializable", "peek_kind"]
+
+MAGIC = b"SXSI"
+FORMAT_VERSION = 1
+
+_CHUNK_HEAD = struct.Struct("<QI")  # payload length, crc32
+
+
+class ChunkWriter:
+    """Sequential writer of the header plus typed chunks."""
+
+    def __init__(self, fp: BinaryIO):
+        self._fp = fp
+
+    # -- framing ---------------------------------------------------------------
+
+    def header(self, kind: str) -> None:
+        """Write the magic, format version and payload kind."""
+        encoded = kind.encode("ascii")
+        if not 1 <= len(encoded) <= 255:
+            raise StorageError(f"kind {kind!r} must be 1..255 ASCII characters")
+        self._fp.write(MAGIC + struct.pack("<HB", FORMAT_VERSION, len(encoded)) + encoded)
+
+    def chunk(self, name: str, payload: bytes) -> None:
+        """Write one raw chunk."""
+        encoded = name.encode("ascii")
+        if len(encoded) != 4:
+            raise StorageError(f"chunk name {name!r} must be exactly 4 ASCII characters")
+        self._fp.write(encoded + _CHUNK_HEAD.pack(len(payload), zlib.crc32(payload)) + payload)
+
+    # -- typed helpers ---------------------------------------------------------
+
+    def int(self, name: str, value: int) -> None:
+        """Write a signed 64-bit integer chunk."""
+        self.chunk(name, struct.pack("<q", int(value)))
+
+    def json(self, name: str, obj) -> None:
+        """Write a JSON-serialisable object chunk."""
+        self.chunk(name, json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8"))
+
+    def bytes(self, name: str, data: bytes) -> None:
+        """Write an opaque byte-string chunk."""
+        self.chunk(name, bytes(data))
+
+    def array(self, name: str, arr: np.ndarray) -> None:
+        """Write a ``numpy`` array chunk (dtype + shape + raw buffer)."""
+        arr = np.ascontiguousarray(arr)
+        dtype = arr.dtype.str.encode("ascii")
+        head = struct.pack("<B", len(dtype)) + dtype + struct.pack("<B", arr.ndim)
+        head += struct.pack(f"<{arr.ndim}q", *arr.shape)
+        self.chunk(name, head + arr.tobytes())
+
+    def bytes_list(self, name: str, items: Iterable[bytes]) -> None:
+        """Write a list of byte strings as one chunk."""
+        items = list(items)
+        parts = [struct.pack("<q", len(items))]
+        for item in items:
+            parts.append(struct.pack("<q", len(item)))
+            parts.append(bytes(item))
+        self.chunk(name, b"".join(parts))
+
+    def child(self, name: str, obj: "Serializable") -> None:
+        """Write a nested structure (its full serialisation, header included)."""
+        self.chunk(name, obj.to_bytes())
+
+
+class ChunkReader:
+    """Sequential reader mirroring :class:`ChunkWriter`, with integrity checks."""
+
+    def __init__(self, fp: BinaryIO):
+        self._fp = fp
+
+    def _read_exact(self, n: int) -> bytes:
+        data = self._fp.read(n)
+        if len(data) != n:
+            raise CorruptedFileError(f"truncated file: expected {n} bytes, got {len(data)}")
+        return data
+
+    # -- framing ----------------------------------------------------------------
+
+    def header(self, expected_kind: str | tuple[str, ...] | None = None) -> str:
+        """Read and validate the header; return the payload kind."""
+        magic = self._read_exact(len(MAGIC))
+        if magic != MAGIC:
+            raise CorruptedFileError(f"bad magic {magic!r}: not an SXSI index file")
+        version, kind_len = struct.unpack("<HB", self._read_exact(3))
+        if version != FORMAT_VERSION:
+            raise VersionMismatchError(
+                f"file uses codec version {version}, this library reads version {FORMAT_VERSION}"
+            )
+        kind = self._read_exact(kind_len).decode("ascii")
+        if expected_kind is not None:
+            allowed = (expected_kind,) if isinstance(expected_kind, str) else tuple(expected_kind)
+            if kind not in allowed:
+                raise CorruptedFileError(f"expected a {' or '.join(allowed)} payload, found {kind!r}")
+        return kind
+
+    def chunk(self, expected_name: str) -> bytes:
+        """Read one chunk, verifying its name and checksum."""
+        name = self._read_exact(4).decode("ascii", errors="replace")
+        length, crc = _CHUNK_HEAD.unpack(self._read_exact(_CHUNK_HEAD.size))
+        if name != expected_name:
+            raise CorruptedFileError(f"expected chunk {expected_name!r}, found {name!r}")
+        payload = self._read_exact(length)
+        if zlib.crc32(payload) != crc:
+            raise CorruptedFileError(f"checksum mismatch in chunk {expected_name!r}")
+        return payload
+
+    # -- typed helpers -----------------------------------------------------------
+
+    def int(self, name: str) -> int:
+        """Read a signed 64-bit integer chunk."""
+        payload = self.chunk(name)
+        if len(payload) != 8:
+            raise CorruptedFileError(f"integer chunk {name!r} has length {len(payload)}")
+        return struct.unpack("<q", payload)[0]
+
+    def json(self, name: str):
+        """Read a JSON chunk."""
+        try:
+            return json.loads(self.chunk(name).decode("utf-8"))
+        except ValueError as exc:
+            raise CorruptedFileError(f"invalid JSON in chunk {name!r}: {exc}") from exc
+
+    def bytes(self, name: str) -> bytes:
+        """Read an opaque byte-string chunk."""
+        return self.chunk(name)
+
+    def array(self, name: str) -> np.ndarray:
+        """Read a ``numpy`` array chunk."""
+        payload = self.chunk(name)
+        try:
+            (dtype_len,) = struct.unpack_from("<B", payload, 0)
+            dtype = np.dtype(payload[1 : 1 + dtype_len].decode("ascii"))
+            offset = 1 + dtype_len
+            (ndim,) = struct.unpack_from("<B", payload, offset)
+            offset += 1
+            shape = struct.unpack_from(f"<{ndim}q", payload, offset)
+            offset += 8 * ndim
+            arr = np.frombuffer(payload, dtype=dtype, offset=offset).reshape(shape)
+        except (struct.error, TypeError, ValueError) as exc:
+            raise CorruptedFileError(f"malformed array chunk {name!r}: {exc}") from exc
+        return arr.copy()  # writable, detached from the payload buffer
+
+    def bytes_list(self, name: str) -> list[bytes]:
+        """Read a list-of-byte-strings chunk."""
+        payload = self.chunk(name)
+        try:
+            (count,) = struct.unpack_from("<q", payload, 0)
+            offset = 8
+            items: list[bytes] = []
+            for _ in range(count):
+                (length,) = struct.unpack_from("<q", payload, offset)
+                offset += 8
+                if length < 0 or offset + length > len(payload):
+                    raise ValueError("item length out of bounds")
+                items.append(payload[offset : offset + length])
+                offset += length
+        except (struct.error, ValueError) as exc:
+            raise CorruptedFileError(f"malformed list chunk {name!r}: {exc}") from exc
+        return items
+
+    def child(self, name: str, cls):
+        """Read a nested structure through ``cls.from_bytes``."""
+        return cls.from_bytes(self.chunk(name))
+
+
+class Serializable:
+    """Mixin adding ``to_bytes``/``from_bytes`` on top of ``write(fp)``/``read(fp)``."""
+
+    __slots__ = ()
+
+    def write(self, fp: BinaryIO) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @classmethod
+    def read(cls, fp: BinaryIO):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def to_bytes(self) -> bytes:
+        """Serialise the structure to a byte string."""
+        buffer = io.BytesIO()
+        self.write(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, data: bytes):
+        """Rebuild a structure from the output of :meth:`to_bytes`."""
+        return cls.read(io.BytesIO(data))
+
+
+def peek_kind(data: bytes) -> str:
+    """Return the payload kind of a serialised structure without decoding it."""
+    return ChunkReader(io.BytesIO(data)).header()

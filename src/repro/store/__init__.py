@@ -1,0 +1,5 @@
+"""Document collection serving: a sharded, lazily-loaded store of saved indexes."""
+
+from repro.store.document_store import DocumentStore
+
+__all__ = ["DocumentStore"]

@@ -1,0 +1,270 @@
+"""Sharded on-disk collection of saved documents with an LRU serving cache.
+
+The SXSI indexes are built once and then only queried; this module adds the
+*serve many* layer on top of :meth:`repro.Document.save` /
+:meth:`repro.Document.load`:
+
+* a store root holding ``num_shards`` shard subdirectories, with each document
+  placed by a stable hash of its identifier (``shard-017/orders.sxsi``);
+* lazy loading -- a document's index file is only read when a query touches
+  it, and at most ``cache_size`` documents are resident at a time (LRU);
+* batch query APIs (:meth:`count_all`, :meth:`query`, :meth:`serialize`,
+  :meth:`scatter_gather`) that iterate shard by shard, so a corpus far larger
+  than RAM is served with bounded memory.
+
+The layout is described by a ``store.json`` manifest so a store can be
+reopened by a different process (or machine) later.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.core.document import Document
+from repro.core.errors import DocumentNotFoundError, StorageError
+from repro.core.options import EvaluationOptions, IndexOptions
+
+__all__ = ["DocumentStore"]
+
+_MANIFEST = "store.json"
+_SUFFIX = ".sxsi"
+_MANIFEST_FORMAT = 1
+_DOC_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+class DocumentStore:
+    """A directory of saved :class:`~repro.Document` indexes, served lazily.
+
+    Parameters
+    ----------
+    root:
+        Store directory.  Created (with its manifest) if it does not exist;
+        when it does, the manifest's shard count wins over ``num_shards``.
+    num_shards:
+        Number of shard subdirectories documents are hashed into.
+    cache_size:
+        Maximum number of loaded documents kept resident (LRU eviction).
+    """
+
+    def __init__(self, root: str | os.PathLike, num_shards: int = 16, cache_size: int = 8):
+        if num_shards < 1:
+            raise StorageError("a store needs at least one shard")
+        if cache_size < 1:
+            raise StorageError("the resident cache must hold at least one document")
+        self._root = Path(root)
+        self._cache: OrderedDict[str, Document] = OrderedDict()
+        self._cache_size = int(cache_size)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+        manifest_path = self._root / _MANIFEST
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+                self._num_shards = int(manifest["num_shards"])
+            except (ValueError, KeyError, TypeError) as exc:
+                raise StorageError(f"unreadable store manifest at {manifest_path}: {exc}") from exc
+        else:
+            self._num_shards = int(num_shards)
+            self._root.mkdir(parents=True, exist_ok=True)
+            manifest_path.write_text(
+                json.dumps({"format": _MANIFEST_FORMAT, "num_shards": self._num_shards}, indent=2) + "\n",
+                encoding="utf-8",
+            )
+
+    # -- layout ------------------------------------------------------------------------
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shard subdirectories."""
+        return self._num_shards
+
+    @property
+    def cache_size(self) -> int:
+        """Maximum number of resident documents."""
+        return self._cache_size
+
+    def shard_of(self, doc_id: str) -> int:
+        """Stable shard index of ``doc_id`` (same across processes and machines)."""
+        digest = hashlib.sha1(doc_id.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self._num_shards
+
+    def _path_of(self, doc_id: str) -> Path:
+        if not _DOC_ID_RE.match(doc_id):
+            raise StorageError(
+                f"invalid document identifier {doc_id!r}: use letters, digits, '.', '_' or '-'"
+            )
+        return self._root / f"shard-{self.shard_of(doc_id):03d}" / f"{doc_id}{_SUFFIX}"
+
+    # -- membership --------------------------------------------------------------------
+
+    def doc_ids(self) -> list[str]:
+        """All stored document identifiers, sorted."""
+        ids = []
+        for shard_dir in self._root.glob("shard-*"):
+            for path in shard_dir.glob(f"*{_SUFFIX}"):
+                ids.append(path.name[: -len(_SUFFIX)])
+        return sorted(ids)
+
+    def shard_contents(self) -> dict[int, list[str]]:
+        """Document identifiers grouped by shard index (only non-empty shards)."""
+        shards: dict[int, list[str]] = {}
+        for doc_id in self.doc_ids():
+            shards.setdefault(self.shard_of(doc_id), []).append(doc_id)
+        return shards
+
+    def __len__(self) -> int:
+        return len(self.doc_ids())
+
+    def __contains__(self, doc_id: str) -> bool:
+        try:
+            return self._path_of(doc_id).exists()
+        except StorageError:
+            return False
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.doc_ids())
+
+    # -- writing -----------------------------------------------------------------------
+
+    def add(self, doc_id: str, document: Document, overwrite: bool = False) -> Path:
+        """Save ``document`` under ``doc_id`` and make it resident; returns its path."""
+        path = self._path_of(doc_id)
+        if path.exists() and not overwrite:
+            raise StorageError(f"document {doc_id!r} already exists (pass overwrite=True to replace)")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document.save(path)
+        self._remember(doc_id, document)
+        return path
+
+    def add_xml(
+        self,
+        doc_id: str,
+        xml: str | bytes,
+        options: IndexOptions | None = None,
+        overwrite: bool = False,
+    ) -> Path:
+        """Build an index from raw XML and store it (build once, serve many)."""
+        return self.add(doc_id, Document.from_string(xml, options), overwrite=overwrite)
+
+    def remove(self, doc_id: str) -> None:
+        """Delete a stored document (and drop it from the cache)."""
+        path = self._path_of(doc_id)
+        if not path.exists():
+            raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
+        path.unlink()
+        self._cache.pop(doc_id, None)
+
+    # -- reading / cache ---------------------------------------------------------------
+
+    def _remember(self, doc_id: str, document: Document) -> None:
+        self._cache[doc_id] = document
+        self._cache.move_to_end(doc_id)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, doc_id: str) -> Document:
+        """Return the document, loading it from disk if it is not resident."""
+        cached = self._cache.get(doc_id)
+        if cached is not None:
+            self.hits += 1
+            self._cache.move_to_end(doc_id)
+            return cached
+        path = self._path_of(doc_id)
+        if not path.exists():
+            raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
+        self.misses += 1
+        document = Document.load(path)
+        self._remember(doc_id, document)
+        return document
+
+    def resident_ids(self) -> list[str]:
+        """Identifiers currently held in the LRU cache, oldest first."""
+        return list(self._cache)
+
+    def cache_info(self) -> dict[str, int]:
+        """Hit/miss/eviction counters and current residency."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident": len(self._cache),
+            "capacity": self._cache_size,
+        }
+
+    # -- queries -----------------------------------------------------------------------
+
+    def count(self, doc_id: str, xpath: str, options: EvaluationOptions | None = None) -> int:
+        """``count(xpath)`` over one stored document."""
+        return self.get(doc_id).count(xpath, options)
+
+    def query(self, doc_id: str, xpath: str, options: EvaluationOptions | None = None) -> list[int]:
+        """Node handles selected by ``xpath`` over one stored document."""
+        return self.get(doc_id).query(xpath, options)
+
+    def serialize(self, doc_id: str, xpath: str, options: EvaluationOptions | None = None) -> list[str]:
+        """XML serialisations selected by ``xpath`` over one stored document."""
+        return self.get(doc_id).serialize(xpath, options)
+
+    def _iter_shard_order(self, doc_ids: Iterable[str] | None = None) -> list[str]:
+        """Document identifiers ordered shard by shard (maximises cache locality)."""
+        ids = self.doc_ids() if doc_ids is None else list(doc_ids)
+        return sorted(ids, key=lambda d: (self.shard_of(d), d))
+
+    def scatter_gather(
+        self,
+        fn: Callable[[str, Document], object],
+        doc_ids: Iterable[str] | None = None,
+        combine: Callable[[dict[str, object]], object] | None = None,
+    ):
+        """Apply ``fn(doc_id, document)`` to every document, shard by shard.
+
+        Documents are visited in shard order so that, even with a cache far
+        smaller than the corpus, each index file is loaded exactly once per
+        sweep.  Returns ``{doc_id: result}``, or ``combine(results)`` when a
+        combiner is given.
+        """
+        results: dict[str, object] = {}
+        for doc_id in self._iter_shard_order(doc_ids):
+            results[doc_id] = fn(doc_id, self.get(doc_id))
+        return combine(results) if combine is not None else results
+
+    def count_all(self, xpath: str, options: EvaluationOptions | None = None) -> dict[str, int]:
+        """``count(xpath)`` over every stored document, as ``{doc_id: count}``."""
+        return self.scatter_gather(lambda _, doc: doc.count(xpath, options))
+
+    def total_count(self, xpath: str, options: EvaluationOptions | None = None) -> int:
+        """Sum of ``count(xpath)`` over the whole corpus."""
+        return self.scatter_gather(
+            lambda _, doc: doc.count(xpath, options), combine=lambda r: sum(r.values())
+        )
+
+    # -- statistics --------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Store-level statistics: corpus size, shard spread, on-disk bytes."""
+        shards = self.shard_contents()
+        disk_bytes = 0
+        for shard_dir in self._root.glob("shard-*"):
+            for path in shard_dir.glob(f"*{_SUFFIX}"):
+                disk_bytes += path.stat().st_size
+        return {
+            "num_documents": sum(len(ids) for ids in shards.values()),
+            "num_shards": self._num_shards,
+            "occupied_shards": len(shards),
+            "disk_bytes": disk_bytes,
+            "cache": self.cache_info(),
+        }

@@ -16,18 +16,27 @@ and counting/locating pattern occurrences never touches the original strings.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import BinaryIO, Callable, Iterable, Sequence
 
 import numpy as np
 
 from repro.bits.bitvector import BitVector
+from repro.core.errors import CorruptedFileError, StorageError
+from repro.sequence.runlength import RunLengthSequence
 from repro.sequence.wavelet_tree import WaveletTree
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 from repro.text.bwt import TERMINATOR, bwt_of_collection
 
 __all__ = ["FMIndex"]
 
+#: BWT rank/select representations the codec knows how to revive.
+_SEQUENCE_KINDS: dict[str, type] = {
+    "WaveletTree": WaveletTree,
+    "RunLengthSequence": RunLengthSequence,
+}
 
-class FMIndex:
+
+class FMIndex(Serializable):
     """Self-index for a collection of byte strings.
 
     Parameters
@@ -77,6 +86,57 @@ class FMIndex:
 
         # Dollar-row bookkeeping: rows of the BWT holding a terminator, in order.
         self._dollar_rows = np.flatnonzero(bwt == TERMINATOR)
+
+    # -- persistence --------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the whole self-index (BWT sequence, C array, samples, Doc)."""
+        kind = type(self._sequence).__name__
+        if kind not in _SEQUENCE_KINDS:
+            raise StorageError(f"cannot persist an FM-index over a {kind} sequence")
+        writer = ChunkWriter(fp)
+        writer.header("FMIndex")
+        writer.int("NLEN", self._length)
+        writer.int("NTXT", self._num_texts)
+        writer.int("SRAT", self._sample_rate)
+        writer.array("TLEN", self._texts_lengths)
+        writer.array("TSTR", self._text_starts)
+        writer.array("DOCR", self._doc_row_map)
+        writer.array("CARR", self._c_array)
+        writer.json("SEQK", kind)
+        writer.child("SEQ_", self._sequence)
+        writer.child("SBMP", self._sample_bitmap)
+        writer.array("SAMP", self._samples)
+        writer.array("DROW", self._dollar_rows)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "FMIndex":
+        """Read an FM-index written by :meth:`write` (no BWT reconstruction)."""
+        reader = ChunkReader(fp)
+        reader.header("FMIndex")
+        fm = cls.__new__(cls)
+        fm._length = reader.int("NLEN")
+        fm._num_texts = reader.int("NTXT")
+        fm._sample_rate = reader.int("SRAT")
+        if fm._length < 0 or fm._num_texts < 0 or fm._sample_rate < 1:
+            raise CorruptedFileError("FM-index geometry is invalid")
+        fm._texts_lengths = reader.array("TLEN").astype(np.int64, copy=False)
+        fm._text_starts = reader.array("TSTR").astype(np.int64, copy=False)
+        fm._doc_row_map = reader.array("DOCR").astype(np.int64, copy=False)
+        fm._c_array = reader.array("CARR").astype(np.int64, copy=False)
+        kind = reader.json("SEQK")
+        sequence_cls = _SEQUENCE_KINDS.get(kind)
+        if sequence_cls is None:
+            raise CorruptedFileError(f"unknown BWT sequence kind {kind!r}")
+        fm._sequence = reader.child("SEQ_", sequence_cls)
+        fm._sample_bitmap = reader.child("SBMP", BitVector)
+        fm._samples = reader.array("SAMP").astype(np.int64, copy=False)
+        fm._dollar_rows = reader.array("DROW").astype(np.int64, copy=False)
+        if len(fm._sequence) != fm._length or len(fm._sample_bitmap) != fm._length:
+            raise CorruptedFileError("FM-index component lengths disagree")
+        if fm._texts_lengths.size != fm._num_texts or fm._text_starts.size != fm._num_texts:
+            raise CorruptedFileError("FM-index text bookkeeping arrays disagree")
+        return fm
 
     # -- basic accessors ----------------------------------------------------------
 

@@ -16,18 +16,35 @@ between the two transparently.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import BinaryIO, Iterable, Sequence
 
 import numpy as np
+
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["NaiveTextCollection"]
 
 
-class NaiveTextCollection:
+class NaiveTextCollection(Serializable):
     """Plain (uncompressed, unindexed) text collection with scan-based queries."""
 
     def __init__(self, texts: Sequence[bytes]):
         self._texts: list[bytes] = [bytes(t) for t in texts]
+
+    # -- persistence ------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the raw text buffers."""
+        writer = ChunkWriter(fp)
+        writer.header("NaiveTextCollection")
+        writer.bytes_list("TXTS", self._texts)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "NaiveTextCollection":
+        """Read a collection written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("NaiveTextCollection")
+        return cls(reader.bytes_list("TXTS"))
 
     # -- basic accessors -------------------------------------------------------
 

@@ -14,9 +14,14 @@ end-marker of the i-th text appears at F[i]".
 
 from __future__ import annotations
 
+from typing import BinaryIO
+
 import numpy as np
 
-__all__ = ["build_suffix_array", "suffix_array_of_bytes"]
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter
+
+__all__ = ["build_suffix_array", "suffix_array_of_bytes", "write_suffix_array", "read_suffix_array"]
 
 
 def build_suffix_array(sequence: np.ndarray) -> np.ndarray:
@@ -66,3 +71,20 @@ def build_suffix_array(sequence: np.ndarray) -> np.ndarray:
 def suffix_array_of_bytes(text: bytes) -> np.ndarray:
     """Suffix array of a plain byte string (helper for tests and small tools)."""
     return build_suffix_array(np.frombuffer(text, dtype=np.uint8).astype(np.int64))
+
+
+def write_suffix_array(fp: BinaryIO, sa: np.ndarray) -> None:
+    """Serialise a suffix array with the shared chunk framing (checksummed)."""
+    writer = ChunkWriter(fp)
+    writer.header("SuffixArray")
+    writer.array("SUFA", np.asarray(sa, dtype=np.int64))
+
+
+def read_suffix_array(fp: BinaryIO) -> np.ndarray:
+    """Read a suffix array written by :func:`write_suffix_array`, validating it is a permutation."""
+    reader = ChunkReader(fp)
+    reader.header("SuffixArray")
+    sa = reader.array("SUFA").astype(np.int64, copy=False)
+    if sa.size and not np.array_equal(np.sort(sa), np.arange(sa.size)):
+        raise CorruptedFileError("suffix array is not a permutation of 0..n-1")
+    return sa

@@ -18,18 +18,20 @@ should run over the FM-index or over the plain buffers (Section 6.3).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import BinaryIO, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.errors import CorruptedFileError
 from repro.sequence.wavelet_tree import WaveletTree
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 from repro.text.fm_index import FMIndex
 from repro.text.naive_text import NaiveTextCollection
 
 __all__ = ["TextCollection"]
 
 
-class TextCollection:
+class TextCollection(Serializable):
     """Indexed text collection with the XPath text-predicate operations.
 
     Parameters
@@ -60,6 +62,46 @@ class TextCollection:
         self._fm = FMIndex(encoded, sample_rate=sample_rate, sequence_factory=sequence_factory)
         self._plain: NaiveTextCollection | None = NaiveTextCollection(encoded) if keep_plain_text else None
         self._num_texts = len(encoded)
+
+    #: Subclasses register here so ``TextCollection.read`` revives the right class.
+    _REGISTRY: dict[str, type] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        TextCollection._REGISTRY[cls.__name__] = cls
+
+    # -- persistence -----------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the FM-index plus the optional plain store.
+
+        The header kind records the concrete class, so reading the bytes back
+        through :meth:`TextCollection.read` revives subclasses such as
+        :class:`~repro.text.rlcsa.RLCSAIndex` transparently.
+        """
+        writer = ChunkWriter(fp)
+        writer.header(type(self).__name__)
+        writer.child("FMIX", self._fm)
+        writer.int("PLN?", 0 if self._plain is None else 1)
+        if self._plain is not None:
+            writer.child("PLNT", self._plain)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "TextCollection":
+        """Read a collection written by :meth:`write`, reviving the saved class."""
+        from repro.text import rlcsa  # noqa: F401 - registers RLCSAIndex in _REGISTRY
+
+        registry = {TextCollection.__name__: TextCollection, **TextCollection._REGISTRY}
+        reader = ChunkReader(fp)
+        kind = reader.header(tuple(registry))
+        target = registry[kind]
+        if cls is not TextCollection and not issubclass(target, cls):
+            raise CorruptedFileError(f"expected a {cls.__name__} payload, found {kind!r}")
+        collection = target.__new__(target)
+        collection._fm = reader.child("FMIX", FMIndex)
+        collection._plain = reader.child("PLNT", NaiveTextCollection) if reader.int("PLN?") else None
+        collection._num_texts = collection._fm.num_texts
+        return collection
 
     # -- accessors -------------------------------------------------------------------
 

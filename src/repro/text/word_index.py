@@ -15,11 +15,13 @@ closely enough that the XPath engine can swap it in for text predicates.
 from __future__ import annotations
 
 import re
-from typing import Sequence
+from typing import BinaryIO, Sequence
 
 import numpy as np
 
+from repro.core.errors import CorruptedFileError
 from repro.sequence.wavelet_tree import WaveletTree
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 from repro.text.suffix_array import build_suffix_array
 
 __all__ = ["WordTextIndex", "tokenize_words"]
@@ -32,7 +34,7 @@ def tokenize_words(text: bytes) -> list[bytes]:
     return [m.group(0).lower() for m in _WORD_RE.finditer(text)]
 
 
-class WordTextIndex:
+class WordTextIndex(Serializable):
     """Self-index over word tokens of a text collection.
 
     Parameters
@@ -92,6 +94,64 @@ class WordTextIndex:
         # Doc array for word-level dollar rows.
         dollar_rows = np.flatnonzero(bwt == self._TERMINATOR)
         self._doc_row_map = doc_of_position[sa[dollar_rows]] if total else np.zeros(0, dtype=np.int64)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the vocabulary, token streams and the word-level BWT index."""
+        writer = ChunkWriter(fp)
+        writer.header("WordTextIndex")
+        writer.int("NTXT", self._num_texts)
+        writer.int("NLEN", self._length)
+        writer.bytes_list("VOCB", self._vocabulary)  # insertion order == id order (1-based)
+        offsets = np.zeros(self._num_texts + 1, dtype=np.int64)
+        np.cumsum([len(ids) for ids in self._doc_token_ids], out=offsets[1:])
+        writer.array("TOFF", offsets)
+        flat = [word_id for ids in self._doc_token_ids for word_id in ids]
+        writer.array("TOKS", np.array(flat, dtype=np.int64))
+        writer.array("TSTR", self._text_starts)
+        writer.array("DOCP", self._doc_of_position)
+        writer.array("SDOC", self._suffix_docs)
+        writer.array("CARR", self._c_array)
+        writer.array("DRMP", self._doc_row_map)
+        writer.child("WAVT", self._wavelet)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "WordTextIndex":
+        """Read a word index written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("WordTextIndex")
+        index = cls.__new__(cls)
+        index._num_texts = reader.int("NTXT")
+        index._length = reader.int("NLEN")
+        words = reader.bytes_list("VOCB")
+        index._vocabulary = {bytes(word): i + 1 for i, word in enumerate(words)}
+        offsets = reader.array("TOFF").astype(np.int64, copy=False)
+        flat = reader.array("TOKS").astype(np.int64, copy=False)
+        if offsets.size != index._num_texts + 1 or (offsets.size and offsets[-1] != flat.size):
+            raise CorruptedFileError("word index token offsets are inconsistent")
+        index._doc_token_ids = [
+            [int(t) for t in flat[offsets[d] : offsets[d + 1]]] for d in range(index._num_texts)
+        ]
+        index._text_starts = reader.array("TSTR").astype(np.int64, copy=False)
+        index._doc_of_position = reader.array("DOCP").astype(np.int64, copy=False)
+        index._suffix_docs = reader.array("SDOC").astype(np.int64, copy=False)
+        index._c_array = reader.array("CARR").astype(np.int64, copy=False)
+        index._doc_row_map = reader.array("DRMP").astype(np.int64, copy=False)
+        index._wavelet = reader.child("WAVT", WaveletTree)
+        if len(index._wavelet) != index._length:
+            raise CorruptedFileError("word index wavelet tree length disagrees")
+        return index
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage of the word-level index."""
+        total = self._wavelet.size_in_bits()
+        total += 8 * sum(len(word) + 1 for word in self._vocabulary)
+        width = max(1, len(self._vocabulary).bit_length())
+        total += width * sum(len(ids) for ids in self._doc_token_ids)
+        for arr in (self._text_starts, self._doc_of_position, self._suffix_docs, self._c_array, self._doc_row_map):
+            total += int(arr.size) * 64
+        return total
 
     # -- accessors --------------------------------------------------------------------
 

@@ -20,11 +20,13 @@ the block's minimum and maximum.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import BinaryIO, Iterable, Sequence
 
 import numpy as np
 
 from repro.bits.bitvector import BitVector
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["BalancedParentheses"]
 
@@ -32,7 +34,7 @@ _BLOCK = 64
 _SUPER = 64  # blocks per super-block
 
 
-class BalancedParentheses:
+class BalancedParentheses(Serializable):
     """Balanced parentheses with rank/select and matching queries.
 
     Parameters
@@ -74,6 +76,48 @@ class BalancedParentheses:
             hi = min(lo + _SUPER, n_blocks)
             self._super_min[s] = self._block_min[lo:hi].min()
             self._super_max[s] = self._block_max[lo:hi].max()
+
+    # -- persistence --------------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the bitmap and the range min-max directory."""
+        writer = ChunkWriter(fp)
+        writer.header("BalancedParentheses")
+        writer.child("BITV", self._bv)
+        writer.array("BMIN", self._block_min)
+        writer.array("BMAX", self._block_max)
+        writer.array("SMIN", self._super_min)
+        writer.array("SMAX", self._super_max)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "BalancedParentheses":
+        """Read a parentheses structure written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("BalancedParentheses")
+        bv = reader.child("BITV", BitVector)
+        if len(bv) and bv.count_ones * 2 != len(bv):
+            raise CorruptedFileError("parentheses bitmap is not balanced")
+        par = cls.__new__(cls)
+        par._length = len(bv)
+        par._bv = bv
+        par._block_min = reader.array("BMIN").astype(np.int64, copy=False)
+        par._block_max = reader.array("BMAX").astype(np.int64, copy=False)
+        par._super_min = reader.array("SMIN").astype(np.int64, copy=False)
+        par._super_max = reader.array("SMAX").astype(np.int64, copy=False)
+        n_blocks = (par._length + _BLOCK - 1) // _BLOCK
+        n_super = (n_blocks + _SUPER - 1) // _SUPER
+        if (
+            par._block_min.size != n_blocks
+            or par._block_max.size != n_blocks
+            or par._super_min.size != n_super
+            or par._super_max.size != n_super
+        ):
+            raise CorruptedFileError("parentheses min-max directory does not match the bitmap length")
+        return par
+
+    def to_numpy(self) -> np.ndarray:
+        """Return the parentheses as a boolean array (truthy = opening)."""
+        return self._bv.to_numpy()
 
     # -- basic protocol -----------------------------------------------------------------
 

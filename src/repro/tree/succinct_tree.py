@@ -18,11 +18,13 @@ the paper's ``Nil`` node.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import BinaryIO, Iterator, Sequence
 
 import numpy as np
 
 from repro.bits.bitvector import BitVector
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 from repro.tree.balanced_parens import BalancedParentheses
 from repro.tree.tag_sequence import TagSequence
 
@@ -32,7 +34,7 @@ __all__ = ["SuccinctTree", "NIL"]
 NIL = -1
 
 
-class SuccinctTree:
+class SuccinctTree(Serializable):
     """Succinct labeled tree over balanced parentheses.
 
     Parameters
@@ -80,6 +82,41 @@ class SuccinctTree:
         self._text_bitmap = BitVector.from_positions(sorted(int(p) for p in text_leaf_positions), length)
         self._num_texts = self._text_bitmap.count_ones
         self._num_nodes = length // 2
+
+    # -- persistence --------------------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise parentheses, tag sequence, tag names and the leaf bitmap."""
+        writer = ChunkWriter(fp)
+        writer.header("SuccinctTree")
+        writer.child("PARS", self._par)
+        writer.child("TAGS", self._tags)
+        writer.json("NAME", self._tag_names)
+        writer.child("TXTB", self._text_bitmap)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "SuccinctTree":
+        """Read a tree written by :meth:`write` without re-deriving any index."""
+        reader = ChunkReader(fp)
+        reader.header("SuccinctTree")
+        tree = cls.__new__(cls)
+        tree._par = reader.child("PARS", BalancedParentheses)
+        tree._tags = reader.child("TAGS", TagSequence)
+        names = reader.json("NAME")
+        if not isinstance(names, list) or not all(isinstance(n, str) for n in names):
+            raise CorruptedFileError("tag name table is not a list of strings")
+        tree._tag_names = names
+        tree._tag_ids = {name: i for i, name in enumerate(names)}
+        tree._text_bitmap = reader.child("TXTB", BitVector)
+        if len(tree._tags) != len(tree._par) or len(tree._text_bitmap) != len(tree._par):
+            raise CorruptedFileError("tree component lengths disagree")
+        tree._num_texts = tree._text_bitmap.count_ones
+        tree._num_nodes = len(tree._par) // 2
+        return tree
+
+    def text_leaf_positions(self) -> list[int]:
+        """Opening-parenthesis positions of the text-carrying leaves, in document order."""
+        return [self._text_bitmap.select1(j) for j in range(1, self._num_texts + 1)]
 
     # -- size / identity ----------------------------------------------------------------------
 

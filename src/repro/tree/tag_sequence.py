@@ -13,17 +13,19 @@ These operations are exactly what the jumping primitives ``TaggedDesc``,
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import BinaryIO, Sequence
 
 import numpy as np
 
 from repro.bits.intarray import PackedIntArray
 from repro.bits.sparse import SparseBitVector
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 
 __all__ = ["TagSequence"]
 
 
-class TagSequence:
+class TagSequence(Serializable):
     """Tag identifiers per parenthesis position, with per-tag rank/select.
 
     Parameters
@@ -57,6 +59,36 @@ class TagSequence:
         for tag in range(self._num_tags):
             positions = np.flatnonzero(tags == tag)
             self._rows.append(SparseBitVector(positions, self._length))
+
+    # -- persistence -------------------------------------------------------------------
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the packed access array and the per-tag sparse rows."""
+        writer = ChunkWriter(fp)
+        writer.header("TagSequence")
+        writer.int("NLEN", self._length)
+        writer.int("NTAG", self._num_tags)
+        writer.child("ACCS", self._access)
+        for row in self._rows:
+            writer.child("ROW_", row)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "TagSequence":
+        """Read a tag sequence written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("TagSequence")
+        length = reader.int("NLEN")
+        num_tags = reader.int("NTAG")
+        if length < 0 or num_tags < 0:
+            raise CorruptedFileError("tag sequence geometry is negative")
+        seq = cls.__new__(cls)
+        seq._length = int(length)
+        seq._num_tags = int(num_tags)
+        seq._access = reader.child("ACCS", PackedIntArray)
+        if len(seq._access) != seq._length:
+            raise CorruptedFileError("tag access array does not match the sequence length")
+        seq._rows = [reader.child("ROW_", SparseBitVector) for _ in range(seq._num_tags)]
+        return seq
 
     # -- accessors ---------------------------------------------------------------------
 

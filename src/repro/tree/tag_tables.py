@@ -11,12 +11,16 @@ constant "empty" answer.
 
 from __future__ import annotations
 
+from typing import BinaryIO
+
+from repro.core.errors import CorruptedFileError
+from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
 from repro.tree.succinct_tree import NIL, SuccinctTree
 
 __all__ = ["TagPositionTables"]
 
 
-class TagPositionTables:
+class TagPositionTables(Serializable):
     """The four relative tag-position tables of a document tree."""
 
     def __init__(self, tree: SuccinctTree):
@@ -82,6 +86,44 @@ class TagPositionTables:
             for b in range(self._num_tags):
                 if latest_start[b] is not None and latest_start[b] > earliest_close[a]:
                     self._following[a].add(b)
+
+    # -- persistence -------------------------------------------------------------------------
+
+    _TABLE_NAMES = ("descendants", "children", "following_siblings", "following")
+
+    def write(self, fp: BinaryIO) -> None:
+        """Serialise the four tables (they are expensive to rebuild: one full DFS)."""
+        writer = ChunkWriter(fp)
+        writer.header("TagPositionTables")
+        writer.int("NTAG", self._num_tags)
+        tables = {
+            name: [sorted(entry) for entry in getattr(self, f"_{name}")] for name in self._TABLE_NAMES
+        }
+        writer.json("TABS", tables)
+
+    @classmethod
+    def read(cls, fp: BinaryIO) -> "TagPositionTables":
+        """Read tables written by :meth:`write`."""
+        reader = ChunkReader(fp)
+        reader.header("TagPositionTables")
+        num_tags = reader.int("NTAG")
+        payload = reader.json("TABS")
+        tables = cls.__new__(cls)
+        tables._num_tags = int(num_tags)
+        for name in cls._TABLE_NAMES:
+            rows = payload.get(name) if isinstance(payload, dict) else None
+            if not isinstance(rows, list) or len(rows) != num_tags:
+                raise CorruptedFileError(f"tag table {name!r} is missing or has the wrong arity")
+            setattr(tables, f"_{name}", [set(int(tag) for tag in row) for row in rows])
+        return tables
+
+    def size_in_bits(self) -> int:
+        """Approximate space usage: one small integer per table entry."""
+        entries = sum(
+            len(entry) for name in self._TABLE_NAMES for entry in getattr(self, f"_{name}")
+        )
+        width = max(1, int(max(self._num_tags - 1, 1)).bit_length())
+        return entries * width + 4 * self._num_tags * 64
 
     # -- queries -----------------------------------------------------------------------------
 

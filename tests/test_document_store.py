@@ -1,0 +1,181 @@
+"""Document persistence (save/load) and the sharded DocumentStore serving layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Document,
+    DocumentNotFoundError,
+    DocumentStore,
+    IndexOptions,
+    StorageError,
+)
+
+SITE_XML = """
+<site>
+ <regions><europe><item id="i1"><name>Pen</name><description>nice <keyword>red</keyword> pen</description></item></europe>
+  <asia><item id="i2"><name>Rubber</name><description>Soon discontinued</description></item></asia>
+ </regions>
+ <people>
+  <person id="p0"><name>Alice</name><phone>123</phone></person>
+  <person id="p1"><name>Bob</name><homepage>http://b.example</homepage></person>
+ </people>
+</site>
+"""
+
+QUERIES = [
+    "//person",
+    "//item[keyword]",
+    '//person[name = "Alice"]/phone',
+    '//*[contains(., "red")]',
+    "//item//name",
+]
+
+
+# -- Document.save / Document.load --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        IndexOptions(),
+        IndexOptions(text_index="rlcsa"),
+        IndexOptions(text_index="none"),
+        IndexOptions(keep_plain_text=False, sample_rate=8),
+        IndexOptions(word_index=True),
+    ],
+    ids=["default", "rlcsa", "none", "no-plain", "word-index"],
+)
+def test_document_save_load_round_trip(tmp_path, options):
+    original = Document.from_string(SITE_XML, options)
+    path = tmp_path / "site.sxsi"
+    original.save(path)
+    loaded = Document.load(path)
+    assert loaded.options == original.options
+    assert loaded.num_nodes == original.num_nodes
+    assert loaded.num_texts == original.num_texts
+    assert loaded.tag_counts() == original.tag_counts()
+    for query in QUERIES:
+        assert loaded.count(query) == original.count(query), query
+        assert loaded.serialize(query) == original.serialize(query), query
+
+
+def test_loaded_document_rebuilds_model(tmp_path):
+    original = Document.from_string(SITE_XML)
+    path = tmp_path / "site.sxsi"
+    original.save(path)
+    loaded = Document.load(path)
+    model = loaded.model  # reconstructed lazily from the indexes
+    assert model.num_nodes == original.model.num_nodes
+    assert model.tag_names == original.model.tag_names
+    assert model.texts == original.model.texts
+    assert list(model.node_tags) == list(original.model.node_tags)
+    assert list(model.text_leaf_positions) == list(original.model.text_leaf_positions)
+
+
+def test_document_bytes_round_trip_preserves_stats():
+    original = Document.from_string(SITE_XML)
+    loaded = Document.from_bytes(original.to_bytes())
+    assert loaded.stats() == original.stats()
+
+
+def test_document_stats_breakdown():
+    doc = Document.from_string(SITE_XML, IndexOptions(word_index=True))
+    stats = doc.stats()
+    assert stats["num_nodes"] == doc.num_nodes
+    assert set(stats["components"]) == {"tree", "tag_tables", "text_index", "plain_text", "word_index"}
+    for entry in stats["components"].values():
+        assert entry["bytes"] == (entry["bits"] + 7) // 8
+    assert stats["total_bits"] == sum(e["bits"] for e in stats["components"].values())
+    assert stats["components"]["word_index"]["bits"] > 0
+    no_plain = Document.from_string(SITE_XML, IndexOptions(keep_plain_text=False))
+    assert no_plain.stats()["components"]["plain_text"]["bits"] == 0
+
+
+# -- DocumentStore ------------------------------------------------------------------------
+
+
+def _populate(root, num_docs=6, **kwargs) -> DocumentStore:
+    store = DocumentStore(root, **kwargs)
+    for i in range(num_docs):
+        items = "".join(f"<item id='x{j}'>text {i}-{j}</item>" for j in range(i + 1))
+        store.add_xml(f"doc-{i}", f"<doc><n>{i}</n>{items}</doc>")
+    return store
+
+def test_store_shards_and_batch_queries(tmp_path):
+    store = _populate(tmp_path / "store", num_shards=4, cache_size=2)
+    assert len(store) == 6
+    assert "doc-3" in store and "missing" not in store
+    assert store.count_all("//item") == {f"doc-{i}": i + 1 for i in range(6)}
+    assert store.total_count("//item") == 21
+    assert store.serialize("doc-0", "//n") == ["<n>0</n>"]
+    assert store.query("doc-2", "//item") == store.get("doc-2").query("//item")
+    # Documents really are spread over shard subdirectories.
+    spread = store.shard_contents()
+    assert sum(len(ids) for ids in spread.values()) == 6
+    assert len(spread) > 1
+
+
+def test_store_lru_smaller_than_corpus_is_correct(tmp_path):
+    store = _populate(tmp_path / "store", num_shards=4, cache_size=2)
+    assert store.cache_info()["capacity"] == 2
+    for sweep in range(2):
+        assert store.count_all("//item") == {f"doc-{i}": i + 1 for i in range(6)}
+    info = store.cache_info()
+    assert info["resident"] <= 2
+    assert info["evictions"] > 0
+
+
+def test_store_cache_hits_on_repeat_access(tmp_path):
+    store = _populate(tmp_path / "store", num_docs=3, cache_size=2)
+    store.hits = store.misses = 0
+    store.get("doc-0")
+    store.get("doc-0")
+    assert store.cache_info()["hits"] >= 1
+
+
+def test_store_reopen_uses_manifest(tmp_path):
+    root = tmp_path / "store"
+    store = _populate(root, num_shards=4, cache_size=2)
+    counts = store.count_all("//item")
+    reopened = DocumentStore(root, num_shards=64, cache_size=3)  # manifest wins over the argument
+    assert reopened.num_shards == 4
+    assert reopened.count_all("//item") == counts
+    assert reopened.stats()["disk_bytes"] > 0
+
+
+def test_store_scatter_gather_with_combiner(tmp_path):
+    store = _populate(tmp_path / "store", num_docs=4, cache_size=2)
+    total = store.scatter_gather(
+        lambda _, doc: doc.num_nodes, combine=lambda results: sum(results.values())
+    )
+    assert total == sum(doc.num_nodes for doc in (store.get(d) for d in store.doc_ids()))
+
+
+def test_store_add_remove_and_errors(tmp_path):
+    store = _populate(tmp_path / "store", num_docs=2)
+    with pytest.raises(StorageError, match="already exists"):
+        store.add_xml("doc-0", "<doc/>")
+    store.add_xml("doc-0", "<doc><n>new</n></doc>", overwrite=True)
+    assert store.serialize("doc-0", "//n") == ["<n>new</n>"]
+    store.remove("doc-1")
+    assert "doc-1" not in store
+    with pytest.raises(DocumentNotFoundError):
+        store.get("doc-1")
+    with pytest.raises(DocumentNotFoundError):
+        store.remove("doc-1")
+    with pytest.raises(StorageError, match="identifier"):
+        store.add_xml("../escape", "<doc/>")
+    with pytest.raises(StorageError):
+        DocumentStore(tmp_path / "bad", num_shards=0)
+
+
+def test_store_mixed_index_options(tmp_path):
+    store = DocumentStore(tmp_path / "store", num_shards=2, cache_size=1)
+    store.add("plain", Document.from_string(SITE_XML))
+    store.add("rlcsa", Document.from_string(SITE_XML, IndexOptions(text_index="rlcsa")))
+    store.add("bare", Document.from_string(SITE_XML, IndexOptions(text_index="none")))
+    counts = store.count_all('//*[contains(., "red")]')
+    assert len(set(counts.values())) == 1  # same document, same answer, any backend
+    assert store.get("rlcsa").options.text_index == "rlcsa"

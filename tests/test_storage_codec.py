@@ -1,0 +1,306 @@
+"""Round-trip and integrity tests for the binary codec of every structure."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.bits.bitvector import BitVector
+from repro.bits.intarray import PackedIntArray
+from repro.bits.sparse import SparseBitVector
+from repro.core.errors import CorruptedFileError, StorageError, VersionMismatchError
+from repro.sequence.huffman import HuffmanCode
+from repro.sequence.runlength import RunLengthSequence
+from repro.sequence.wavelet_tree import WaveletTree
+from repro.storage.codec import FORMAT_VERSION, MAGIC, ChunkReader, ChunkWriter, peek_kind
+from repro.text.fm_index import FMIndex
+from repro.text.naive_text import NaiveTextCollection
+from repro.text.rlcsa import RLCSAIndex
+from repro.text.suffix_array import read_suffix_array, suffix_array_of_bytes, write_suffix_array
+from repro.text.text_collection import TextCollection
+from repro.text.word_index import WordTextIndex
+from repro.tree.balanced_parens import BalancedParentheses
+from repro.tree.succinct_tree import SuccinctTree
+from repro.tree.tag_sequence import TagSequence
+from repro.tree.tag_tables import TagPositionTables
+from repro.xmlmodel.model import build_model
+
+TEXTS = [b"hello world", b"worldly goods", b"", b"banana band", b"hello"]
+
+
+# -- low-level codec ---------------------------------------------------------------------
+
+
+def test_chunk_round_trip_all_types():
+    buffer = io.BytesIO()
+    writer = ChunkWriter(buffer)
+    writer.header("Test")
+    writer.int("INT_", -42)
+    writer.json("JSON", {"a": [1, 2], "b": "x"})
+    writer.bytes("BYTE", b"\x00\xff")
+    writer.array("ARRY", np.arange(12, dtype=np.int64).reshape(3, 4))
+    writer.bytes_list("LIST", [b"", b"abc", b"\x00"])
+    buffer.seek(0)
+    reader = ChunkReader(buffer)
+    assert reader.header("Test") == "Test"
+    assert reader.int("INT_") == -42
+    assert reader.json("JSON") == {"a": [1, 2], "b": "x"}
+    assert reader.bytes("BYTE") == b"\x00\xff"
+    assert np.array_equal(reader.array("ARRY"), np.arange(12).reshape(3, 4))
+    assert reader.bytes_list("LIST") == [b"", b"abc", b"\x00"]
+
+
+def test_bad_magic_is_corruption():
+    data = b"NOPE" + b"\x00" * 16
+    with pytest.raises(CorruptedFileError, match="magic"):
+        ChunkReader(io.BytesIO(data)).header()
+
+
+def test_version_mismatch_is_typed():
+    buffer = io.BytesIO()
+    ChunkWriter(buffer).header("Test")
+    raw = bytearray(buffer.getvalue())
+    raw[len(MAGIC)] = FORMAT_VERSION + 1  # bump the little-endian version field
+    with pytest.raises(VersionMismatchError, match="version"):
+        ChunkReader(io.BytesIO(bytes(raw))).header()
+
+
+def test_wrong_kind_is_corruption():
+    data = BitVector([1, 0, 1]).to_bytes()
+    with pytest.raises(CorruptedFileError, match="payload"):
+        PackedIntArray.from_bytes(data)
+
+
+def test_truncated_file_is_corruption():
+    data = BitVector(np.ones(500, dtype=bool)).to_bytes()
+    with pytest.raises(CorruptedFileError, match="truncated"):
+        BitVector.from_bytes(data[: len(data) // 2])
+
+
+def test_bit_flip_fails_checksum():
+    data = bytearray(BitVector(np.ones(500, dtype=bool)).to_bytes())
+    data[-3] ^= 0xFF  # flip bits inside the last chunk's payload
+    with pytest.raises(CorruptedFileError):
+        BitVector.from_bytes(bytes(data))
+
+
+def test_errors_are_storage_errors():
+    assert issubclass(CorruptedFileError, StorageError)
+    assert issubclass(VersionMismatchError, StorageError)
+
+
+def test_peek_kind():
+    assert peek_kind(BitVector([1]).to_bytes()) == "BitVector"
+    assert peek_kind(RLCSAIndex([b"AC"]).to_bytes()) == "RLCSAIndex"
+
+
+# -- bits layer ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [0, 1, 63, 64, 65, 1000])
+def test_bitvector_round_trip(n):
+    rng = np.random.default_rng(n)
+    original = BitVector(rng.integers(0, 2, n).astype(bool))
+    loaded = BitVector.from_bytes(original.to_bytes())
+    assert loaded == original
+    assert loaded.count_ones == original.count_ones
+    for i in range(0, n, 7):
+        assert loaded.rank1(i) == original.rank1(i)
+    if original.count_ones:
+        assert loaded.select1(original.count_ones) == original.select1(original.count_ones)
+
+
+def test_bitvector_rejects_dirty_padding_bits():
+    buffer = io.BytesIO()
+    writer = ChunkWriter(buffer)
+    writer.header("BitVector")
+    writer.int("NBIT", 3)
+    writer.array("WORD", np.array([0xFFFF_FFFF_FFFF_FFFF], dtype=np.uint64))
+    with pytest.raises(CorruptedFileError, match="beyond its length"):
+        BitVector.from_bytes(buffer.getvalue())
+
+
+def test_balanced_parens_rejects_wrong_sized_max_directory():
+    original = BalancedParentheses("()" * 100)
+    buffer = io.BytesIO()
+    writer = ChunkWriter(buffer)
+    writer.header("BalancedParentheses")
+    writer.chunk("BITV", BitVector(original.to_numpy()).to_bytes())
+    writer.array("BMIN", np.zeros((200 + 63) // 64, dtype=np.int64))
+    writer.array("BMAX", np.zeros(0, dtype=np.int64))  # wrong size
+    writer.array("SMIN", np.zeros(1, dtype=np.int64))
+    writer.array("SMAX", np.zeros(1, dtype=np.int64))
+    with pytest.raises(CorruptedFileError, match="directory"):
+        BalancedParentheses.from_bytes(buffer.getvalue())
+
+
+def test_sparse_bitvector_round_trip():
+    original = SparseBitVector([3, 17, 900], 1000)
+    loaded = SparseBitVector.from_bytes(original.to_bytes())
+    assert list(loaded.positions()) == [3, 17, 900]
+    assert len(loaded) == 1000
+    assert loaded.rank1(18) == 2
+    assert loaded.next_one(18) == 900
+
+
+def test_sparse_bitvector_rejects_unsorted_positions():
+    data = bytearray(SparseBitVector([3, 17], 100).to_bytes())
+    # Corrupt the positions payload while keeping the checksum valid is not
+    # possible; instead check the semantic validation path directly.
+    buffer = io.BytesIO()
+    writer = ChunkWriter(buffer)
+    writer.header("SparseBitVector")
+    writer.int("NBIT", 100)
+    writer.array("ONES", np.array([17, 3], dtype=np.int64))
+    with pytest.raises(CorruptedFileError, match="increasing"):
+        SparseBitVector.from_bytes(buffer.getvalue())
+    assert data  # silences the unused-variable lint
+
+
+@pytest.mark.parametrize("width", [1, 7, 10, 33, 64])
+def test_packed_int_array_round_trip(width):
+    rng = np.random.default_rng(width)
+    values = rng.integers(0, 2 ** min(width, 62), 200, dtype=np.uint64)
+    original = PackedIntArray(values, width=width)
+    loaded = PackedIntArray.from_bytes(original.to_bytes())
+    assert loaded == original
+    assert loaded.to_list() == original.to_list()
+
+
+# -- sequence layer -----------------------------------------------------------------------
+
+
+def test_huffman_code_round_trip():
+    original = HuffmanCode({1: 5, 2: 9, 7: 1, 300: 2})
+    loaded = HuffmanCode.from_bytes(original.to_bytes())
+    assert loaded.codebook() == original.codebook()
+    assert loaded.symbols == original.symbols
+
+
+@pytest.mark.parametrize("data", [b"", b"aaaa", b"abracadabra" * 50])
+def test_wavelet_tree_round_trip(data):
+    original = WaveletTree(data)
+    loaded = WaveletTree.from_bytes(original.to_bytes())
+    assert loaded.to_list() == original.to_list()
+    assert loaded.alphabet == original.alphabet
+    for symbol in original.alphabet:
+        assert loaded.rank(symbol, len(data) // 2) == original.rank(symbol, len(data) // 2)
+        assert loaded.select(symbol, 1) == original.select(symbol, 1)
+
+
+@pytest.mark.parametrize("data", [b"", b"z", b"aaabbbbccaaa", b"ACGT" * 100])
+def test_run_length_sequence_round_trip(data):
+    original = RunLengthSequence(data)
+    loaded = RunLengthSequence.from_bytes(original.to_bytes())
+    assert loaded.to_list() == original.to_list()
+    assert loaded.num_runs == original.num_runs
+    for symbol in original.alphabet:
+        assert loaded.rank(symbol, len(data)) == original.rank(symbol, len(data))
+
+
+# -- tree layer ---------------------------------------------------------------------------
+
+
+def test_balanced_parens_round_trip():
+    original = BalancedParentheses("((()())(()))")
+    loaded = BalancedParentheses.from_bytes(original.to_bytes())
+    assert str(loaded) == str(original)
+    for i in range(len(original)):
+        if original.is_open(i):
+            assert loaded.find_close(i) == original.find_close(i)
+            assert loaded.enclose(i) == original.enclose(i)
+
+
+def test_succinct_tree_and_tag_structures_round_trip(paper_example_model):
+    model = paper_example_model
+    original = SuccinctTree(model.parens, model.node_tags, model.tag_names, model.text_leaf_positions)
+    loaded = SuccinctTree.from_bytes(original.to_bytes())
+    assert loaded.num_nodes == original.num_nodes
+    assert loaded.num_texts == original.num_texts
+    assert loaded.tag_names() == original.tag_names()
+    assert loaded.text_leaf_positions() == sorted(int(p) for p in model.text_leaf_positions)
+    node = original.first_child(original.root)
+    assert loaded.subtree_size(node) == original.subtree_size(node)
+
+    tags = TagSequence.from_bytes(original.tag_sequence.to_bytes())
+    assert all(tags.tag_at(i) == original.tag_sequence.tag_at(i) for i in range(len(tags)))
+
+    tables = TagPositionTables(original)
+    loaded_tables = TagPositionTables.from_bytes(tables.to_bytes())
+    for tag in range(original.num_tags):
+        assert loaded_tables.descendants_of(tag) == tables.descendants_of(tag)
+        assert loaded_tables.is_recursive(tag) == tables.is_recursive(tag)
+    assert loaded_tables.size_in_bits() == tables.size_in_bits()
+
+
+# -- text layer ---------------------------------------------------------------------------
+
+
+def test_fm_index_round_trip():
+    original = FMIndex(TEXTS, sample_rate=4)
+    loaded = FMIndex.from_bytes(original.to_bytes())
+    assert loaded.count(b"world") == original.count(b"world")
+    assert list(loaded.locate(b"an")) == list(original.locate(b"an"))
+    assert loaded.extract_all() == TEXTS
+    assert loaded.sample_rate == original.sample_rate
+
+
+def test_fm_index_with_run_length_sequence_round_trip():
+    original = FMIndex([b"ACACAC", b"ACACGT"], sample_rate=2, sequence_factory=RunLengthSequence)
+    loaded = FMIndex.from_bytes(original.to_bytes())
+    assert loaded.count(b"CA") == original.count(b"CA")
+    assert loaded.extract_all() == [b"ACACAC", b"ACACGT"]
+
+
+@pytest.mark.parametrize("keep_plain", [True, False])
+def test_text_collection_round_trip(keep_plain):
+    original = TextCollection(TEXTS, sample_rate=4, keep_plain_text=keep_plain)
+    loaded = TextCollection.from_bytes(original.to_bytes())
+    assert type(loaded) is TextCollection
+    assert (loaded.plain is None) == (not keep_plain)
+    for pattern in (b"world", b"hello", b"an"):
+        assert list(loaded.contains(pattern)) == list(original.contains(pattern))
+        assert list(loaded.starts_with(pattern)) == list(original.starts_with(pattern))
+        assert loaded.global_count(pattern) == original.global_count(pattern)
+    assert loaded.get_text(3) == TEXTS[3]
+
+
+def test_rlcsa_round_trip_revives_subclass():
+    original = RLCSAIndex([b"ACACAC", b"ACACGT", b"ACACAC"])
+    loaded = TextCollection.from_bytes(original.to_bytes())
+    assert type(loaded) is RLCSAIndex
+    assert loaded.num_runs == original.num_runs
+    assert list(loaded.equals(b"ACACAC")) == list(original.equals(b"ACACAC"))
+
+
+def test_naive_text_collection_round_trip():
+    original = NaiveTextCollection(TEXTS)
+    loaded = NaiveTextCollection.from_bytes(original.to_bytes())
+    assert [loaded.get_text(i) for i in range(len(TEXTS))] == TEXTS
+
+
+def test_word_index_round_trip():
+    original = WordTextIndex([b"the quick brown fox", b"the lazy dog", b"quick quick"])
+    loaded = WordTextIndex.from_bytes(original.to_bytes())
+    assert list(loaded.contains(b"quick")) == list(original.contains(b"quick"))
+    assert loaded.global_count(b"the") == original.global_count(b"the")
+    assert loaded.vocabulary_size == original.vocabulary_size
+    assert loaded.words_of(0) == original.words_of(0)
+
+
+def test_suffix_array_round_trip_and_validation():
+    sa = suffix_array_of_bytes(b"mississippi")
+    buffer = io.BytesIO()
+    write_suffix_array(buffer, sa)
+    buffer.seek(0)
+    assert np.array_equal(read_suffix_array(buffer), sa)
+
+    buffer = io.BytesIO()
+    writer = ChunkWriter(buffer)
+    writer.header("SuffixArray")
+    writer.array("SUFA", np.array([0, 0, 2], dtype=np.int64))
+    buffer.seek(0)
+    with pytest.raises(CorruptedFileError, match="permutation"):
+        read_suffix_array(buffer)
