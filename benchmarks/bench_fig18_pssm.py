@@ -16,7 +16,7 @@ import pytest
 
 from repro import Document, IndexOptions
 from repro.text.pssm import pssm_search
-from repro.workloads import PSSM_QUERIES, generate_bio_xml, jaspar_like_matrices
+from repro.workloads import PSSM_QUERIES, jaspar_like_matrices
 
 from _bench_utils import print_table
 

@@ -1,0 +1,180 @@
+"""QueryService throughput: cached plans + scatter-gather vs the sequential path.
+
+The serving claim of the service layer is that repeated and batch querying of
+a sharded corpus beats the PR-1 status quo (``DocumentStore.count_all``: load
+shard by shard, re-parse and re-compile per document, evaluate in one thread).
+This module measures both paths on a >= 32-document XMark corpus whose LRU is
+deliberately smaller than the corpus, the regime the store is built for:
+
+* **sequential** -- one ``count_all`` sweep per query; every evicted document
+  is re-loaded and re-compiled on the next sweep;
+* **service (threads)** -- ``run_many`` with a warm plan cache: one load per
+  document per *batch* (each resident document answers every query), parse
+  and compile once per distinct query;
+* **service (processes)** -- the same batch through the shard-affine worker
+  pools: each worker keeps its share of the corpus resident across calls, so
+  a warm service holds ``workers x cache_size`` documents in aggregate and
+  repeated batches skip the disk entirely.
+
+Runs standalone for CI (``python benchmarks/bench_service_throughput.py
+--quick --out BENCH_pr2.json``) or under pytest like the other modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+from repro import DocumentStore, IndexOptions, QueryService
+from repro.workloads import generate_xmark_xml
+
+from _bench_utils import print_table
+
+#: Query mix: structural scans, a child chain, a text predicate, a deep path.
+QUERIES = [
+    "//item",
+    "//item/name",
+    '//item[contains(., "gold")]',
+    "//people/person/name",
+]
+
+
+def build_store(root, num_docs: int, scale: float, cache_size: int) -> float:
+    """Populate an XMark corpus at ``root``; returns the build wall time."""
+    store = DocumentStore(root, num_shards=16, cache_size=cache_size)
+    started = time.perf_counter()
+    for i in range(num_docs):
+        xml = generate_xmark_xml(scale=scale, seed=100 + i)
+        store.add_xml(f"xmark-{i:03d}", xml, IndexOptions(sample_rate=16))
+    return time.perf_counter() - started
+
+
+def run_benchmark(
+    num_docs: int = 32,
+    scale: float = 0.02,
+    repeats: int = 3,
+    workers: int = 4,
+    cache_size: int = 8,
+) -> dict:
+    """Measure the three paths; returns the metric dict written to BENCH_pr2.json."""
+    sweeps = len(QUERIES) * repeats
+    with tempfile.TemporaryDirectory() as root:
+        build_seconds = build_store(root, num_docs, scale, cache_size)
+
+        # Sequential per-document path (fresh store: cold LRU, per-doc engines).
+        seq_store = DocumentStore(root, cache_size=cache_size)
+        expected = {query: seq_store.count_all(query) for query in QUERIES}
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for query in QUERIES:
+                seq_store.count_all(query)
+        sequential_seconds = time.perf_counter() - started
+
+        # Service, thread workers, warm plan cache.
+        thread_service = QueryService(DocumentStore(root, cache_size=cache_size), max_workers=workers)
+        warm = thread_service.run_many(QUERIES)
+        for result in warm:
+            assert result.counts == expected[result.query], f"service mismatch for {result.query!r}"
+            assert not result.failures
+        started = time.perf_counter()
+        for _ in range(repeats):
+            thread_service.run_many(QUERIES)
+        thread_seconds = time.perf_counter() - started
+
+        # Service, shard-affine process workers, warm residency.
+        with QueryService(
+            DocumentStore(root, cache_size=cache_size), max_workers=workers, executor="process"
+        ) as process_service:
+            for result in process_service.run_many(QUERIES):
+                assert result.counts == expected[result.query], f"process mismatch for {result.query!r}"
+            started = time.perf_counter()
+            for _ in range(repeats):
+                process_service.run_many(QUERIES)
+            process_seconds = time.perf_counter() - started
+
+    return {
+        "meta": {
+            "num_docs": num_docs,
+            "scale": scale,
+            "repeats": repeats,
+            "workers": workers,
+            "cache_size": cache_size,
+            "queries": list(QUERIES),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "metrics": {
+            "store_build_seconds": round(build_seconds, 3),
+            "sequential_sweeps_per_second": round(sweeps / sequential_seconds, 3),
+            "service_thread_sweeps_per_second": round(sweeps / thread_seconds, 3),
+            "service_process_sweeps_per_second": round(sweeps / process_seconds, 3),
+            "service_thread_speedup": round(sequential_seconds / thread_seconds, 3),
+            "service_process_speedup": round(sequential_seconds / process_seconds, 3),
+        },
+    }
+
+
+def _report(results: dict) -> None:
+    metrics = results["metrics"]
+    print_table(
+        "QueryService throughput (corpus sweeps/s, LRU < corpus)",
+        ["path", "sweeps/s", "speedup"],
+        [
+            ["sequential count_all", metrics["sequential_sweeps_per_second"], "1.00x"],
+            [
+                "service run_many (threads)",
+                metrics["service_thread_sweeps_per_second"],
+                f"{metrics['service_thread_speedup']:.2f}x",
+            ],
+            [
+                "service run_many (processes)",
+                metrics["service_process_sweeps_per_second"],
+                f"{metrics['service_process_speedup']:.2f}x",
+            ],
+        ],
+    )
+
+
+# -- pytest entry points ---------------------------------------------------------------
+
+
+def test_service_beats_sequential(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = run_benchmark(num_docs=32, repeats=2)
+    _report(results)
+    metrics = results["metrics"]
+    assert metrics["service_thread_speedup"] > 1.0
+    assert metrics["service_process_speedup"] > 1.0
+
+
+# -- CLI entry point (the CI bench-smoke job) ------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings (fewer repeats)")
+    parser.add_argument("--docs", type=int, default=32, help="corpus size (>= 32 for the headline claim)")
+    parser.add_argument("--scale", type=float, default=0.02, help="XMark scale per document")
+    parser.add_argument("--repeats", type=int, default=None, help="timed sweeps over the query set")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=None, help="write the results JSON here")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+    results = run_benchmark(
+        num_docs=args.docs, scale=args.scale, repeats=repeats, workers=args.workers
+    )
+    _report(results)
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

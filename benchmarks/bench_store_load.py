@@ -9,8 +9,6 @@ size estimate.
 
 from __future__ import annotations
 
-import time
-
 import pytest
 
 from repro import Document, IndexOptions

@@ -14,7 +14,6 @@ import time
 
 import pytest
 
-from repro import EvaluationOptions
 from repro.tree import NIL
 
 from _bench_utils import print_table

@@ -1,0 +1,72 @@
+"""Compare a BENCH_*.json run against the committed baseline; fail on regression.
+
+Used by the CI ``bench-smoke`` job::
+
+    python benchmarks/check_regression.py BENCH_pr2.json benchmarks/baseline.json
+
+Every baseline metric declares a direction (``higher`` is better, or
+``lower``) and whether it is *critical*.  A critical metric that regresses by
+more than the threshold (default 30%, overridable per baseline file or via
+``--threshold``) fails the check; non-critical metrics only warn, because
+absolute wall-clock numbers vary across runner hardware while the critical
+metrics are ratios of two paths measured on the same machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def check(current: dict, baseline: dict, threshold: float | None = None) -> list[str]:
+    """Return the list of failure messages (empty = pass); warnings go to stdout."""
+    limit = threshold if threshold is not None else float(baseline.get("threshold", 0.30))
+    measured = current["metrics"]
+    failures: list[str] = []
+    for name, spec in baseline["metrics"].items():
+        if name not in measured:
+            failures.append(f"{name}: missing from the current run")
+            continue
+        value = float(measured[name])
+        base = float(spec["value"])
+        higher_is_better = spec.get("direction", "higher") == "higher"
+        if higher_is_better:
+            floor = base * (1.0 - limit)
+            regressed = value < floor
+            detail = f"{name}: {value:.3f} vs baseline {base:.3f} (floor {floor:.3f})"
+        else:
+            ceiling = base * (1.0 + limit)
+            regressed = value > ceiling
+            detail = f"{name}: {value:.3f} vs baseline {base:.3f} (ceiling {ceiling:.3f})"
+        if regressed and spec.get("critical", False):
+            failures.append("FAIL " + detail)
+        elif regressed:
+            print("WARN " + detail)
+        else:
+            print("ok   " + detail)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="BENCH_*.json produced by a benchmark run")
+    parser.add_argument("baseline", type=Path, help="committed baseline.json")
+    parser.add_argument("--threshold", type=float, default=None, help="override the regression threshold")
+    args = parser.parse_args(argv)
+
+    current = json.loads(args.current.read_text(encoding="utf-8"))
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    failures = check(current, baseline, args.threshold)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if failures:
+        print(f"{len(failures)} critical benchmark regression(s)", file=sys.stderr)
+        return 1
+    print("benchmark check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

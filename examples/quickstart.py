@@ -10,7 +10,7 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import Document, DocumentStore, EvaluationOptions, IndexOptions
+from repro import Document, DocumentStore, EvaluationOptions, IndexOptions, QueryService
 
 
 def main() -> None:
@@ -72,6 +72,13 @@ def main() -> None:
         store.add("catalog", doc)
         store.add_xml("more", "<catalog><book><title>Managing Gigabytes</title></book></catalog>")
         print("store count_all //book       =", store.count_all("//book"))
+
+        # Serve repeated/batch queries: plan cache + scatter-gather workers.
+        service = QueryService(store, max_workers=2)
+        for result in service.run_many(["//book", "//book/title"]):
+            print(f"service {result.query:<13} total={result.total} "
+                  f"across {result.num_documents} documents")
+        print("plan cache:", service.cache_info()["plan_cache"])
 
 
 if __name__ == "__main__":

@@ -25,12 +25,21 @@ from repro.core.errors import (
     VersionMismatchError,
 )
 from repro.core.options import EvaluationOptions, IndexOptions
-from repro.store.document_store import DocumentStore
+from repro.service import PlanCache, QueryService, ServiceResult, ShardTiming
+from repro.store.document_store import DocumentFailure, DocumentStore
 from repro.xpath.engine import QueryResult
+from repro.xpath.plan import PreparedQuery, prepare_query
 
 __all__ = [
     "Document",
     "DocumentStore",
+    "DocumentFailure",
+    "QueryService",
+    "PlanCache",
+    "ServiceResult",
+    "ShardTiming",
+    "PreparedQuery",
+    "prepare_query",
     "IndexOptions",
     "EvaluationOptions",
     "QueryResult",
@@ -43,4 +52,4 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"

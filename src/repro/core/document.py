@@ -32,6 +32,7 @@ from repro.tree.tag_tables import TagPositionTables
 from repro.xmlmodel.model import DocumentModel, build_model
 from repro.xmlmodel.serializer import serialize_subtree, serialize_text
 from repro.xpath.engine import QueryResult, XPathEngine
+from repro.xpath.plan import PreparedQuery
 
 __all__ = ["Document"]
 
@@ -330,24 +331,37 @@ class Document(Serializable):
         return matrix, float(threshold) if threshold is not None else registered
 
     # -- queries -----------------------------------------------------------------------------------------------------
+    #
+    # ``query`` is a string or a :class:`~repro.xpath.plan.PreparedQuery`; pass
+    # the latter (see :meth:`prepare`) to share one parsed/compiled plan across
+    # many documents.
 
-    def count(self, query: str, options: EvaluationOptions | None = None) -> int:
+    def prepare(self, query: str | PreparedQuery) -> PreparedQuery:
+        """Parse ``query`` once into a plan reusable across documents."""
+        return self._engine.prepare(query)
+
+    def count(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> int:
         """Number of nodes selected by ``query``."""
         return self._engine.count(query, options)
 
-    def query(self, query: str, options: EvaluationOptions | None = None) -> list[int]:
+    def query(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> list[int]:
         """The nodes selected by ``query`` (document order, as tree node handles)."""
         return self._engine.materialize(query, options)
 
-    def evaluate(self, query: str, options: EvaluationOptions | None = None, want_nodes: bool = True) -> QueryResult:
+    def evaluate(
+        self,
+        query: str | PreparedQuery,
+        options: EvaluationOptions | None = None,
+        want_nodes: bool = True,
+    ) -> QueryResult:
         """Full evaluation: nodes, count, plan and statistics."""
         return self._engine.evaluate(query, options, want_nodes=want_nodes)
 
-    def serialize(self, query: str, options: EvaluationOptions | None = None) -> list[str]:
+    def serialize(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> list[str]:
         """Evaluate ``query`` and serialise every selected subtree to XML."""
         return self._engine.serialize(query, options)
 
-    def explain(self, query: str, options: EvaluationOptions | None = None) -> str:
+    def explain(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> str:
         """Describe how ``query`` would be evaluated (automaton + strategy)."""
         return self._engine.explain(query, options)
 

@@ -1,0 +1,12 @@
+"""The query-serving layer: cached compiled plans + parallel scatter-gather.
+
+:class:`QueryService` sits on top of a
+:class:`~repro.store.document_store.DocumentStore` and makes repeated and
+batch querying fast; :class:`PlanCache` is its compiled-plan LRU, reusable on
+its own for bespoke serving loops.
+"""
+
+from repro.service.plan_cache import PlanCache
+from repro.service.query_service import QueryService, ServiceResult, ShardTiming
+
+__all__ = ["QueryService", "PlanCache", "ServiceResult", "ShardTiming"]

@@ -1,0 +1,106 @@
+"""LRU cache of compiled query plans, keyed by (query text, index options).
+
+The parse/compile pipeline of :mod:`repro.xpath` is document-independent (see
+:class:`~repro.xpath.plan.PreparedQuery`), so a serving layer wants exactly
+one prepared plan per *distinct* query.  Distinct means the pair of the query
+text and the :class:`~repro.core.options.IndexOptions` of the documents it
+will run on: evaluation of the same text differs across index configurations
+(``contains`` cutoffs, word-index semantics, text backends), so entries are
+never shared between two option sets -- a plan warmed on FM-indexed documents
+cannot leak state onto RLCSA ones.
+
+The cache is thread-safe; the scatter-gather workers of
+:class:`~repro.service.QueryService` hit it concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.core.options import IndexOptions
+from repro.xpath.plan import PreparedQuery, prepare_query
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """A bounded LRU of :class:`~repro.xpath.plan.PreparedQuery` objects."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("the plan cache must hold at least one entry")
+        self._capacity = int(capacity)
+        self._entries: OrderedDict[tuple[str, IndexOptions], PreparedQuery] = OrderedDict()
+        #: Latest plan per query text: a miss under a *new* options key reuses
+        #: the already-parsed AST instead of re-parsing (entries stay distinct
+        #: per options, only the document-independent parse is shared).
+        self._by_text: dict[str, PreparedQuery] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of cached plans."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, query: str | PreparedQuery, index_options: IndexOptions | None = None) -> PreparedQuery:
+        """The prepared plan for ``(query, index_options)``, parsing on miss.
+
+        An already-prepared query bypasses the cache (the caller owns it).
+        ``index_options=None`` is normalised to the default ``IndexOptions()``
+        so callers that do not know the target documents yet share the entry
+        of default-indexed documents.
+        """
+        if isinstance(query, PreparedQuery):
+            return query
+        key = (query, index_options if index_options is not None else IndexOptions())
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry
+        # Parse outside the lock: concurrent misses on the same key are rare
+        # and at worst parse twice; the first insertion wins.  A sibling entry
+        # for the same text under different options donates its AST.
+        template = self._by_text.get(query)
+        prepared = PreparedQuery(query, template.ast) if template is not None else prepare_query(query)
+        with self._lock:
+            raced = self._entries.get(key)
+            if raced is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return raced
+            self.misses += 1
+            self._entries[key] = prepared
+            self._by_text[query] = prepared
+            while len(self._entries) > self._capacity:
+                (evicted_text, _), evicted = self._entries.popitem(last=False)
+                if self._by_text.get(evicted_text) is evicted:
+                    del self._by_text[evicted_text]
+                self.evictions += 1
+        return prepared
+
+    def clear(self) -> None:
+        """Drop every cached plan (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+            self._by_text.clear()
+
+    def info(self) -> dict[str, int]:
+        """Hit/miss/eviction counters, residency and total compiled bindings."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "entries": len(self._entries),
+                "capacity": self._capacity,
+                "bindings": sum(plan.num_bindings for plan in self._entries.values()),
+            }

@@ -1,0 +1,382 @@
+"""QueryService: cached plans + parallel scatter-gather over a DocumentStore.
+
+This is the serving layer the ROADMAP's north star asks for: repeated and
+batch querying of a sharded corpus at the speed the pipeline allows.
+
+* **Compiled-plan cache** -- a bounded LRU (:class:`~repro.service.PlanCache`)
+  keyed by ``(query text, IndexOptions)``.  The parse/compile pipeline of
+  :mod:`repro.xpath` runs once per distinct query instead of once per
+  (query, document); per-document work shrinks to binding the automaton to
+  the document's tag table (memoised per distinct table) plus the evaluation
+  itself.
+
+* **Parallel scatter-gather** -- the documents are partitioned by store shard
+  (:meth:`~repro.store.document_store.DocumentStore.iter_shards`) and each
+  shard is served by one worker, preserving the one-load-per-sweep LRU
+  locality of the sequential path.  Workers are threads by default; an
+  opt-in ``executor="process"`` runs each shard in a separate process (each
+  opens its own view of the store), which pays a fork/pickle tax but
+  sidesteps the GIL for CPU-bound automaton runs.
+
+* **Batch API** -- :meth:`QueryService.run_many` evaluates several queries in
+  one sweep: every document is loaded once and serves *all* queries while
+  resident, so a batch of Q queries over a corpus of N documents costs N
+  loads instead of Q*N.
+
+Failures of individual documents (corrupt shard file, concurrent removal) are
+surfaced as structured :class:`~repro.store.document_store.DocumentFailure`
+entries on the merged result; one bad document never voids the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.errors import ReproError
+from repro.core.options import EvaluationOptions
+from repro.service.plan_cache import PlanCache
+from repro.store.document_store import DocumentFailure, DocumentStore
+from repro.xpath.plan import PreparedQuery
+
+__all__ = ["QueryService", "ServiceResult", "ShardTiming"]
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock cost of serving one shard in a scatter-gather sweep."""
+
+    shard: int
+    num_documents: int
+    seconds: float
+
+
+@dataclass
+class ServiceResult:
+    """The merged outcome of one query over a corpus.
+
+    ``counts`` (and ``nodes`` when requested) cover the documents that
+    answered; ``failures`` lists the ones that did not.  ``shard_timings``
+    is the per-shard latency breakdown of the sweep that produced this
+    result -- for a batch (:meth:`QueryService.run_many`) the sweep is shared,
+    so every result of the batch carries the same timings.
+    """
+
+    query: str
+    counts: dict[str, int] = field(default_factory=dict)
+    total: int = 0
+    nodes: dict[str, list[int]] | None = None
+    failures: list[DocumentFailure] = field(default_factory=list)
+    shard_timings: list[ShardTiming] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return self.total
+
+    @property
+    def num_documents(self) -> int:
+        """Documents that answered."""
+        return len(self.counts)
+
+    @property
+    def num_failures(self) -> int:
+        """Documents that errored instead of answering."""
+        return len(self.failures)
+
+    @property
+    def slowest_shard(self) -> ShardTiming | None:
+        """The shard that dominated the sweep's critical path."""
+        return max(self.shard_timings, key=lambda t: t.seconds, default=None)
+
+    def raise_failures(self) -> None:
+        """Raise a :class:`ReproError` summarising the failures, if any."""
+        if self.failures:
+            summary = "; ".join(str(failure) for failure in self.failures)
+            raise ReproError(f"{self.num_failures} document(s) failed for {self.query!r}: {summary}")
+
+
+def _serve_shard(
+    store: DocumentStore,
+    plans: PlanCache,
+    members: Sequence[str],
+    jobs: Sequence[tuple[int, str | PreparedQuery]],
+    options: EvaluationOptions | None,
+    want_nodes: bool,
+) -> dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]]:
+    """Serve every query of ``jobs`` over every document of one shard.
+
+    The document loop is outermost so a document loaded through the store's
+    LRU answers the whole batch while resident (this is what makes
+    ``run_many`` cost one load per document, not one per query).
+    """
+    out: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
+        key: ({}, {}, []) for key, _ in jobs
+    }
+    for doc_id in members:
+        try:
+            document = store.get(doc_id)
+        except (ReproError, OSError) as exc:
+            failure = DocumentFailure.from_exception(doc_id, exc)
+            for key, _ in jobs:
+                out[key][2].append(failure)
+            continue
+        for key, query in jobs:
+            counts, nodes, failures = out[key]
+            try:
+                plan = plans.get(query, document.options)
+                result = document.evaluate(plan, options, want_nodes=want_nodes)
+            except ReproError as exc:
+                failures.append(DocumentFailure.from_exception(doc_id, exc))
+                continue
+            counts[doc_id] = result.count
+            if want_nodes:
+                nodes[doc_id] = [int(node) for node in result.nodes or []]
+    return out
+
+
+#: Per-worker-process state: one store view and one plan cache per store root,
+#: kept alive across tasks.  The pool is persistent (see
+#: :attr:`QueryService._pool`), so a worker that served a shard once keeps its
+#: documents resident and its plans compiled -- 4 process workers hold
+#: 4 x ``cache_size`` documents in aggregate, and repeated queries skip both
+#: the disk and the compiler entirely.
+_WORKER_STORES: dict[tuple[str, int], DocumentStore] = {}
+_WORKER_PLANS: dict[str, PlanCache] = {}
+
+
+def _serve_shards_in_process(
+    root: str,
+    cache_size: int,
+    shard_members: Sequence[tuple[int, Sequence[str]]],
+    job_texts: Sequence[tuple[int, str]],
+    options: EvaluationOptions | None,
+    want_nodes: bool,
+):
+    """Process-pool worker: serve a group of shards from this process's store view."""
+    store = _WORKER_STORES.get((root, cache_size))
+    if store is None:
+        store = DocumentStore(root, cache_size=cache_size)
+        _WORKER_STORES[(root, cache_size)] = store
+    plans = _WORKER_PLANS.get(root)
+    if plans is None:
+        plans = PlanCache()
+        _WORKER_PLANS[root] = plans
+    results = []
+    for shard, members in shard_members:
+        started = time.perf_counter()
+        out = _serve_shard(store, plans, members, job_texts, options, want_nodes)
+        results.append((shard, len(members), time.perf_counter() - started, out))
+    return results
+
+
+class QueryService:
+    """Serves repeated and batch XPath queries over a :class:`DocumentStore`.
+
+    Parameters
+    ----------
+    store:
+        The sharded corpus to serve.
+    max_workers:
+        Scatter-gather parallelism (1 = run shards inline, sequentially).
+    executor:
+        ``"thread"`` (default; workers share the store's LRU) or
+        ``"process"`` (each worker opens its own store view -- higher setup
+        cost, true CPU parallelism).
+    plan_cache_size:
+        Capacity of the compiled-plan LRU.
+    default_options:
+        :class:`EvaluationOptions` applied when a call does not pass its own.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore,
+        max_workers: int = 4,
+        executor: str = "thread",
+        plan_cache_size: int = 128,
+        default_options: EvaluationOptions | None = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"executor must be 'thread' or 'process', not {executor!r}")
+        self._store = store
+        self._max_workers = int(max_workers)
+        self._executor = executor
+        self._plans = PlanCache(plan_cache_size)
+        self._default_options = default_options
+        self._pool: list[ProcessPoolExecutor] | None = None
+
+    @property
+    def store(self) -> DocumentStore:
+        """The underlying document store."""
+        return self._store
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The compiled-plan LRU."""
+        return self._plans
+
+    # -- single-query API --------------------------------------------------------------
+
+    def run(
+        self,
+        query: str | PreparedQuery,
+        doc_ids: Iterable[str] | None = None,
+        want_nodes: bool = False,
+        options: EvaluationOptions | None = None,
+    ) -> ServiceResult:
+        """Evaluate ``query`` over the corpus (or ``doc_ids``), scatter-gather."""
+        return self.run_many([query], doc_ids=doc_ids, want_nodes=want_nodes, options=options)[0]
+
+    def count_all(self, query: str | PreparedQuery, doc_ids: Iterable[str] | None = None) -> dict[str, int]:
+        """Per-document counts, like :meth:`DocumentStore.count_all` but parallel."""
+        return self.run(query, doc_ids=doc_ids).counts
+
+    def total_count(self, query: str | PreparedQuery, doc_ids: Iterable[str] | None = None) -> int:
+        """Corpus-wide count of ``query``."""
+        return self.run(query, doc_ids=doc_ids).total
+
+    # -- batch API ---------------------------------------------------------------------
+
+    def run_many(
+        self,
+        queries: Sequence[str | PreparedQuery],
+        doc_ids: Iterable[str] | None = None,
+        want_nodes: bool = False,
+        options: EvaluationOptions | None = None,
+    ) -> list[ServiceResult]:
+        """Evaluate a batch of queries in one sweep over the corpus.
+
+        Queries are grouped by compiled plan (duplicate texts are evaluated
+        once) and every document answers the whole batch while resident, so
+        the store's LRU sees one load per document regardless of batch size.
+        Returns one :class:`ServiceResult` per input query, in order.
+        """
+        started = time.perf_counter()
+        options = options if options is not None else self._default_options
+        shards = self._store.iter_shards(doc_ids)
+
+        # Group by plan: one job per distinct query; remember which input
+        # positions each job answers.
+        jobs: list[tuple[int, str | PreparedQuery]] = []
+        job_of: dict[object, int] = {}
+        positions: list[int] = []
+        for query in queries:
+            dedup_key = query if isinstance(query, str) else id(query)
+            job = job_of.get(dedup_key)
+            if job is None:
+                job = len(jobs)
+                job_of[dedup_key] = job
+                jobs.append((job, query))
+                # Parse eagerly so a malformed query fails the call, not a worker.
+                self._plans.get(query)
+            positions.append(job)
+
+        merged: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
+            key: ({}, {}, []) for key, _ in jobs
+        }
+        timings: list[ShardTiming] = []
+        if jobs and shards:
+            for shard, num_documents, seconds, out in self._sweep(shards, jobs, options, want_nodes):
+                timings.append(ShardTiming(shard=shard, num_documents=num_documents, seconds=seconds))
+                for key, (counts, nodes, failures) in out.items():
+                    merged[key][0].update(counts)
+                    merged[key][1].update(nodes)
+                    merged[key][2].extend(failures)
+        timings.sort(key=lambda t: t.shard)
+
+        elapsed = time.perf_counter() - started
+        results: list[ServiceResult] = []
+        for query, job in zip(queries, positions):
+            counts, nodes, failures = merged[job]
+            text = query if isinstance(query, str) else query.text
+            results.append(
+                ServiceResult(
+                    query=text,
+                    counts=dict(counts),
+                    total=sum(counts.values()),
+                    nodes=dict(nodes) if want_nodes else None,
+                    failures=list(failures),
+                    shard_timings=timings,
+                    elapsed_seconds=elapsed,
+                )
+            )
+        return results
+
+    # -- execution ---------------------------------------------------------------------
+
+    def _sweep(self, shards, jobs, options, want_nodes):
+        """Yield ``(shard, num_documents, seconds, results)`` for every shard."""
+        if self._executor == "process":
+            yield from self._sweep_processes(shards, jobs, options, want_nodes)
+        elif self._max_workers == 1 or len(shards) == 1:
+            for shard, members in shards:
+                shard_started = time.perf_counter()
+                out = _serve_shard(self._store, self._plans, members, jobs, options, want_nodes)
+                yield shard, len(members), time.perf_counter() - shard_started, out
+        else:
+            yield from self._sweep_threads(shards, jobs, options, want_nodes)
+
+    def _sweep_threads(self, shards, jobs, options, want_nodes):
+        def worker(members):
+            shard_started = time.perf_counter()
+            out = _serve_shard(self._store, self._plans, members, jobs, options, want_nodes)
+            return time.perf_counter() - shard_started, out
+
+        workers = min(self._max_workers, len(shards))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = [(shard, members, pool.submit(worker, members)) for shard, members in shards]
+            for shard, members, future in futures:
+                seconds, out = future.result()
+                yield shard, len(members), seconds, out
+
+    def _sweep_processes(self, shards, jobs, options, want_nodes):
+        job_texts = [(key, query if isinstance(query, str) else query.text) for key, query in jobs]
+        root = str(self._store.root)
+        cache_size = self._store.cache_size
+        if self._pool is None:
+            # One single-worker pool per slot: shard groups are routed to a
+            # *fixed* worker (``shard % max_workers``), so each process keeps
+            # its share of the corpus resident across calls -- a warm service
+            # holds max_workers x cache_size documents in aggregate and
+            # answers repeated queries without touching disk or the compiler.
+            self._pool = [ProcessPoolExecutor(max_workers=1) for _ in range(self._max_workers)]
+        groups: dict[int, list[tuple[int, Sequence[str]]]] = {}
+        for shard, members in shards:
+            groups.setdefault(shard % self._max_workers, []).append((shard, members))
+        futures = [
+            self._pool[slot].submit(
+                _serve_shards_in_process, root, cache_size, group, job_texts, options, want_nodes
+            )
+            for slot, group in sorted(groups.items())
+        ]
+        for future in futures:
+            yield from future.result()
+
+    def close(self) -> None:
+        """Shut down the worker pools (no-op for the thread executor)."""
+        if self._pool is not None:
+            for pool in self._pool:
+                pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- statistics --------------------------------------------------------------------
+
+    def cache_info(self) -> dict:
+        """Plan-cache and store-cache counters, for sizing the two LRUs."""
+        return {"plan_cache": self._plans.info(), "store_cache": self._store.cache_info()}
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(store={str(self._store.root)!r}, max_workers={self._max_workers}, "
+            f"executor={self._executor!r}, plans={len(self._plans)})"
+        )

@@ -12,6 +12,14 @@ The SXSI indexes are built once and then only queried; this module adds the
   :meth:`scatter_gather`) that iterate shard by shard, so a corpus far larger
   than RAM is served with bounded memory.
 
+The resident cache is thread-safe: the parallel scatter-gather workers of
+:class:`~repro.service.QueryService` call :meth:`get` concurrently (each
+worker owns distinct shards, so no index file is read twice in one sweep).
+Batch APIs accept either query strings or reusable
+:class:`~repro.xpath.plan.PreparedQuery` plans, and per-document failures can
+be collected as structured :class:`DocumentFailure` results instead of
+aborting a whole batch.
+
 The layout is described by a ``store.json`` manifest so a store can be
 reopened by a different process (or machine) later.
 """
@@ -22,20 +30,43 @@ import hashlib
 import json
 import os
 import re
+import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
 from repro.core.document import Document
-from repro.core.errors import DocumentNotFoundError, StorageError
+from repro.core.errors import DocumentNotFoundError, ReproError, StorageError
 from repro.core.options import EvaluationOptions, IndexOptions
+from repro.xpath.plan import PreparedQuery
 
-__all__ = ["DocumentStore"]
+__all__ = ["DocumentStore", "DocumentFailure"]
 
 _MANIFEST = "store.json"
 _SUFFIX = ".sxsi"
 _MANIFEST_FORMAT = 1
 _DOC_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+
+@dataclass(frozen=True)
+class DocumentFailure:
+    """A per-document error surfaced by a batch API instead of aborting it.
+
+    Carries enough to triage (which document, which error class, the message)
+    without keeping a reference to the traceback or a half-loaded document.
+    """
+
+    doc_id: str
+    error: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, doc_id: str, exc: Exception) -> "DocumentFailure":
+        return cls(doc_id=doc_id, error=type(exc).__name__, message=str(exc))
+
+    def __str__(self) -> str:
+        return f"{self.doc_id}: {self.error}: {self.message}"
 
 
 class DocumentStore:
@@ -59,7 +90,12 @@ class DocumentStore:
             raise StorageError("the resident cache must hold at least one document")
         self._root = Path(root)
         self._cache: OrderedDict[str, Document] = OrderedDict()
+        #: (mtime_ns, size) of each resident document's file at load time;
+        #: cache hits revalidate against the live stat so an overwrite -- by
+        #: this store, another handle, or another process -- is picked up.
+        self._meta: dict[str, tuple[int, int]] = {}
         self._cache_size = int(cache_size)
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -118,12 +154,24 @@ class DocumentStore:
                 ids.append(path.name[: -len(_SUFFIX)])
         return sorted(ids)
 
-    def shard_contents(self) -> dict[int, list[str]]:
+    def shard_contents(self, doc_ids: Iterable[str] | None = None) -> dict[int, list[str]]:
         """Document identifiers grouped by shard index (only non-empty shards)."""
+        ids = self.doc_ids() if doc_ids is None else list(doc_ids)
         shards: dict[int, list[str]] = {}
-        for doc_id in self.doc_ids():
+        for doc_id in ids:
             shards.setdefault(self.shard_of(doc_id), []).append(doc_id)
         return shards
+
+    def iter_shards(self, doc_ids: Iterable[str] | None = None) -> list[tuple[int, list[str]]]:
+        """``(shard_index, [doc_id, ...])`` pairs covering ``doc_ids``, sorted.
+
+        This is the unit of work for parallel scatter-gather: each shard's
+        documents are served by one worker, so the per-shard LRU locality of
+        the sequential sweep is preserved and no two workers load the same
+        index file.
+        """
+        grouped = self.shard_contents(doc_ids)
+        return [(shard, sorted(members)) for shard, members in sorted(grouped.items())]
 
     def __len__(self) -> int:
         return len(self.doc_ids())
@@ -146,7 +194,8 @@ class DocumentStore:
             raise StorageError(f"document {doc_id!r} already exists (pass overwrite=True to replace)")
         path.parent.mkdir(parents=True, exist_ok=True)
         document.save(path)
-        self._remember(doc_id, document)
+        with self._lock:
+            self._remember(doc_id, document, self._stat_of(path))
         return path
 
     def add_xml(
@@ -165,70 +214,109 @@ class DocumentStore:
         if not path.exists():
             raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
         path.unlink()
-        self._cache.pop(doc_id, None)
+        with self._lock:
+            self._cache.pop(doc_id, None)
+            self._meta.pop(doc_id, None)
 
     # -- reading / cache ---------------------------------------------------------------
 
-    def _remember(self, doc_id: str, document: Document) -> None:
+    @staticmethod
+    def _stat_of(path: Path) -> tuple[int, int] | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        return stat.st_mtime_ns, stat.st_size
+
+    def _remember(self, doc_id: str, document: Document, meta: tuple[int, int] | None) -> None:
+        # Callers hold self._lock.
         self._cache[doc_id] = document
         self._cache.move_to_end(doc_id)
+        if meta is not None:
+            self._meta[doc_id] = meta
         while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            self._meta.pop(evicted, None)
             self.evictions += 1
 
     def get(self, doc_id: str) -> Document:
-        """Return the document, loading it from disk if it is not resident."""
-        cached = self._cache.get(doc_id)
-        if cached is not None:
-            self.hits += 1
-            self._cache.move_to_end(doc_id)
-            return cached
+        """Return the document, loading it from disk if it is not resident.
+
+        Thread-safe: cache bookkeeping is done under a lock, while the disk
+        read itself runs outside it so shards load in parallel.  If two
+        threads race on the *same* identifier, the first loaded instance wins.
+        A hit revalidates the resident document against the file's current
+        (mtime, size), so an overwrite through another handle (or another
+        process's worker view) is served fresh instead of stale.
+        """
         path = self._path_of(doc_id)
-        if not path.exists():
+        meta = self._stat_of(path)
+        with self._lock:
+            cached = self._cache.get(doc_id)
+            if cached is not None:
+                if meta is not None and self._meta.get(doc_id) == meta:
+                    self.hits += 1
+                    self._cache.move_to_end(doc_id)
+                    return cached
+                self._cache.pop(doc_id, None)
+                self._meta.pop(doc_id, None)
+        if meta is None:
             raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
-        self.misses += 1
         document = Document.load(path)
-        self._remember(doc_id, document)
+        with self._lock:
+            raced = self._cache.get(doc_id)
+            if raced is not None and self._meta.get(doc_id) == meta:
+                self.hits += 1
+                self._cache.move_to_end(doc_id)
+                return raced
+            self.misses += 1
+            self._remember(doc_id, document, meta)
         return document
 
     def resident_ids(self) -> list[str]:
         """Identifiers currently held in the LRU cache, oldest first."""
-        return list(self._cache)
+        with self._lock:
+            return list(self._cache)
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/eviction counters and current residency."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "resident": len(self._cache),
-            "capacity": self._cache_size,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "resident": len(self._cache),
+                "capacity": self._cache_size,
+            }
 
     # -- queries -----------------------------------------------------------------------
 
-    def count(self, doc_id: str, xpath: str, options: EvaluationOptions | None = None) -> int:
+    def count(self, doc_id: str, xpath: str | PreparedQuery, options: EvaluationOptions | None = None) -> int:
         """``count(xpath)`` over one stored document."""
         return self.get(doc_id).count(xpath, options)
 
-    def query(self, doc_id: str, xpath: str, options: EvaluationOptions | None = None) -> list[int]:
+    def query(
+        self, doc_id: str, xpath: str | PreparedQuery, options: EvaluationOptions | None = None
+    ) -> list[int]:
         """Node handles selected by ``xpath`` over one stored document."""
         return self.get(doc_id).query(xpath, options)
 
-    def serialize(self, doc_id: str, xpath: str, options: EvaluationOptions | None = None) -> list[str]:
+    def serialize(
+        self, doc_id: str, xpath: str | PreparedQuery, options: EvaluationOptions | None = None
+    ) -> list[str]:
         """XML serialisations selected by ``xpath`` over one stored document."""
         return self.get(doc_id).serialize(xpath, options)
 
     def _iter_shard_order(self, doc_ids: Iterable[str] | None = None) -> list[str]:
         """Document identifiers ordered shard by shard (maximises cache locality)."""
-        ids = self.doc_ids() if doc_ids is None else list(doc_ids)
-        return sorted(ids, key=lambda d: (self.shard_of(d), d))
+        return [doc_id for _, members in self.iter_shards(doc_ids) for doc_id in members]
 
     def scatter_gather(
         self,
         fn: Callable[[str, Document], object],
         doc_ids: Iterable[str] | None = None,
         combine: Callable[[dict[str, object]], object] | None = None,
+        on_error: str = "raise",
     ):
         """Apply ``fn(doc_id, document)`` to every document, shard by shard.
 
@@ -236,17 +324,35 @@ class DocumentStore:
         smaller than the corpus, each index file is loaded exactly once per
         sweep.  Returns ``{doc_id: result}``, or ``combine(results)`` when a
         combiner is given.
+
+        ``on_error`` controls what a failing document does to the batch:
+        ``"raise"`` (default) propagates the first error; ``"collect"`` keeps
+        going and stores a :class:`DocumentFailure` under that identifier, so
+        one corrupt shard file or concurrently removed document no longer
+        voids every other answer (the combiner then sees the failures too).
         """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(f"on_error must be 'raise' or 'collect', not {on_error!r}")
         results: dict[str, object] = {}
         for doc_id in self._iter_shard_order(doc_ids):
-            results[doc_id] = fn(doc_id, self.get(doc_id))
+            try:
+                results[doc_id] = fn(doc_id, self.get(doc_id))
+            except (ReproError, OSError) as exc:
+                if on_error == "raise":
+                    raise
+                results[doc_id] = DocumentFailure.from_exception(doc_id, exc)
         return combine(results) if combine is not None else results
 
-    def count_all(self, xpath: str, options: EvaluationOptions | None = None) -> dict[str, int]:
+    def count_all(
+        self,
+        xpath: str | PreparedQuery,
+        options: EvaluationOptions | None = None,
+        on_error: str = "raise",
+    ) -> dict[str, int]:
         """``count(xpath)`` over every stored document, as ``{doc_id: count}``."""
-        return self.scatter_gather(lambda _, doc: doc.count(xpath, options))
+        return self.scatter_gather(lambda _, doc: doc.count(xpath, options), on_error=on_error)
 
-    def total_count(self, xpath: str, options: EvaluationOptions | None = None) -> int:
+    def total_count(self, xpath: str | PreparedQuery, options: EvaluationOptions | None = None) -> int:
         """Sum of ``count(xpath)`` over the whole corpus."""
         return self.scatter_gather(
             lambda _, doc: doc.count(xpath, options), combine=lambda r: sum(r.values())

@@ -15,7 +15,7 @@ from typing import BinaryIO
 
 from repro.core.errors import CorruptedFileError
 from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
-from repro.tree.succinct_tree import NIL, SuccinctTree
+from repro.tree.succinct_tree import SuccinctTree
 
 __all__ = ["TagPositionTables"]
 

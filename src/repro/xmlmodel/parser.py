@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator
 
 __all__ = ["XMLParser", "ParseError", "StartElement", "EndElement", "Characters", "parse_events"]
 

@@ -11,6 +11,7 @@ early formula evaluation) or bottom-up from text matches.
 from repro.xpath.ast import LocationPath, Step, parse_error_hint
 from repro.xpath.engine import QueryResult, XPathEngine
 from repro.xpath.parser import XPathSyntaxError, parse_xpath
+from repro.xpath.plan import PreparedQuery, prepare_query
 
 __all__ = [
     "parse_xpath",
@@ -19,5 +20,7 @@ __all__ = [
     "Step",
     "XPathEngine",
     "QueryResult",
+    "PreparedQuery",
+    "prepare_query",
     "parse_error_hint",
 ]

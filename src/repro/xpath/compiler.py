@@ -58,7 +58,19 @@ from repro.xpath.ast import (
 from repro.xpath.automaton import Automaton, LabelGuard
 from repro.xpath.formula import BuiltinPredicate, Formula, FormulaFactory
 
-__all__ = ["TagResolver", "CompiledQuery", "QueryCompiler", "compile_query"]
+__all__ = ["TagResolver", "CompiledQuery", "QueryCompiler", "compile_query", "tag_table_signature"]
+
+
+def tag_table_signature(tag_names: Sequence[str]) -> tuple[str, ...]:
+    """Stable identity of a document's tag table.
+
+    Compilation depends on the document only through the ordered tag-name
+    list, so two documents with equal tables can share one compiled automaton
+    (see :class:`repro.xpath.plan.PreparedQuery`).  The signature is the
+    tuple itself: hashing it down to an int would make a hash collision
+    silently reuse the wrong automaton.
+    """
+    return tuple(tag_names)
 
 
 class TagResolver:

@@ -9,6 +9,13 @@ query methods to.  Each evaluation goes through the pipeline of the paper:
 3. compile the query to a marking tree automaton (cached per query string);
 4. run the evaluator in counting or materialisation mode;
 5. optionally serialise the selected subtrees back to XML.
+
+Steps 1 and 3 are document-independent and live in a reusable
+:class:`~repro.xpath.plan.PreparedQuery`; every query method of the engine
+accepts either a query string (prepared and cached inside the engine) or an
+externally shared prepared query (the compiled-plan cache of
+:class:`~repro.service.QueryService` passes those in, so a corpus-wide query
+parses and compiles once instead of once per document).
 """
 
 from __future__ import annotations
@@ -18,9 +25,9 @@ from dataclasses import dataclass, field
 
 from repro.core.options import EvaluationOptions
 from repro.xpath.bottomup import BottomUpEvaluator
-from repro.xpath.compiler import CompiledQuery, QueryCompiler
+from repro.xpath.compiler import CompiledQuery
 from repro.xpath.evaluator import TopDownEvaluator
-from repro.xpath.parser import parse_xpath
+from repro.xpath.plan import PreparedQuery, prepare_query
 from repro.xpath.planner import QueryPlan, QueryPlanner
 from repro.xpath.runtime import EvaluationStatistics, TextPredicateRuntime
 
@@ -46,58 +53,70 @@ class QueryResult:
 
 
 class XPathEngine:
-    """Evaluates Core+ queries over one indexed document."""
+    """Evaluates Core+ queries over one indexed document.
+
+    Every public method takes ``query`` as either a string or a
+    :class:`~repro.xpath.plan.PreparedQuery`.
+    """
 
     def __init__(self, document):
         self._document = document
-        self._compiled: dict[str, CompiledQuery] = {}
-        self._parsed: dict[str, object] = {}
-        self._compiler = QueryCompiler(document.tree.tag_names())
+        self._prepared: dict[str, PreparedQuery] = {}
+        self._plan_cache: dict[tuple[str, bool], QueryPlan] = {}
 
     # -- compilation -------------------------------------------------------------------------------------
 
-    def parse(self, query: str):
+    def prepare(self, query: str | PreparedQuery) -> PreparedQuery:
+        """Parse ``query`` into a reusable prepared plan (cached per string)."""
+        if isinstance(query, PreparedQuery):
+            return query
+        prepared = self._prepared.get(query)
+        if prepared is None:
+            prepared = prepare_query(query)
+            self._prepared[query] = prepared
+        return prepared
+
+    def parse(self, query: str | PreparedQuery):
         """Parse ``query`` (cached)."""
-        ast = self._parsed.get(query)
-        if ast is None:
-            ast = parse_xpath(query)
-            self._parsed[query] = ast
-        return ast
+        return self.prepare(query).ast
 
-    def compile(self, query: str) -> CompiledQuery:
-        """Compile ``query`` to its marking automaton (cached)."""
-        compiled = self._compiled.get(query)
-        if compiled is None:
-            compiled = self._compiler.compile(self.parse(query))
-            self._compiled[query] = compiled
-        return compiled
+    def compile(self, query: str | PreparedQuery) -> CompiledQuery:
+        """Compile ``query`` to its marking automaton (cached per tag table)."""
+        return self.prepare(query).bind(self._document.tree.tag_names())
 
-    def explain(self, query: str, options: EvaluationOptions | None = None) -> str:
+    def explain(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> str:
         """Describe the compiled automaton and the chosen strategy."""
         options = options or EvaluationOptions()
-        compiled = self.compile(query)
+        prepared = self.prepare(query)
+        compiled = self.compile(prepared)
         stats = EvaluationStatistics()
         runtime = TextPredicateRuntime(self._document, stats)
-        plan = QueryPlanner(self._document, runtime).plan(self.parse(query), options.allow_bottom_up)
-        lines = [f"query: {query}", f"strategy: {plan.describe()}"]
+        plan = QueryPlanner(self._document, runtime).plan(prepared.ast, options.allow_bottom_up)
+        lines = [f"query: {prepared.text}", f"strategy: {plan.describe()}"]
         lines.extend(f"  note: {reason}" for reason in plan.reasons)
         lines.append(compiled.describe(self._document.tree.tag_names()))
         return "\n".join(lines)
 
     # -- evaluation --------------------------------------------------------------------------------------------
 
-    def _execute(self, query: str, options: EvaluationOptions, want_nodes: bool) -> QueryResult:
+    def _execute(
+        self, query: str | PreparedQuery, options: EvaluationOptions, want_nodes: bool
+    ) -> QueryResult:
         started = time.perf_counter()
         stats = EvaluationStatistics()
         runtime = TextPredicateRuntime(self._document, stats)
-        ast = self.parse(query)
-        planner = QueryPlanner(self._document, runtime)
-        plan = planner.plan(ast, allow_bottom_up=options.allow_bottom_up)
+        prepared = self.prepare(query)
+        planner = QueryPlanner(self._document, runtime, plan_cache=self._plan_cache)
+        plan = planner.plan(
+            prepared.ast,
+            allow_bottom_up=options.allow_bottom_up,
+            cache_key=(prepared.text, options.allow_bottom_up),
+        )
 
         if plan.strategy == "bottom-up":
             evaluator = BottomUpEvaluator(
                 document=self._document,
-                path=ast,
+                path=prepared.ast,
                 anchor=plan.anchor_predicates,
                 predicate_runtime=runtime,
                 stats=stats,
@@ -106,9 +125,9 @@ class XPathEngine:
             count = len(nodes)
             result_nodes = nodes if want_nodes else None
         else:
-            compiled = self.compile(query)
+            compiled = self.compile(prepared)
             use_counting_mode = not want_nodes and compiled.count_safe
-            run_options = options.replace(counting=True) if use_counting_mode else options.replace(counting=False)
+            run_options = options.replace(counting=use_counting_mode)
             evaluator = TopDownEvaluator(
                 self._document,
                 compiled,
@@ -126,7 +145,7 @@ class XPathEngine:
         stats.result_nodes = count
         elapsed = time.perf_counter() - started
         return QueryResult(
-            query=query,
+            query=prepared.text,
             count=count,
             nodes=result_nodes,
             plan=plan,
@@ -134,20 +153,25 @@ class XPathEngine:
             elapsed_seconds=elapsed,
         )
 
-    def count(self, query: str, options: EvaluationOptions | None = None) -> int:
+    def count(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> int:
         """Number of nodes selected by ``query`` (counting mode)."""
         return self._execute(query, options or EvaluationOptions(), want_nodes=False).count
 
-    def materialize(self, query: str, options: EvaluationOptions | None = None) -> list[int]:
+    def materialize(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> list[int]:
         """The selected nodes, in document order."""
         result = self._execute(query, options or EvaluationOptions(), want_nodes=True)
         return result.nodes or []
 
-    def evaluate(self, query: str, options: EvaluationOptions | None = None, want_nodes: bool = True) -> QueryResult:
+    def evaluate(
+        self,
+        query: str | PreparedQuery,
+        options: EvaluationOptions | None = None,
+        want_nodes: bool = True,
+    ) -> QueryResult:
         """Full evaluation returning the result object (nodes, plan, statistics)."""
         return self._execute(query, options or EvaluationOptions(), want_nodes=want_nodes)
 
-    def serialize(self, query: str, options: EvaluationOptions | None = None) -> list[str]:
+    def serialize(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> list[str]:
         """Evaluate and serialise each selected node back to XML text."""
         nodes = self.materialize(query, options)
         return [self._document.serialize_node(node) for node in nodes]

@@ -1,0 +1,80 @@
+"""Reusable compiled query plans, shared across documents.
+
+The engine pipeline of the paper -- parse, plan, compile, evaluate -- was
+originally entangled per document: each :class:`~repro.xpath.engine.XPathEngine`
+parsed and compiled every query against its own document's tag table.  Serving
+a corpus repeats that work once per (query, document), although the expensive
+parts are document-independent:
+
+* **parsing** a query string into the Core+ AST depends on nothing else;
+* **compiling** the AST to a marking automaton depends only on the document's
+  *tag table* (the ordered list of tag names) -- every document of a
+  homogeneous corpus (XMark shards, Medline citations, ...) shares one table;
+* only **planning** (strategy selection from text-index statistics) and
+  evaluation are truly per document.
+
+A :class:`PreparedQuery` captures that split: it parses once, and *binds* --
+compiles against a concrete tag table -- on demand, memoising one
+:class:`~repro.xpath.compiler.CompiledQuery` per distinct tag-table signature.
+Binding is thread-safe so a prepared query can be shared by the parallel
+scatter-gather workers of :class:`~repro.service.QueryService`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.xpath.ast import LocationPath
+from repro.xpath.compiler import CompiledQuery, QueryCompiler, tag_table_signature
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["PreparedQuery", "prepare_query"]
+
+
+class PreparedQuery:
+    """One parsed query, compilable against any document's tag table.
+
+    Instances are cheap value objects around the AST; the per-tag-table
+    compiled automata are memoised in :meth:`bind`.  Create them through
+    :func:`prepare_query` (or :meth:`repro.Document.prepare`) rather than
+    directly.
+    """
+
+    __slots__ = ("text", "ast", "_bindings", "_lock")
+
+    def __init__(self, text: str, ast: LocationPath):
+        self.text = text
+        self.ast = ast
+        self._bindings: dict[tuple[str, ...], CompiledQuery] = {}
+        self._lock = threading.Lock()
+
+    def bind(self, tag_names: Sequence[str]) -> CompiledQuery:
+        """Compile against ``tag_names``, memoised per tag-table signature.
+
+        Two documents with identical tag tables (the common case for a sharded
+        corpus) share one compiled automaton; a document with a different
+        table gets its own binding.
+        """
+        signature = tag_table_signature(tag_names)
+        binding = self._bindings.get(signature)
+        if binding is None:
+            with self._lock:
+                binding = self._bindings.get(signature)
+                if binding is None:
+                    binding = QueryCompiler(tag_names).compile(self.ast)
+                    self._bindings[signature] = binding
+        return binding
+
+    @property
+    def num_bindings(self) -> int:
+        """Number of distinct tag tables this query has been compiled against."""
+        return len(self._bindings)
+
+    def __repr__(self) -> str:
+        return f"PreparedQuery({self.text!r}, bindings={self.num_bindings})"
+
+
+def prepare_query(query: str) -> PreparedQuery:
+    """Parse ``query`` into a reusable, document-independent prepared plan."""
+    return PreparedQuery(query, parse_xpath(query))

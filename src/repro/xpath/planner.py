@@ -65,16 +65,39 @@ class QueryPlan:
 
 
 class QueryPlanner:
-    """Chooses between top-down and bottom-up evaluation for a parsed query."""
+    """Chooses between top-down and bottom-up evaluation for a parsed query.
 
-    def __init__(self, document, predicate_runtime: TextPredicateRuntime):
+    The decision is deterministic per (document, query, ``allow_bottom_up``)
+    but involves text-index match estimation, so callers that evaluate the
+    same query repeatedly (the engine, the service layer) pass a persistent
+    ``plan_cache`` dict and a ``cache_key``; the planner then memoises the
+    built plans there.
+    """
+
+    def __init__(
+        self,
+        document,
+        predicate_runtime: TextPredicateRuntime,
+        plan_cache: dict[tuple, QueryPlan] | None = None,
+    ):
         self._document = document
         self._runtime = predicate_runtime
+        self._plan_cache = plan_cache
 
     # -- public API ------------------------------------------------------------------------------------
 
-    def plan(self, path: LocationPath, allow_bottom_up: bool = True) -> QueryPlan:
-        """Build the evaluation plan for ``path``."""
+    def plan(self, path: LocationPath, allow_bottom_up: bool = True, cache_key: tuple | None = None) -> QueryPlan:
+        """Build the evaluation plan for ``path`` (memoised under ``cache_key``)."""
+        if self._plan_cache is not None and cache_key is not None:
+            cached = self._plan_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        plan = self._build_plan(path, allow_bottom_up)
+        if self._plan_cache is not None and cache_key is not None:
+            self._plan_cache[cache_key] = plan
+        return plan
+
+    def _build_plan(self, path: LocationPath, allow_bottom_up: bool) -> QueryPlan:
         plan = QueryPlan()
         text_predicates = self._collect_text_predicates(path)
         if text_predicates:

@@ -15,7 +15,7 @@ Three concerns of Section 5.5 live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 __all__ = [

@@ -12,10 +12,8 @@ from repro.workloads import (
     MEDLINE_QUERIES,
     WIKI_QUERIES,
     XMARK_QUERIES,
-    generate_bio_xml,
     generate_medline_xml,
     generate_treebank_xml,
-    generate_wiki_xml,
     generate_xmark_xml,
     jaspar_like_matrices,
 )

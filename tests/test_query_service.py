@@ -1,0 +1,246 @@
+"""The serving layer: prepared plans, the plan cache and QueryService."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Document,
+    DocumentFailure,
+    DocumentStore,
+    IndexOptions,
+    PlanCache,
+    QueryService,
+    ReproError,
+    prepare_query,
+)
+from repro.workloads import generate_treebank_xml, generate_xmark_xml
+
+XMARK_QUERIES = [
+    "//item",
+    "//item/name",
+    '//item[contains(., "gold")]',
+    "//people/person",
+]
+TREEBANK_QUERIES = [
+    "//NP",
+    "//S//VP",
+    "//NP/PP",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    """A mixed XMark + Treebank store: two tag tables, ten documents."""
+    store = DocumentStore(tmp_path_factory.mktemp("corpus"), num_shards=8, cache_size=3)
+    for i in range(6):
+        store.add_xml(f"xmark-{i}", generate_xmark_xml(scale=0.01, seed=50 + i), IndexOptions(sample_rate=16))
+    for i in range(4):
+        xml = generate_treebank_xml(num_sentences=6, max_depth=7, seed=80 + i)
+        store.add_xml(f"treebank-{i}", xml, IndexOptions(sample_rate=16))
+    return store
+
+
+# -- PreparedQuery ------------------------------------------------------------------------
+
+
+def test_prepared_query_shares_bindings_across_equal_tag_tables():
+    plan = prepare_query("//b")
+    doc_a = Document.from_string("<a><b>x</b></a>")
+    doc_b = Document.from_string("<a><b>y</b><b>x</b></a>")  # same tag table
+    doc_c = Document.from_string("<root><b>x</b><c/></root>")  # different table
+    assert doc_a.count(plan) == 1
+    assert doc_b.count(plan) == 2
+    assert plan.num_bindings == 1
+    assert doc_c.count(plan) == 1
+    assert plan.num_bindings == 2
+
+
+def test_prepared_query_matches_string_path_everywhere():
+    doc = Document.from_string("<a><b>hello</b><b>world</b></a>")
+    plan = doc.prepare("//b")
+    assert doc.count(plan) == doc.count("//b")
+    assert doc.query(plan) == doc.query("//b")
+    assert doc.serialize(plan) == doc.serialize("//b")
+    assert doc.evaluate(plan).count == 2
+    assert "query: //b" in doc.explain(plan)
+
+
+# -- PlanCache ----------------------------------------------------------------------------
+
+
+def test_plan_cache_does_not_share_across_index_options():
+    cache = PlanCache(capacity=8)
+    default = cache.get("//a", IndexOptions())
+    rlcsa = cache.get("//a", IndexOptions(text_index="rlcsa"))
+    assert default is not rlcsa
+    info = cache.info()
+    assert info["misses"] == 2 and info["entries"] == 2
+    # Same (query, options) pair hits; None normalises to the default options.
+    assert cache.get("//a", IndexOptions()) is default
+    assert cache.get("//a") is default
+    assert cache.info()["hits"] == 2
+
+
+def test_plan_cache_lru_eviction_and_passthrough():
+    cache = PlanCache(capacity=2)
+    first = cache.get("//a")
+    cache.get("//b")
+    cache.get("//c")  # evicts //a
+    assert cache.info()["evictions"] == 1
+    assert cache.get("//a") is not first  # re-parsed after eviction
+    prepared = prepare_query("//d")
+    assert cache.get(prepared) is prepared  # caller-owned plans bypass the cache
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+# -- QueryService: correctness ------------------------------------------------------------
+
+
+def test_parallel_equals_sequential_on_xmark_and_treebank(corpus):
+    parallel = QueryService(corpus, max_workers=4)
+    sequential = QueryService(corpus, max_workers=1)
+    for query in XMARK_QUERIES + TREEBANK_QUERIES:
+        expected = corpus.count_all(query)
+        par = parallel.run(query, want_nodes=True)
+        seq = sequential.run(query, want_nodes=True)
+        assert par.counts == expected, query
+        assert seq.counts == expected, query
+        assert par.nodes == seq.nodes, query
+        assert par.total == sum(expected.values())
+        assert not par.failures
+    # One binding per *distinct* tag table, never one per document.
+    tables = {tuple(corpus.get(doc_id).tree.tag_names()) for doc_id in corpus.doc_ids()}
+    plan = parallel.plan_cache.get(XMARK_QUERIES[0], IndexOptions(sample_rate=16))
+    assert 1 <= plan.num_bindings <= len(tables)
+
+
+def test_service_nodes_match_store_query(corpus):
+    service = QueryService(corpus, max_workers=4)
+    result = service.run("//NP", want_nodes=True)
+    for doc_id in corpus.doc_ids():
+        assert result.nodes[doc_id] == corpus.query(doc_id, "//NP"), doc_id
+
+
+def test_service_doc_subset_and_timings(corpus):
+    service = QueryService(corpus, max_workers=2)
+    subset = ["xmark-0", "treebank-0"]
+    result = service.run("//*", doc_ids=subset)
+    assert sorted(result.counts) == sorted(subset)
+    assert sum(t.num_documents for t in result.shard_timings) == 2
+    assert result.slowest_shard in result.shard_timings
+    assert result.elapsed_seconds > 0
+
+
+def test_run_many_groups_queries_and_matches_individual_runs(corpus):
+    service = QueryService(corpus, max_workers=4)
+    batch = service.run_many(["//item", "//NP", "//item"])
+    assert len(batch) == 3
+    assert batch[0].counts == batch[2].counts == service.run("//item").counts
+    assert batch[1].counts == service.run("//NP").counts
+    # The duplicate text was one job: the batch parsed two plans, not three.
+    assert service.plan_cache.info()["entries"] >= 2
+
+
+def test_run_many_empty_inputs(corpus):
+    service = QueryService(corpus, max_workers=2)
+    assert service.run_many([]) == []
+    result = service.run("//item", doc_ids=[])
+    assert result.counts == {} and result.total == 0
+
+
+def test_service_process_executor(corpus):
+    with QueryService(corpus, max_workers=2, executor="process") as service:
+        expected = corpus.count_all("//item")
+        assert service.run("//item").counts == expected
+        # Warm workers answer again without re-forking (persistent pools).
+        assert service.run("//item").counts == expected
+    assert service.total_count("//NP", doc_ids=["treebank-0"]) > 0  # pool recreated after close
+
+
+def test_service_validates_configuration(corpus):
+    with pytest.raises(ValueError):
+        QueryService(corpus, max_workers=0)
+    with pytest.raises(ValueError):
+        QueryService(corpus, executor="fiber")
+    with pytest.raises(ValueError):
+        corpus.scatter_gather(lambda _, d: 0, on_error="ignore")
+
+
+def test_malformed_query_fails_the_call_not_the_workers(corpus):
+    service = QueryService(corpus, max_workers=4)
+    with pytest.raises(ValueError):
+        service.run("//item[")
+
+
+# -- failure surfacing --------------------------------------------------------------------
+
+
+def _corrupt(store: DocumentStore, doc_id: str) -> None:
+    path = store.root / f"shard-{store.shard_of(doc_id):03d}" / f"{doc_id}.sxsi"
+    path.write_bytes(b"garbage" * 16)
+
+
+def test_service_surfaces_corrupt_documents_as_failures(tmp_path):
+    store = DocumentStore(tmp_path / "store", num_shards=4, cache_size=2)
+    for i in range(4):
+        store.add_xml(f"doc-{i}", f"<doc><n>{i}</n></doc>")
+    _corrupt(store, "doc-2")
+    fresh = DocumentStore(tmp_path / "store")  # cold cache so the corruption is hit
+    service = QueryService(fresh, max_workers=2)
+    result = service.run("//n")
+    assert sorted(result.counts) == ["doc-0", "doc-1", "doc-3"]
+    assert [f.doc_id for f in result.failures] == ["doc-2"]
+    assert result.failures[0].error == "CorruptedFileError"
+    with pytest.raises(ReproError, match="doc-2"):
+        result.raise_failures()
+
+
+def test_scatter_gather_collects_structured_failures(tmp_path):
+    store = DocumentStore(tmp_path / "store", num_shards=4, cache_size=2)
+    for i in range(3):
+        store.add_xml(f"doc-{i}", f"<doc><n>{i}</n></doc>")
+    _corrupt(store, "doc-1")
+    fresh = DocumentStore(tmp_path / "store")
+    results = fresh.count_all("//n", on_error="collect")
+    assert results["doc-0"] == 1 and results["doc-2"] == 1
+    failure = results["doc-1"]
+    assert isinstance(failure, DocumentFailure)
+    assert failure.error == "CorruptedFileError" and "doc-1" in str(failure)
+    # The default still aborts, preserving the PR-1 semantics.
+    with pytest.raises(ReproError):
+        DocumentStore(tmp_path / "store").count_all("//n")
+
+
+def test_resident_documents_are_revalidated_after_overwrite(tmp_path):
+    store = DocumentStore(tmp_path / "store", num_shards=2, cache_size=4)
+    store.add_xml("doc", "<r><x>old</x></r>")
+    other_view = DocumentStore(tmp_path / "store")  # e.g. a process worker's view
+    assert other_view.serialize("doc", "//x") == ["<x>old</x>"]  # now resident there
+    store.add_xml("doc", "<r><x>new</x><x>two</x></r>", overwrite=True)
+    assert other_view.serialize("doc", "//x") == ["<x>new</x>", "<x>two</x>"]
+    service = QueryService(other_view, max_workers=2)
+    assert service.run("//x").counts == {"doc": 2}
+
+
+def test_plan_cache_shares_parsed_ast_across_option_keys():
+    cache = PlanCache(capacity=8)
+    default = cache.get("//a/b")
+    rlcsa = cache.get("//a/b", IndexOptions(text_index="rlcsa"))
+    assert rlcsa is not default  # distinct entries per IndexOptions...
+    assert rlcsa.ast is default.ast  # ...but the parse is shared
+
+
+# -- shard iteration ----------------------------------------------------------------------
+
+
+def test_iter_shards_partitions_the_corpus(corpus):
+    shards = corpus.iter_shards()
+    seen = [doc_id for _, members in shards for doc_id in members]
+    assert sorted(seen) == corpus.doc_ids()
+    for shard, members in shards:
+        assert members == sorted(members)
+        assert all(corpus.shard_of(doc_id) == shard for doc_id in members)
+    subset = corpus.iter_shards(["xmark-0", "xmark-1"])
+    assert sorted(d for _, m in subset for d in m) == ["xmark-0", "xmark-1"]

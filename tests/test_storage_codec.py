@@ -25,7 +25,6 @@ from repro.tree.balanced_parens import BalancedParentheses
 from repro.tree.succinct_tree import SuccinctTree
 from repro.tree.tag_sequence import TagSequence
 from repro.tree.tag_tables import TagPositionTables
-from repro.xmlmodel.model import build_model
 
 TEXTS = [b"hello world", b"worldly goods", b"", b"banana band", b"hello"]
 

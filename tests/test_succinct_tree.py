@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.tree import NIL, PointerTree, SuccinctTree, TagPositionTables, TagSequence
-from repro.xmlmodel import build_model
 
 
 @pytest.fixture(scope="module")

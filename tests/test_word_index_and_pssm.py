@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import numpy as np
 import pytest
 
 from repro.text import RLCSAIndex, TextCollection, WordTextIndex
