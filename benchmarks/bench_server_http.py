@@ -1,0 +1,204 @@
+"""HTTP serving throughput: single requests vs batches vs concurrent clients.
+
+The network boundary of PR 3 must not squander what the service layer won:
+this module serves an XMark corpus with :class:`~repro.server.ReproServer` on
+a loopback socket and measures, against the in-process
+:class:`~repro.service.QueryService` floor:
+
+* **single** -- one ``POST /v1/query`` per query, one client, sequential: every
+  request pays HTTP framing plus a corpus sweep;
+* **batch** -- the whole query set in one ``POST /v1/query/batch``: one
+  request, one sweep, every resident document answers all queries;
+* **concurrent** -- eight clients issuing single queries in parallel: the
+  executor bridges them onto index threads while the event loop keeps
+  accepting.
+
+The committed critical metrics are same-machine ratios (batch vs single
+amortisation, concurrent-client scaling); absolute requests/sec are advisory.
+
+Runs standalone for CI (``python benchmarks/bench_server_http.py --quick
+--out BENCH_pr3.json``) or under pytest like the other modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro import DocumentStore, IndexOptions, QueryService
+from repro.client import ReproClient
+from repro.server import ReproServer
+from repro.workloads import generate_xmark_xml
+
+from _bench_utils import print_table
+
+QUERIES = [
+    "//item",
+    "//item/name",
+    '//item[contains(., "gold")]',
+    "//people/person/name",
+]
+
+CONCURRENT_CLIENTS = 8
+
+
+def build_store(root, num_docs: int, scale: float, cache_size: int) -> None:
+    store = DocumentStore(root, num_shards=16, cache_size=cache_size)
+    for i in range(num_docs):
+        xml = generate_xmark_xml(scale=scale, seed=500 + i)
+        store.add_xml(f"xmark-{i:03d}", xml, IndexOptions(sample_rate=16))
+
+
+def run_benchmark(
+    num_docs: int = 16,
+    scale: float = 0.02,
+    repeats: int = 3,
+    cache_size: int = 8,
+    workers: int = 4,
+) -> dict:
+    """Measure the four paths; returns the metric dict written to BENCH_pr3.json."""
+    queries_per_sweep = len(QUERIES)
+    with tempfile.TemporaryDirectory() as root:
+        build_store(root, num_docs, scale, cache_size)
+        service = QueryService(DocumentStore(root, cache_size=cache_size), max_workers=workers)
+
+        # In-process floor: run_many batches, warm caches.
+        expected = {r.query: r.counts for r in service.run_many(QUERIES)}
+        started = time.perf_counter()
+        for _ in range(repeats):
+            service.run_many(QUERIES)
+        inprocess_seconds = time.perf_counter() - started
+
+        with ReproServer(service, executor_workers=CONCURRENT_CLIENTS) as server:
+            client = ReproClient(*server.address)
+
+            # Warm the HTTP path and verify parity with the in-process floor.
+            for result in client.run_many(QUERIES):
+                assert result.counts == expected[result.query], f"HTTP mismatch for {result.query!r}"
+                assert not result.failures
+
+            # Single requests, one client, sequential.
+            started = time.perf_counter()
+            for _ in range(repeats):
+                for query in QUERIES:
+                    client.run(query)
+            single_seconds = time.perf_counter() - started
+
+            # The same work as one batch request per sweep.
+            started = time.perf_counter()
+            for _ in range(repeats):
+                client.run_many(QUERIES)
+            batch_seconds = time.perf_counter() - started
+
+            # Concurrent single-query clients.
+            errors: list[BaseException] = []
+
+            def hammer():
+                try:
+                    with ReproClient(*server.address) as c:
+                        for _ in range(repeats):
+                            for query in QUERIES:
+                                c.run(query)
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=hammer) for _ in range(CONCURRENT_CLIENTS)]
+            started = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            concurrent_seconds = time.perf_counter() - started
+            assert not errors, errors
+            client.close()
+
+    single_rps = repeats * queries_per_sweep / single_seconds
+    batch_query_rps = repeats * queries_per_sweep / batch_seconds
+    concurrent_rps = CONCURRENT_CLIENTS * repeats * queries_per_sweep / concurrent_seconds
+    return {
+        "meta": {
+            "num_docs": num_docs,
+            "scale": scale,
+            "repeats": repeats,
+            "cache_size": cache_size,
+            "service_workers": workers,
+            "concurrent_clients": CONCURRENT_CLIENTS,
+            "queries": list(QUERIES),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "metrics": {
+            "inprocess_queries_per_second": round(repeats * queries_per_sweep / inprocess_seconds, 3),
+            "http_single_requests_per_second": round(single_rps, 3),
+            "http_batch_queries_per_second": round(batch_query_rps, 3),
+            "http_concurrent_requests_per_second": round(concurrent_rps, 3),
+            # Same-machine ratios -- the committed critical metrics.
+            "http_batch_speedup": round(batch_query_rps / single_rps, 3),
+            "http_concurrent_speedup": round(concurrent_rps / single_rps, 3),
+            "http_overhead_vs_inprocess": round(
+                (repeats * queries_per_sweep / inprocess_seconds) / batch_query_rps, 3
+            ),
+        },
+    }
+
+
+def _report(results: dict) -> None:
+    metrics = results["metrics"]
+    print_table(
+        f"HTTP serving throughput (queries/s, {CONCURRENT_CLIENTS} concurrent clients)",
+        ["path", "queries/s", "vs single"],
+        [
+            ["in-process run_many (floor)", metrics["inprocess_queries_per_second"], "-"],
+            ["HTTP single requests", metrics["http_single_requests_per_second"], "1.00x"],
+            ["HTTP batch", metrics["http_batch_queries_per_second"], f"{metrics['http_batch_speedup']:.2f}x"],
+            [
+                "HTTP concurrent clients",
+                metrics["http_concurrent_requests_per_second"],
+                f"{metrics['http_concurrent_speedup']:.2f}x",
+            ],
+        ],
+    )
+
+
+# -- pytest entry points ---------------------------------------------------------------
+
+
+def test_http_batch_amortises_requests(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = run_benchmark(num_docs=12, repeats=2)
+    _report(results)
+    metrics = results["metrics"]
+    assert metrics["http_batch_speedup"] > 1.0
+    assert metrics["http_concurrent_speedup"] > 0.5
+
+
+# -- CLI entry point (the CI bench-smoke job) ------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings (fewer repeats)")
+    parser.add_argument("--docs", type=int, default=16, help="corpus size")
+    parser.add_argument("--scale", type=float, default=0.02, help="XMark scale per document")
+    parser.add_argument("--repeats", type=int, default=None, help="timed sweeps over the query set")
+    parser.add_argument("--workers", type=int, default=4, help="QueryService scatter-gather workers")
+    parser.add_argument("--out", type=Path, default=None, help="write the results JSON here")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+    results = run_benchmark(num_docs=args.docs, scale=args.scale, repeats=repeats, workers=args.workers)
+    _report(results)
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

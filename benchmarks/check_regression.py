@@ -1,8 +1,10 @@
-"""Compare a BENCH_*.json run against the committed baseline; fail on regression.
+"""Compare BENCH_*.json runs against the committed baseline; fail on regression.
 
-Used by the CI ``bench-smoke`` job::
+Used by the CI ``bench-smoke`` job; several runs can cover one baseline (their
+metric dicts are merged, so the baseline file stays the single source of
+truth across benchmark modules)::
 
-    python benchmarks/check_regression.py BENCH_pr2.json benchmarks/baseline.json
+    python benchmarks/check_regression.py BENCH_pr2.json BENCH_pr3.json benchmarks/baseline.json
 
 Every baseline metric declares a direction (``higher`` is better, or
 ``lower``) and whether it is *critical*.  A critical metric that regresses by
@@ -51,13 +53,26 @@ def check(current: dict, baseline: dict, threshold: float | None = None) -> list
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="BENCH_*.json produced by a benchmark run")
-    parser.add_argument("baseline", type=Path, help="committed baseline.json")
+    parser.add_argument(
+        "files",
+        type=Path,
+        nargs="+",
+        metavar="BENCH.json ... baseline.json",
+        help="one or more BENCH_*.json runs, then the committed baseline.json last",
+    )
     parser.add_argument("--threshold", type=float, default=None, help="override the regression threshold")
     args = parser.parse_args(argv)
+    if len(args.files) < 2:
+        parser.error("need at least one benchmark run and the baseline")
 
-    current = json.loads(args.current.read_text(encoding="utf-8"))
-    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    current = {"metrics": {}}
+    for path in args.files[:-1]:
+        run = json.loads(path.read_text(encoding="utf-8"))
+        overlap = set(current["metrics"]) & set(run["metrics"])
+        if overlap:
+            parser.error(f"{path} redefines metric(s) {', '.join(sorted(overlap))}")
+        current["metrics"].update(run["metrics"])
+    baseline = json.loads(args.files[-1].read_text(encoding="utf-8"))
     failures = check(current, baseline, args.threshold)
     for failure in failures:
         print(failure, file=sys.stderr)

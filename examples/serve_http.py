@@ -1,0 +1,80 @@
+"""Serve a small XMark corpus over HTTP and query it with ``ReproClient``.
+
+Builds a store of XMark documents in a temporary directory, starts the
+dependency-free :class:`~repro.server.ReproServer` on a free port, and then
+talks to it the way a deployment would: health probe, batch query, a single
+query with node materialisation, an ingest round-trip over the wire, and the
+Prometheus metrics page.
+
+Usage::
+
+    python examples/serve_http.py [scale] [num_docs]
+
+(scale defaults to 0.05, num_docs to 6; the test suite runs it small).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro import DocumentStore, IndexOptions, QueryService
+from repro.client import ReproClient
+from repro.server import ReproServer
+from repro.workloads import generate_xmark_xml
+
+QUERIES = [
+    "//item",
+    "//item/name",
+    '//keyword[contains(., "gold")]',
+    "//people/person/name",
+]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    num_docs = int(sys.argv[2]) if len(sys.argv) > 2 else 6
+
+    with tempfile.TemporaryDirectory() as root:
+        store = DocumentStore(root, num_shards=8, cache_size=4)
+        for i in range(num_docs):
+            store.add_xml(f"xmark-{i:02d}", generate_xmark_xml(scale=scale, seed=300 + i))
+        service = QueryService(store, max_workers=2)
+
+        with ReproServer(service) as server:
+            print(f"serving {len(store)} XMark documents at {server.url}")
+            client = ReproClient(*server.address)
+
+            health = client.healthz()
+            print(f"healthz: {health['status']}")
+
+            # One HTTP request, one corpus sweep, four answers.
+            print("\nbatch query over HTTP:")
+            for result in client.run_many(QUERIES):
+                shard_count = len(result.shard_timings)
+                print(f"  {result.query:<35} total={result.total:<5} shards={shard_count}")
+
+            # Node materialisation travels too.
+            nodes = client.run("//people/person", want_nodes=True)
+            sample_doc = next(iter(sorted(nodes.counts)))
+            print(f"\n//people/person nodes in {sample_doc}: {nodes.nodes[sample_doc][:5]} ...")
+
+            # Ingest over the wire: the server parses, indexes and shards.
+            ingested = client.put_document(
+                "uploaded", "<site><item><name>wire gold</name></item></site>", IndexOptions(sample_rate=16)
+            )
+            print(f"\ningested {ingested['doc_id']!r} into shard {ingested['shard']}")
+            print(f"  //item total is now {client.total_count('//item')}")
+            print(f"  index bytes: {client.document_stats('uploaded')['total_bytes']}")
+            client.delete_document("uploaded")
+
+            page = client.metrics_text()
+            requests_served = sum(
+                1 for line in page.splitlines() if line.startswith("repro_http_requests_total{")
+            )
+            print(f"\nmetrics: {requests_served} (route, method, status) request counters")
+    print("server stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""End-to-end smoke of the deployed shape: a real ``repro-serve`` process.
+
+Run by the CI ``e2e-smoke`` job (and runnable locally)::
+
+    PYTHONPATH=src python scripts/e2e_smoke.py
+
+It builds a temporary XMark store, launches ``python -m repro.server`` as a
+separate OS process, waits for ``/healthz``, verifies a batch response over
+the socket is value-identical to the in-process ``QueryService.run_many``,
+does an ingest round-trip, then sends SIGTERM and asserts the server exits
+cleanly (graceful shutdown, exit code 0).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro import DocumentStore, QueryService
+from repro.client import ReproClient
+from repro.workloads import generate_xmark_xml
+
+QUERIES = ["//item", "//item/name", '//keyword[contains(., "gold")]']
+PORT = int(os.environ.get("E2E_PORT", "8765"))
+
+
+def wait_for_health(client: ReproClient, deadline: float = 30.0) -> None:
+    started = time.monotonic()
+    while True:
+        try:
+            if client.healthz()["status"] == "ok":
+                return
+        except Exception:
+            pass
+        if time.monotonic() - started > deadline:
+            raise RuntimeError("server did not become healthy in time")
+        time.sleep(0.2)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as root:
+        store = DocumentStore(root, num_shards=8, cache_size=4)
+        for i in range(6):
+            store.add_xml(f"xmark-{i:02d}", generate_xmark_xml(scale=0.02, seed=700 + i))
+        expected = {r.query: r for r in QueryService(store, max_workers=1).run_many(QUERIES)}
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.server",
+                "--root",
+                root,
+                "--port",
+                str(PORT),
+                "--cache-size",
+                "4",
+                "--workers",
+                "4",
+            ],
+        )
+        try:
+            with ReproClient("127.0.0.1", PORT, retries=0, timeout=10.0) as client:
+                wait_for_health(client)
+
+                results = client.run_many(QUERIES)
+                for result in results:
+                    reference = expected[result.query]
+                    assert result.counts == reference.counts, result.query
+                    assert result.total == reference.total, result.query
+                    assert result.failures == reference.failures, result.query
+                print(f"e2e: batch of {len(results)} queries matches in-process run_many")
+
+                created = client.put_document("wire", "<site><item><name>e2e</name></item></site>")
+                assert client.run("//item", doc_ids=["wire"]).total == 1
+                assert client.document_stats("wire")["total_bytes"] > 0
+                client.delete_document("wire")
+                print(f"e2e: ingest round-trip ok (shard {created['shard']})")
+
+                page = client.metrics_text()
+                assert "repro_http_requests_total{" in page
+                print("e2e: metrics page ok")
+
+            process.send_signal(signal.SIGTERM)
+            exit_code = process.wait(timeout=30)
+            assert exit_code == 0, f"server exited with {exit_code} after SIGTERM"
+            print("e2e: clean shutdown (exit code 0)")
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

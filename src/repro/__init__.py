@@ -33,6 +33,8 @@ from repro.xpath.plan import PreparedQuery, prepare_query
 __all__ = [
     "Document",
     "DocumentStore",
+    "ReproServer",
+    "ReproClient",
     "DocumentFailure",
     "QueryService",
     "PlanCache",
@@ -52,4 +54,27 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
+
+#: Lazily exported so ``import repro`` stays cheap: the HTTP server and client
+#: (asyncio, http.client, url parsing) only load when actually referenced.
+_LAZY_EXPORTS = {
+    "ReproServer": ("repro.server", "ReproServer"),
+    "ReproClient": ("repro.client", "ReproClient"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY_EXPORTS.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    module_name, attribute = target
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attribute)
+    globals()[name] = value  # cache: subsequent lookups skip __getattr__
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

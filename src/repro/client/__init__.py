@@ -1,0 +1,10 @@
+"""Stdlib HTTP client for a :class:`~repro.server.ReproServer` deployment.
+
+:class:`ReproClient` mirrors the :class:`~repro.service.QueryService` API over
+the wire -- same typed results, same exception classes -- using only
+:mod:`http.client`.
+"""
+
+from repro.client.client import ReproClient
+
+__all__ = ["ReproClient"]

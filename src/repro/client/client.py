@@ -1,0 +1,280 @@
+"""``ReproClient``: a stdlib HTTP client mirroring the :class:`QueryService` API.
+
+Built on :mod:`http.client` only -- a deployment that serves with
+``repro-serve`` and queries with :class:`ReproClient` needs nothing outside
+the standard library on the client side.
+
+The client speaks the wire schema of :mod:`repro.server.json_api`, so:
+
+* query calls return the *same* typed :class:`~repro.service.ServiceResult`
+  (with :class:`~repro.store.document_store.DocumentFailure` and
+  :class:`~repro.service.ShardTiming` entries) the in-process service returns;
+* error responses re-raise the *same* exception classes the server caught --
+  ``XPathSyntaxError`` for a malformed query, ``DocumentNotFoundError`` for an
+  unknown identifier, ``CorruptedFileError`` for a bad shard file -- so code
+  written against :class:`~repro.service.QueryService` ports by swapping the
+  object.
+
+Connection-level failures (refused, reset, dropped keep-alive) are retried
+with exponential backoff on a fresh connection; HTTP-level errors are never
+retried -- they are answers, not outages.  Non-idempotent calls (an ingest
+without ``overwrite``, a delete) only retry failures that prove the request
+never reached the server (refused connection, resolution failure) -- a timeout
+after a mutation was sent is surfaced, not replayed, because the server may
+have completed it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Iterable, Sequence
+from urllib.parse import quote
+
+from repro.core.options import EvaluationOptions, IndexOptions
+from repro.server.json_api import ApiError, exception_from_payload, service_result_from_json
+from repro.service.query_service import ServiceResult
+
+__all__ = ["ReproClient"]
+
+#: Failures retried for idempotent requests (queries are read-only, so a
+#: replay is always safe even though they travel as POST).
+_RETRYABLE = (
+    ConnectionError,
+    http.client.NotConnected,
+    http.client.RemoteDisconnected,
+    http.client.CannotSendRequest,
+    socket.timeout,
+    socket.gaierror,
+)
+
+#: Failures proving the request never reached the server -- the only ones a
+#: non-idempotent mutation may retry (a timeout or a dropped response after a
+#: completed send is NOT in this set: the server may have executed the call).
+_RETRYABLE_UNSENT = (
+    ConnectionRefusedError,
+    http.client.NotConnected,
+    http.client.CannotSendRequest,
+    socket.gaierror,
+)
+
+
+def _options_dict(options) -> dict | None:
+    if options is None:
+        return None
+    from dataclasses import asdict
+
+    return asdict(options)
+
+
+class ReproClient:
+    """Talks to a :class:`~repro.server.ReproServer` over HTTP/1.1 + JSON.
+
+    Parameters
+    ----------
+    host, port:
+        The server address (``ReproServer.address`` of a started server).
+    timeout:
+        Socket timeout per request, in seconds.
+    retries:
+        Additional attempts after a connection-level failure.
+    backoff:
+        Base delay between attempts; attempt ``n`` sleeps ``backoff * 2**n``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        *,
+        timeout: float = 60.0,
+        retries: int = 2,
+        backoff: float = 0.1,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.host = host
+        self.port = int(port)
+        self._timeout = float(timeout)
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport ---------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        raw_body: bytes | None = None,
+        headers=None,
+        idempotent: bool = True,
+    ) -> tuple[int, bytes]:
+        body: bytes | None
+        request_headers = dict(headers or {})
+        if raw_body is not None:
+            body = raw_body
+            request_headers.setdefault("Content-Type", "application/xml")
+        elif payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            request_headers.setdefault("Content-Type", "application/json")
+        else:
+            body = None
+        last_error: Exception | None = None
+        for attempt in range(self._retries + 1):
+            if attempt:
+                time.sleep(self._backoff * (2 ** (attempt - 1)))
+            try:
+                if self._connection is None:
+                    self._connection = http.client.HTTPConnection(
+                        self.host, self.port, timeout=self._timeout
+                    )
+                self._connection.request(method, path, body=body, headers=request_headers)
+                response = self._connection.getresponse()
+                data = response.read()
+                if response.getheader("Connection", "").lower() == "close":
+                    self.close()
+                return response.status, data
+            except _RETRYABLE as exc:
+                self.close()
+                if not idempotent and not isinstance(exc, _RETRYABLE_UNSENT):
+                    raise
+                last_error = exc
+        raise ApiError(
+            503,
+            f"cannot reach {self.host}:{self.port} after {self._retries + 1} attempt(s): {last_error}",
+        )
+
+    def _json(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        raw_body: bytes | None = None,
+        idempotent: bool = True,
+    ):
+        status, data = self._request(method, path, payload, raw_body=raw_body, idempotent=idempotent)
+        try:
+            decoded = json.loads(data.decode("utf-8")) if data else None
+        except (ValueError, UnicodeDecodeError):
+            decoded = data.decode("utf-8", "replace")
+        if status >= 400:
+            raise exception_from_payload(status, decoded)
+        return decoded
+
+    def close(self) -> None:
+        """Drop the persistent connection (reopened lazily on the next call)."""
+        if self._connection is not None:
+            try:
+                self._connection.close()
+            finally:
+                self._connection = None
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- queries (mirrors QueryService) ------------------------------------------------
+
+    @staticmethod
+    def _query_body(doc_ids, want_nodes, options) -> dict:
+        body: dict = {}
+        if doc_ids is not None:
+            body["doc_ids"] = list(doc_ids)
+        if want_nodes:
+            body["want_nodes"] = True
+        if options is not None:
+            body["options"] = _options_dict(options)
+        return body
+
+    def run(
+        self,
+        query: str,
+        doc_ids: Iterable[str] | None = None,
+        want_nodes: bool = False,
+        options: EvaluationOptions | None = None,
+    ) -> ServiceResult:
+        """Evaluate one query over the corpus; the remote ``QueryService.run``."""
+        body = {"query": query, **self._query_body(doc_ids, want_nodes, options)}
+        return service_result_from_json(self._json("POST", "/v1/query", body))
+
+    def run_many(
+        self,
+        queries: Sequence[str],
+        doc_ids: Iterable[str] | None = None,
+        want_nodes: bool = False,
+        options: EvaluationOptions | None = None,
+    ) -> list[ServiceResult]:
+        """Evaluate a batch in one request/one corpus sweep; the remote ``run_many``."""
+        body = {"queries": list(queries), **self._query_body(doc_ids, want_nodes, options)}
+        data = self._json("POST", "/v1/query/batch", body)
+        return [service_result_from_json(entry) for entry in data["results"]]
+
+    def count_all(self, query: str, doc_ids: Iterable[str] | None = None) -> dict[str, int]:
+        """Per-document counts of ``query``."""
+        return self.run(query, doc_ids=doc_ids).counts
+
+    def total_count(self, query: str, doc_ids: Iterable[str] | None = None) -> int:
+        """Corpus-wide count of ``query``."""
+        return self.run(query, doc_ids=doc_ids).total
+
+    # -- documents ---------------------------------------------------------------------
+
+    def put_document(
+        self,
+        doc_id: str,
+        xml: str | bytes,
+        options: IndexOptions | None = None,
+        overwrite: bool = False,
+    ) -> dict:
+        """Ingest raw XML: the server parses, indexes and shards it."""
+        if isinstance(xml, bytes):
+            xml = xml.decode("utf-8")
+        body = {"xml": xml, "overwrite": bool(overwrite)}
+        if options is not None:
+            body["options"] = _options_dict(options)
+        # Replaying an overwrite is harmless; replaying a create could report
+        # 'already exists' for an ingest that actually succeeded.
+        return self._json(
+            "PUT", f"/v1/documents/{quote(doc_id, safe='')}", body, idempotent=bool(overwrite)
+        )
+
+    def get_document(self, doc_id: str) -> dict:
+        """Summary of a stored document (shard, node/text/tag counts, options)."""
+        return self._json("GET", f"/v1/documents/{quote(doc_id, safe='')}")
+
+    def document_stats(self, doc_id: str) -> dict:
+        """Per-component index size breakdown (``Document.stats()``)."""
+        return self._json("GET", f"/v1/documents/{quote(doc_id, safe='')}/stats")
+
+    def delete_document(self, doc_id: str) -> dict:
+        """Remove a stored document."""
+        # A replayed delete after a completed one would 404; don't replay.
+        return self._json("DELETE", f"/v1/documents/{quote(doc_id, safe='')}", idempotent=False)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Store statistics plus service cache counters."""
+        return self._json("GET", "/v1/stats")
+
+    def healthz(self) -> dict:
+        """Liveness probe; answers even while heavy queries are in flight."""
+        return self._json("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus ``/metrics`` page."""
+        status, data = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ApiError(status, data.decode("utf-8", "replace"))
+        return data.decode("utf-8")
+
+    def __repr__(self) -> str:
+        return f"ReproClient(http://{self.host}:{self.port})"

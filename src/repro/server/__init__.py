@@ -1,0 +1,15 @@
+"""The network boundary: a dependency-free asyncio HTTP/1.1 JSON server.
+
+:class:`ReproServer` exposes a :class:`~repro.service.QueryService` (and its
+:class:`~repro.store.document_store.DocumentStore`) over eight routes --
+query/batch, document ingest/inspect/delete, stats, health and Prometheus
+metrics.  ``python -m repro.server`` (or the ``repro-serve`` console script)
+serves a store directory from the command line; :mod:`repro.client` is the
+matching stdlib client.
+"""
+
+from repro.server.http import ReproServer
+from repro.server.json_api import ApiError
+from repro.server.metrics import ServerMetrics
+
+__all__ = ["ReproServer", "ServerMetrics", "ApiError"]

@@ -1,0 +1,104 @@
+"""Command-line entry point: serve a store directory over HTTP.
+
+Installed as the ``repro-serve`` console script and runnable as
+``python -m repro.server``::
+
+    repro-serve --root corpus/ --port 8080 --shards 16 --cache-size 8 --workers 8
+
+The store is created (with ``--shards`` shard directories) when the root does
+not exist yet, so ``repro-serve --root new-corpus/`` followed by
+``PUT /v1/documents/{id}`` bootstraps a corpus entirely over the wire.
+SIGINT/SIGTERM trigger a graceful shutdown (in-flight requests finish) and a
+zero exit code -- which is what the CI e2e smoke job asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.server.http import ReproServer
+from repro.service.query_service import QueryService
+from repro.store.document_store import DocumentStore
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description="Serve a sharded SXSI document store over HTTP."
+    )
+    parser.add_argument("--root", required=True, help="store directory (created if missing)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8080, help="bind port; 0 picks a free one")
+    parser.add_argument(
+        "--shards", type=int, default=16, help="shard count when creating a new store (default: 16)"
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=8, help="resident-document LRU capacity (default: 8)"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=8, help="thread pool bridging index work (default: 8)"
+    )
+    parser.add_argument(
+        "--service-workers", type=int, default=4, help="QueryService scatter-gather workers (default: 4)"
+    )
+    parser.add_argument(
+        "--cache-size-plans",
+        "--plan-cache-size",
+        dest="plan_cache_size",
+        type=int,
+        default=128,
+        help="compiled-plan LRU capacity (default: 128)",
+    )
+    parser.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=32 * 1024 * 1024,
+        help="largest accepted request body (default: 32 MiB)",
+    )
+    parser.add_argument(
+        "--request-timeout", type=float, default=60.0, help="per-request handler budget in seconds"
+    )
+    return parser
+
+
+async def _serve(server: ReproServer) -> None:
+    loop = asyncio.get_running_loop()
+    shutdown = asyncio.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError):  # e.g. non-Unix event loops
+            loop.add_signal_handler(signum, shutdown.set)
+    await server.astart()
+    print(f"repro-serve: listening on {server.url}", flush=True)
+    try:
+        await shutdown.wait()
+    finally:
+        print("repro-serve: shutting down", flush=True)
+        await server.aclose()
+        server.service.close()
+        print("repro-serve: shutdown complete", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    store = DocumentStore(args.root, num_shards=args.shards, cache_size=args.cache_size)
+    service = QueryService(
+        store, max_workers=args.service_workers, plan_cache_size=args.plan_cache_size
+    )
+    server = ReproServer(
+        service,
+        host=args.host,
+        port=args.port,
+        executor_workers=args.workers,
+        max_body_bytes=args.max_body_bytes,
+        request_timeout=args.request_timeout,
+    )
+    print(f"repro-serve: store {store.root} ({len(store)} documents, {store.num_shards} shards)")
+    asyncio.run(_serve(server))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

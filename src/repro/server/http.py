@@ -1,0 +1,685 @@
+"""A dependency-free asyncio HTTP/1.1 JSON server over :class:`QueryService`.
+
+The network boundary of the reproduction: the whole stack -- sharded
+:class:`~repro.store.document_store.DocumentStore`, plan-cached
+:class:`~repro.service.QueryService`, per-document
+:class:`~repro.store.document_store.DocumentFailure` reporting -- behind eight
+routes:
+
+======  ===========================  =============================================
+method  path                         action
+======  ===========================  =============================================
+POST    ``/v1/query``                one query, scatter-gather over the corpus
+POST    ``/v1/query/batch``          a batch through ``QueryService.run_many``
+PUT     ``/v1/documents/{id}``       ingest raw XML (``DocumentStore.add_xml``)
+GET     ``/v1/documents/{id}``       document summary (loads the index)
+GET     ``/v1/documents/{id}/stats`` per-component sizes (``Document.stats()``)
+DELETE  ``/v1/documents/{id}``       remove a stored document
+GET     ``/v1/stats``                store stats + service cache counters
+GET     ``/healthz``                 liveness (never touches the thread pool)
+GET     ``/metrics``                 Prometheus text format
+======  ===========================  =============================================
+
+Design notes:
+
+* **The event loop never blocks.**  Index work (loads, automaton runs, XML
+  parsing) runs on a bounded :class:`~concurrent.futures.ThreadPoolExecutor`;
+  the loop only parses HTTP and shuffles bytes, so ``/healthz`` answers in
+  microseconds while a corpus sweep is in flight -- the acceptance bar of
+  ISSUE 3 (eight concurrent clients, healthz under 100 ms).
+* **Domain errors map to statuses** (``XPathSyntaxError`` /
+  ``UnsupportedQueryError`` -> 400, ``DocumentNotFoundError`` -> 404,
+  ``CorruptedFileError`` / ``StorageError`` -> 500) with the structured JSON
+  envelope of :mod:`repro.server.json_api`; the stdlib client re-raises the
+  same exception classes.
+* **Limits**: request bodies beyond ``max_body_bytes`` are refused with 413
+  before being read; a connection that stalls between requests or mid-header
+  is closed quietly after ``header_timeout``; a body arriving slower than
+  ``request_timeout`` gets a 408; handler execution is capped by
+  ``request_timeout`` (503 -- the executor thread finishes in the background,
+  the connection does not wait for it).
+* **Graceful shutdown**: the listener closes first, idle keep-alive
+  connections are cancelled, in-flight requests get ``shutdown_grace`` seconds
+  to complete, then the pool drains.
+
+The server is asyncio-native (:meth:`ReproServer.serve_async`) with a
+synchronous facade (:meth:`start` / :meth:`stop`, also a context manager) that
+runs the loop in a daemon thread -- which is what the tests, the example and
+the benchmark use to serve and query from one process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro.server.json_api import (
+    ApiError,
+    error_payload,
+    parse_evaluation_options,
+    parse_index_options,
+    service_result_to_json,
+    status_of_exception,
+)
+from repro.server.metrics import ServerMetrics
+from repro.service.query_service import QueryService
+
+__all__ = ["ReproServer"]
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_MAX_HEADER_BYTES = 32 * 1024
+_DOC_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+    keep_alive: bool
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ApiError(400, f"request body is not valid JSON: {exc}") from exc
+
+    def flag(self, name: str) -> bool:
+        values = self.query.get(name)
+        return bool(values) and values[-1].lower() in _TRUTHY
+
+
+class _HttpError(Exception):
+    """A protocol-level rejection (before routing); closes the connection."""
+
+    def __init__(self, status: int, message: str, reason: str):
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+
+
+class _Connection:
+    __slots__ = ("task", "busy")
+
+    def __init__(self, task: asyncio.Task):
+        self.task = task
+        self.busy = False
+
+
+class ReproServer:
+    """Serves a :class:`QueryService` (and its store) over HTTP/1.1 + JSON.
+
+    Parameters
+    ----------
+    service:
+        The in-process serving layer; its store handles ingest and per-document
+        routes.
+    host, port:
+        Bind address.  ``port=0`` picks a free port (read :attr:`port` after
+        start -- this is what the tests and the benchmark do).
+    executor_workers:
+        Threads bridging blocking index work off the event loop.  This bounds
+        *concurrent requests in progress*, not connections.
+    max_body_bytes:
+        Request bodies larger than this are refused with 413.
+    request_timeout:
+        Seconds a single handler may run before the client gets a 503.
+    header_timeout:
+        Seconds an idle connection may sit between requests.
+    shutdown_grace:
+        Seconds in-flight requests get to finish during shutdown.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        executor_workers: int = 8,
+        max_body_bytes: int = 32 * 1024 * 1024,
+        request_timeout: float = 60.0,
+        header_timeout: float = 30.0,
+        shutdown_grace: float = 10.0,
+        metrics: ServerMetrics | None = None,
+    ):
+        if executor_workers < 1:
+            raise ValueError("executor_workers must be at least 1")
+        self._service = service
+        self._host = host
+        self._requested_port = int(port)
+        self.port: int | None = None
+        self._executor_workers = int(executor_workers)
+        self._max_body_bytes = int(max_body_bytes)
+        self._request_timeout = float(request_timeout)
+        self._header_timeout = float(header_timeout)
+        self._shutdown_grace = float(shutdown_grace)
+        self.metrics = metrics if metrics is not None else ServerMetrics()
+
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._connections: set[_Connection] = set()
+        self._closing = False
+        self._inflight = 0
+        self._started_at: float | None = None
+
+        # Sync facade state (loop-in-a-thread).
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread_ready: threading.Event | None = None
+        self._thread_error: BaseException | None = None
+
+        # (method, pattern, route label, handler, blocking?) -- the label is
+        # what /metrics reports, so document ids never explode cardinality.
+        self._routes: list[tuple[str, re.Pattern, str, Callable, bool]] = [
+            ("GET", re.compile(r"/healthz\Z"), "/healthz", self._h_healthz, False),
+            ("GET", re.compile(r"/metrics\Z"), "/metrics", self._h_metrics, False),
+            ("POST", re.compile(r"/v1/query\Z"), "/v1/query", self._h_query, True),
+            ("POST", re.compile(r"/v1/query/batch\Z"), "/v1/query/batch", self._h_query_batch, True),
+            ("GET", re.compile(r"/v1/stats\Z"), "/v1/stats", self._h_stats, True),
+            (
+                "GET",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)/stats\Z"),
+                "/v1/documents/{id}/stats",
+                self._h_document_stats,
+                True,
+            ),
+            (
+                "PUT",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
+                "/v1/documents/{id}",
+                self._h_put_document,
+                True,
+            ),
+            (
+                "GET",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
+                "/v1/documents/{id}",
+                self._h_get_document,
+                True,
+            ),
+            (
+                "DELETE",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
+                "/v1/documents/{id}",
+                self._h_delete_document,
+                True,
+            ),
+        ]
+
+    # -- properties --------------------------------------------------------------------
+
+    @property
+    def service(self) -> QueryService:
+        """The in-process serving layer behind the routes."""
+        return self._service
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` once started."""
+        if self.port is None:
+            raise RuntimeError("the server is not started")
+        return (self._host, self.port)
+
+    @property
+    def url(self) -> str:
+        """Base URL once started (``http://host:port``)."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    # -- async lifecycle ---------------------------------------------------------------
+
+    async def astart(self) -> None:
+        """Bind the listener and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("the server is already started")
+        self._closing = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._executor_workers, thread_name_prefix="repro-http"
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, self._host, self._requested_port, limit=_MAX_HEADER_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight work, free the pool."""
+        if self._server is None:
+            return
+        self._closing = True
+        self._server.close()
+        # Idle keep-alive connections are parked in a header read; cancel them
+        # now, let busy ones finish their current request within the grace.
+        for connection in list(self._connections):
+            if not connection.busy:
+                connection.task.cancel()
+        pending = {c.task for c in self._connections}
+        if pending:
+            _, still_running = await asyncio.wait(pending, timeout=self._shutdown_grace)
+            for task in still_running:
+                task.cancel()
+            if still_running:
+                await asyncio.wait(still_running, timeout=1.0)
+        await self._server.wait_closed()
+        self._server = None
+        self.port = None
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    async def serve_async(self, shutdown: asyncio.Event | None = None) -> None:
+        """Start, serve until ``shutdown`` is set (or forever), then close."""
+        await self.astart()
+        try:
+            if shutdown is None:
+                await asyncio.Event().wait()
+            else:
+                await shutdown.wait()
+        finally:
+            await self.aclose()
+
+    # -- sync facade (loop in a daemon thread) -----------------------------------------
+
+    def start(self) -> "ReproServer":
+        """Run the server on a private event loop in a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("the server is already started")
+        self._thread_ready = threading.Event()
+        self._thread_error = None
+        self._thread = threading.Thread(target=self._thread_main, name="repro-server", daemon=True)
+        self._thread.start()
+        self._thread_ready.wait()
+        if self._thread_error is not None:
+            error, self._thread_error = self._thread_error, None
+            self._thread.join()
+            self._thread = None
+            raise error
+        return self
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            try:
+                loop.run_until_complete(self.astart())
+            except BaseException as exc:  # surface bind errors in start()
+                self._thread_error = exc
+                return
+            finally:
+                self._thread_ready.set()
+            loop.run_forever()
+            loop.run_until_complete(self.aclose())
+        finally:
+            self._thread_ready.set()
+            asyncio.set_event_loop(None)
+            self._loop = None
+            loop.close()
+
+    def stop(self) -> None:
+        """Stop the thread started by :meth:`start` (graceful; idempotent)."""
+        thread, loop = self._thread, self._loop
+        if thread is None:
+            return
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+        thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- connection handling -----------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(asyncio.current_task())
+        self._connections.add(connection)
+        try:
+            while not self._closing:
+                try:
+                    request = await self._read_request(reader, connection)
+                except _HttpError as exc:
+                    self.metrics.observe_rejection(exc.reason)
+                    await self._write_response(
+                        writer,
+                        exc.status,
+                        error_payload(ApiError(exc.status, str(exc)), exc.status),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                status, payload, content_type = await self._dispatch(request)
+                keep_alive = request.keep_alive and not self._closing
+                await self._write_response(
+                    writer, status, payload, keep_alive=keep_alive, content_type=content_type
+                )
+                connection.busy = False
+                if not keep_alive:
+                    break
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        finally:
+            self._connections.discard(connection)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, connection: _Connection
+    ) -> _Request | None:
+        """Parse one request; ``None`` on clean EOF between requests."""
+        try:
+            header_blob = await asyncio.wait_for(
+                reader.readuntil(b"\r\n\r\n"), timeout=self._header_timeout
+            )
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise _HttpError(400, "truncated request head", "truncated") from exc
+        except asyncio.LimitOverrunError as exc:
+            raise _HttpError(431, "request head too large", "oversized_header") from exc
+        except asyncio.TimeoutError:
+            return None  # idle keep-alive connection; close quietly
+        connection.busy = True
+
+        try:
+            head = header_blob.decode("latin-1")
+            request_line, *header_lines = head.split("\r\n")
+            method, target, version = request_line.split(" ", 2)
+        except ValueError as exc:
+            raise _HttpError(400, "malformed request line", "malformed") from exc
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+        if headers.get("transfer-encoding"):
+            raise _HttpError(400, "chunked request bodies are not supported", "chunked")
+        try:
+            content_length = int(headers.get("content-length", "0"))
+        except ValueError as exc:
+            raise _HttpError(400, "invalid Content-Length", "malformed") from exc
+        if content_length < 0:
+            raise _HttpError(400, "invalid Content-Length", "malformed")
+        if content_length > self._max_body_bytes:
+            raise _HttpError(
+                413,
+                f"request body of {content_length} bytes exceeds the limit of "
+                f"{self._max_body_bytes} bytes",
+                "oversized_body",
+            )
+        body = b""
+        if content_length:
+            try:
+                body = await asyncio.wait_for(
+                    reader.readexactly(content_length), timeout=self._request_timeout
+                )
+            except asyncio.IncompleteReadError as exc:
+                raise _HttpError(400, "truncated request body", "truncated") from exc
+            except asyncio.TimeoutError as exc:
+                raise _HttpError(408, "timed out reading the request body", "slow_body") from exc
+
+        parts = urlsplit(target)
+        keep_alive = headers.get("connection", "").lower() != "close" and version != "HTTP/1.0"
+        return _Request(
+            method=method.upper(),
+            path=unquote(parts.path),
+            query=parse_qs(parts.query),
+            headers=headers,
+            body=body,
+            keep_alive=keep_alive,
+        )
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload,
+        *,
+        keep_alive: bool,
+        content_type: str = "application/json",
+    ) -> None:
+        if isinstance(payload, (bytes, str)):
+            body = payload.encode("utf-8") if isinstance(payload, str) else payload
+        else:
+            body = (json.dumps(payload) + "\n").encode("utf-8")
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing and execution ---------------------------------------------------------
+
+    async def _dispatch(self, request: _Request) -> tuple[int, object, str]:
+        """Route, execute and time one request; returns (status, payload, content type)."""
+        started = time.perf_counter()
+        route_label = "unmatched"  # replaced by the route pattern on a match
+        content_type = "application/json"
+        allowed: list[str] = []
+        try:
+            for method, pattern, label, handler, blocking in self._routes:
+                match = pattern.fullmatch(request.path)
+                if match is None:
+                    continue
+                if method != request.method:
+                    allowed.append(method)
+                    continue
+                route_label = label
+                self._inflight += 1
+                try:
+                    if blocking:
+                        status, payload = await self._run_blocking(handler, request, match)
+                    else:
+                        status, payload = await handler(request, match)
+                finally:
+                    self._inflight -= 1
+                if isinstance(payload, (bytes, str)):
+                    content_type = "text/plain; version=0.0.4; charset=utf-8"
+                return self._observed(route_label, request, status, started, payload, content_type)
+            if allowed:
+                raise ApiError(
+                    405, f"{request.method} is not allowed on {request.path} (try {', '.join(allowed)})"
+                )
+            raise ApiError(404, f"no route for {request.method} {request.path}")
+        except Exception as exc:  # every error leaves as a structured envelope
+            status = status_of_exception(exc)
+            return self._observed(
+                route_label, request, status, started, error_payload(exc, status), "application/json"
+            )
+
+    def _observed(self, route, request, status, started, payload, content_type):
+        self.metrics.observe_request(route, request.method, status, time.perf_counter() - started)
+        return status, payload, content_type
+
+    async def _run_blocking(self, handler, request: _Request, match: re.Match):
+        """Run a blocking handler on the pool, capped by ``request_timeout``."""
+        if self._executor is None:
+            raise ApiError(503, "the server is shutting down")
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, handler, request, match)
+        try:
+            return await asyncio.wait_for(future, timeout=self._request_timeout)
+        except asyncio.TimeoutError:
+            # The worker thread cannot be interrupted; it finishes in the
+            # background while the client gets a timely structured failure.
+            raise ApiError(503, f"request timed out after {self._request_timeout:g}s") from None
+
+    # -- helpers -----------------------------------------------------------------------
+
+    @staticmethod
+    def _doc_id(match: re.Match) -> str:
+        doc_id = match.group("doc_id")
+        if not _DOC_ID_RE.match(doc_id):
+            raise ApiError(
+                400, f"invalid document identifier {doc_id!r}: use letters, digits, '.', '_' or '-'"
+            )
+        return doc_id
+
+    @staticmethod
+    def _query_params(body: dict) -> dict:
+        if not isinstance(body, dict):
+            raise ApiError(400, "the request body must be a JSON object")
+        doc_ids = body.get("doc_ids")
+        if doc_ids is not None and (
+            not isinstance(doc_ids, list) or not all(isinstance(d, str) for d in doc_ids)
+        ):
+            raise ApiError(400, "doc_ids must be a list of document identifiers")
+        return {
+            "doc_ids": doc_ids,
+            "want_nodes": bool(body.get("want_nodes", False)),
+            "options": parse_evaluation_options(body.get("options")),
+        }
+
+    def _validate_query(self, query: str) -> None:
+        """Fail fast on queries no document can answer.
+
+        Parsing (``XPathSyntaxError``) and *structural* compile errors
+        (``UnsupportedQueryError`` for an unsupported axis or predicate
+        placement) are document-independent, so binding against the empty tag
+        table up front turns them into one 400 instead of a
+        ``DocumentFailure`` per document.  The binding is memoised on the
+        cached plan, so warm queries pay nothing.
+        """
+        self._service.plan_cache.get(query).bind(())
+
+    # -- handlers (async = on the loop, others on the thread pool) ---------------------
+
+    async def _h_healthz(self, request: _Request, match: re.Match):
+        uptime = 0.0 if self._started_at is None else time.monotonic() - self._started_at
+        return 200, {"status": "ok", "uptime_seconds": round(uptime, 3)}
+
+    async def _h_metrics(self, request: _Request, match: re.Match):
+        info = self._service.cache_info()
+        plan, store = info["plan_cache"], info["store_cache"]
+        plan_lookups = plan["hits"] + plan["misses"]
+        gauges = {
+            "inflight_requests": self._inflight,
+            "plan_cache_hits_total": plan["hits"],
+            "plan_cache_misses_total": plan["misses"],
+            "plan_cache_hit_ratio": plan["hits"] / plan_lookups if plan_lookups else 0.0,
+            "plan_cache_entries": plan["entries"],
+            "store_cache_hits_total": store["hits"],
+            "store_cache_misses_total": store["misses"],
+            "store_cache_resident_documents": store["resident"],
+        }
+        return 200, self.metrics.render(gauges)
+
+    def _h_query(self, request: _Request, match: re.Match):
+        body = request.json()
+        query = body.get("query") if isinstance(body, dict) else None
+        if not isinstance(query, str):
+            raise ApiError(400, "the request body needs a 'query' string")
+        self._validate_query(query)
+        result = self._service.run(query, **self._query_params(body))
+        return 200, service_result_to_json(result)
+
+    def _h_query_batch(self, request: _Request, match: re.Match):
+        body = request.json()
+        queries = body.get("queries") if isinstance(body, dict) else None
+        if (
+            not isinstance(queries, list)
+            or not queries
+            or not all(isinstance(q, str) for q in queries)
+        ):
+            raise ApiError(400, "the request body needs a non-empty 'queries' list of strings")
+        for query in queries:
+            self._validate_query(query)
+        results = self._service.run_many(queries, **self._query_params(body))
+        return 200, {"results": [service_result_to_json(result) for result in results]}
+
+    def _h_put_document(self, request: _Request, match: re.Match):
+        doc_id = self._doc_id(match)
+        store = self._service.store
+        content_type = request.headers.get("content-type", "").split(";")[0].strip().lower()
+        if content_type == "application/json":
+            body = request.json()
+            if not isinstance(body, dict) or not isinstance(body.get("xml"), str):
+                raise ApiError(400, "the request body needs an 'xml' string")
+            xml: str | bytes = body["xml"]
+            options = parse_index_options(body.get("options"))
+            overwrite = bool(body.get("overwrite", False)) or request.flag("overwrite")
+        else:  # raw XML body (curl --data-binary @doc.xml)
+            if not request.body:
+                raise ApiError(400, "the request body must carry the document XML")
+            xml = request.body
+            options = None
+            overwrite = request.flag("overwrite")
+        store.add_xml(doc_id, xml, options, overwrite=overwrite)
+        document = store.get(doc_id)
+        return 201, {
+            "doc_id": doc_id,
+            "shard": store.shard_of(doc_id),
+            "num_nodes": document.num_nodes,
+            "num_texts": document.num_texts,
+        }
+
+    def _h_get_document(self, request: _Request, match: re.Match):
+        doc_id = self._doc_id(match)
+        store = self._service.store
+        document = store.get(doc_id)
+        from dataclasses import asdict
+
+        return 200, {
+            "doc_id": doc_id,
+            "shard": store.shard_of(doc_id),
+            "num_nodes": document.num_nodes,
+            "num_texts": document.num_texts,
+            "num_tags": document.num_tags,
+            "options": asdict(document.options),
+        }
+
+    def _h_document_stats(self, request: _Request, match: re.Match):
+        doc_id = self._doc_id(match)
+        stats = self._service.store.get(doc_id).stats()
+        return 200, {"doc_id": doc_id, **stats}
+
+    def _h_delete_document(self, request: _Request, match: re.Match):
+        doc_id = self._doc_id(match)
+        self._service.store.remove(doc_id)
+        return 200, {"deleted": doc_id}
+
+    def _h_stats(self, request: _Request, match: re.Match):
+        return 200, {"store": self._service.store.stats(), "service": self._service.cache_info()}
+
+    def __repr__(self) -> str:
+        state = f"listening on {self.url}" if self.port is not None else "stopped"
+        return f"ReproServer({state}, service={self._service!r})"

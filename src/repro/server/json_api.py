@@ -1,0 +1,191 @@
+"""The JSON wire schema shared by :mod:`repro.server` and :mod:`repro.client`.
+
+One module owns both directions of every payload -- options parsing, result
+serialisation, and the structured error envelope -- so the server and the
+stdlib client cannot drift apart:
+
+* domain errors travel as ``{"error": {"type", "message", "status"}}`` and the
+  type name maps back to the exception class on the client
+  (:func:`exception_from_payload` inverts :func:`error_payload`);
+* :class:`~repro.service.ServiceResult` travels as a plain dict
+  (:func:`service_result_to_json` / :func:`service_result_from_json`);
+* request options are validated against the dataclass fields of
+  :class:`~repro.core.options.IndexOptions` /
+  :class:`~repro.core.options.EvaluationOptions`, so an unknown or mistyped
+  knob is a 400, not a silent default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.core.errors import (
+    CorruptedFileError,
+    DocumentNotFoundError,
+    ReproError,
+    StorageError,
+    UnsupportedQueryError,
+    VersionMismatchError,
+)
+from repro.service.query_service import ServiceResult, ShardTiming
+from repro.store.document_store import DocumentFailure
+from repro.xpath.parser import XPathSyntaxError
+
+__all__ = [
+    "ApiError",
+    "status_of_exception",
+    "error_payload",
+    "exception_from_payload",
+    "parse_index_options",
+    "parse_evaluation_options",
+    "service_result_to_json",
+    "service_result_from_json",
+]
+
+
+class ApiError(ReproError):
+    """A request the server rejects with a specific HTTP status.
+
+    Raised by validation (missing field, oversized body, unknown route) and
+    re-created on the client from the error envelope of any non-2xx response
+    whose type is not one of the domain exceptions.
+    """
+
+    def __init__(self, status: int, message: str, error_type: str | None = None):
+        super().__init__(message)
+        self.status = int(status)
+        self.error_type = error_type or type(self).__name__
+
+
+#: Most-specific first; ``DocumentNotFoundError`` must precede its base
+#: ``StorageError``, which must precede ``ReproError``.
+_STATUS_TABLE: tuple[tuple[type[Exception], int], ...] = (
+    (XPathSyntaxError, 400),
+    (UnsupportedQueryError, 400),
+    (DocumentNotFoundError, 404),
+    (VersionMismatchError, 500),
+    (CorruptedFileError, 500),
+    (StorageError, 500),
+    (ReproError, 500),
+)
+
+#: Wire type name -> exception class, for the client's reverse mapping.
+_EXCEPTION_BY_NAME: dict[str, type[Exception]] = {
+    cls.__name__: cls for cls, _ in _STATUS_TABLE if cls is not ApiError
+}
+
+
+def status_of_exception(exc: Exception) -> int:
+    """HTTP status for a domain exception (500 for anything unrecognised)."""
+    if isinstance(exc, ApiError):
+        return exc.status
+    for cls, status in _STATUS_TABLE:
+        if isinstance(exc, cls):
+            return status
+    return 500
+
+
+def error_payload(exc: Exception, status: int | None = None) -> dict:
+    """The structured JSON body every error response carries."""
+    status = status if status is not None else status_of_exception(exc)
+    error_type = exc.error_type if isinstance(exc, ApiError) else type(exc).__name__
+    return {"error": {"type": error_type, "message": str(exc), "status": status}}
+
+
+def exception_from_payload(status: int, payload: Any) -> Exception:
+    """Rebuild the typed exception a response body describes.
+
+    Domain types come back as themselves (``XPathSyntaxError`` raised on the
+    server is ``XPathSyntaxError`` on the client); anything else -- including a
+    non-JSON body from a proxy -- degrades to :class:`ApiError` with the
+    status attached.
+    """
+    error = payload.get("error") if isinstance(payload, Mapping) else None
+    if not isinstance(error, Mapping):
+        return ApiError(status, f"HTTP {status}: {str(payload)[:200]}")
+    name = str(error.get("type", ""))
+    message = str(error.get("message", f"HTTP {status}"))
+    cls = _EXCEPTION_BY_NAME.get(name)
+    if cls is not None:
+        return cls(message)
+    return ApiError(status, message, error_type=name or None)
+
+
+# -- options ---------------------------------------------------------------------------
+
+
+def _options_from_json(cls, data: Any, label: str):
+    if data is None:
+        return None
+    if not isinstance(data, Mapping):
+        raise ApiError(400, f"{label} must be a JSON object, not {type(data).__name__}")
+    valid = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - valid)
+    if unknown:
+        raise ApiError(
+            400, f"unknown {label} field(s) {', '.join(unknown)}; valid: {', '.join(sorted(valid))}"
+        )
+    try:
+        return cls(**data)
+    except (TypeError, ValueError) as exc:
+        raise ApiError(400, f"invalid {label}: {exc}") from exc
+
+
+def parse_index_options(data: Any):
+    """``IndexOptions`` from a request body (``None`` passes through)."""
+    from repro.core.options import IndexOptions
+
+    return _options_from_json(IndexOptions, data, "index options")
+
+
+def parse_evaluation_options(data: Any):
+    """``EvaluationOptions`` from a request body (``None`` passes through)."""
+    from repro.core.options import EvaluationOptions
+
+    return _options_from_json(EvaluationOptions, data, "evaluation options")
+
+
+# -- results ---------------------------------------------------------------------------
+
+
+def service_result_to_json(result: ServiceResult) -> dict:
+    """A :class:`ServiceResult` as the JSON dict the query endpoints return."""
+    return {
+        "query": result.query,
+        "total": result.total,
+        "counts": dict(result.counts),
+        "nodes": None if result.nodes is None else {k: list(v) for k, v in result.nodes.items()},
+        "failures": [
+            {"doc_id": f.doc_id, "error": f.error, "message": f.message} for f in result.failures
+        ],
+        "shard_timings": [
+            {"shard": t.shard, "num_documents": t.num_documents, "seconds": t.seconds}
+            for t in result.shard_timings
+        ],
+        "elapsed_seconds": result.elapsed_seconds,
+    }
+
+
+def service_result_from_json(data: Mapping) -> ServiceResult:
+    """Rebuild the typed :class:`ServiceResult` on the client side."""
+    nodes = data.get("nodes")
+    return ServiceResult(
+        query=str(data["query"]),
+        counts={str(k): int(v) for k, v in data.get("counts", {}).items()},
+        total=int(data.get("total", 0)),
+        nodes=None if nodes is None else {str(k): [int(n) for n in v] for k, v in nodes.items()},
+        failures=[
+            DocumentFailure(doc_id=str(f["doc_id"]), error=str(f["error"]), message=str(f["message"]))
+            for f in data.get("failures", [])
+        ],
+        shard_timings=[
+            ShardTiming(
+                shard=int(t["shard"]),
+                num_documents=int(t["num_documents"]),
+                seconds=float(t["seconds"]),
+            )
+            for t in data.get("shard_timings", [])
+        ],
+        elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+    )

@@ -1,0 +1,131 @@
+"""Request metrics for the HTTP server, rendered in Prometheus text format.
+
+Dependency-free counterpart of ``prometheus_client`` covering exactly what the
+server needs: a per-``(route, method, status)`` request counter, a per-route
+latency histogram, and a way to fold externally computed gauges (plan-cache
+and store-cache counters, in-flight requests) into one ``/metrics`` page.
+
+Everything is thread-safe: the server observes from executor threads while the
+event loop renders the page.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Iterable, Mapping
+
+__all__ = ["ServerMetrics", "LATENCY_BUCKETS"]
+
+#: Histogram upper bounds in seconds, chosen around the paper's query costs:
+#: sub-millisecond cached counts up to multi-second cold corpus sweeps.
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # Prometheus accepts integers and floats; keep integers exact.
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(str(value))}"' for name, value in pairs.items())
+    return "{" + inner + "}"
+
+
+class _Histogram:
+    """Cumulative-bucket latency histogram (callers hold the registry lock)."""
+
+    def __init__(self, buckets: Iterable[float] = LATENCY_BUCKETS):
+        self.bounds = tuple(sorted(buckets))
+        self.counts = [0] * len(self.bounds)
+        self.inf = 0
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.total += 1
+        self.sum += seconds
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                self.counts[i] += 1
+                return
+        self.inf += 1
+
+    def cumulative(self) -> list[tuple[str, int]]:
+        running = 0
+        rows: list[tuple[str, int]] = []
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            rows.append((_format_value(bound), running))
+        rows.append(("+Inf", running + self.inf))
+        return rows
+
+
+class ServerMetrics:
+    """Thread-safe registry behind ``GET /metrics``."""
+
+    def __init__(self, namespace: str = "repro"):
+        self._ns = namespace
+        self._lock = threading.Lock()
+        self._requests: dict[tuple[str, str, int], int] = defaultdict(int)
+        self._latency: dict[str, _Histogram] = {}
+        self._rejected: dict[str, int] = defaultdict(int)
+
+    def observe_request(self, route: str, method: str, status: int, seconds: float) -> None:
+        """Record one completed request under its *route pattern* (not raw path)."""
+        with self._lock:
+            self._requests[(route, method, int(status))] += 1
+            histogram = self._latency.get(route)
+            if histogram is None:
+                histogram = self._latency[route] = _Histogram()
+            histogram.observe(seconds)
+
+    def observe_rejection(self, reason: str) -> None:
+        """Record a request the server refused before routing (oversize, parse error)."""
+        with self._lock:
+            self._rejected[reason] += 1
+
+    def render(self, gauges: Mapping[str, float] | None = None) -> str:
+        """The full Prometheus text page, with ``gauges`` appended as-is.
+
+        ``gauges`` maps a bare metric name (namespaced automatically) to its
+        current value -- the server passes the plan-cache hit rate, store cache
+        counters and the in-flight request count this way, so the page always
+        reflects live service state without the registry knowing the service.
+        """
+        ns = self._ns
+        with self._lock:
+            lines: list[str] = [
+                f"# HELP {ns}_http_requests_total Requests served, by route pattern, method and status.",
+                f"# TYPE {ns}_http_requests_total counter",
+            ]
+            for (route, method, status), count in sorted(self._requests.items()):
+                labels = _labels({"route": route, "method": method, "status": str(status)})
+                lines.append(f"{ns}_http_requests_total{labels} {count}")
+            lines.append(f"# HELP {ns}_http_rejected_total Requests refused before routing, by reason.")
+            lines.append(f"# TYPE {ns}_http_rejected_total counter")
+            for reason, count in sorted(self._rejected.items()):
+                lines.append(f"{ns}_http_rejected_total{_labels({'reason': reason})} {count}")
+            lines.append(f"# HELP {ns}_http_request_seconds Request latency, by route pattern.")
+            lines.append(f"# TYPE {ns}_http_request_seconds histogram")
+            for route, histogram in sorted(self._latency.items()):
+                for le, cumulative in histogram.cumulative():
+                    labels = _labels({"route": route, "le": le})
+                    lines.append(f"{ns}_http_request_seconds_bucket{labels} {cumulative}")
+                route_labels = _labels({"route": route})
+                lines.append(f"{ns}_http_request_seconds_sum{route_labels} {_format_value(histogram.sum)}")
+                lines.append(f"{ns}_http_request_seconds_count{route_labels} {histogram.total}")
+        for name, value in (gauges or {}).items():
+            lines.append(f"# TYPE {ns}_{name} gauge")
+            lines.append(f"{ns}_{name} {_format_value(value)}")
+        return "\n".join(lines) + "\n"

@@ -45,6 +45,14 @@ def test_bio_example(capsys):
     assert "PSSM" in output
 
 
-@pytest.mark.parametrize("script", ["quickstart.py", "xmark_auction_queries.py", "medline_text_search.py", "bio_sequence_queries.py"])
+def test_serve_http_example(capsys):
+    run_example("serve_http.py", ["0.02", "4"])
+    output = capsys.readouterr().out
+    assert "batch query over HTTP" in output
+    assert "ingested 'uploaded'" in output
+    assert "server stopped cleanly" in output
+
+
+@pytest.mark.parametrize("script", ["quickstart.py", "xmark_auction_queries.py", "medline_text_search.py", "bio_sequence_queries.py", "serve_http.py"])
 def test_examples_exist(script):
     assert (EXAMPLES / script).exists()
