@@ -28,6 +28,7 @@ from repro.xmlmodel.model import (
 from repro.xpath.ast import (
     AndExpr,
     Axis,
+    ImpossibleTest,
     LocationPath,
     NameTest,
     NodeTypeTest,
@@ -175,6 +176,8 @@ class DomEngine:
             return node.label == TEXT_LABEL
         if isinstance(test, NodeTypeTest):
             return node.label not in (ROOT_LABEL, ATTRIBUTES_LABEL, ATTRIBUTE_VALUE_LABEL)
+        if isinstance(test, ImpossibleTest):
+            return False
         raise UnsupportedQueryError(f"unsupported node test {test!r}")
 
     def _step_candidates(self, step: Step, node: DomNode) -> Iterator[DomNode]:

@@ -299,6 +299,16 @@ class Document(Serializable):
 
     def match_text_predicate(self, kind: str, pattern: str, threshold: float | None = None) -> np.ndarray:
         """Text identifiers whose content satisfies the predicate ``kind(pattern)``."""
+        ids = self._match_text_predicate(kind, pattern, threshold)
+        # A document without any text is indexed over one phantom empty text
+        # (the FM-index needs content); identifiers past the tree's real text
+        # leaves must never escape to the planner or the bottom-up seeds.
+        ids = np.asarray(ids)
+        if ids.size:
+            ids = ids[ids < self.tree.num_texts]
+        return ids
+
+    def _match_text_predicate(self, kind: str, pattern: str, threshold: float | None) -> np.ndarray:
         if kind == "pssm":
             matrix, score = self.pssm_matrix(pattern, threshold)
             from repro.text.pssm import pssm_search

@@ -1,0 +1,45 @@
+"""Generative differential testing of the whole stack.
+
+Every component of this package is deterministic under a seed, so any failure
+it reports is replayable:
+
+* :mod:`repro.fuzz.xmlgen` -- random XML documents (configurable shape, with
+  deliberately nasty cases: empty and whitespace-only texts, repeated tags,
+  deep chains, attribute-heavy nodes, mixed content, unicode);
+* :mod:`repro.fuzz.querygen` -- grammar-driven XPath Core+ queries over a
+  document's vocabulary, plus a mode that strays into *unsupported* syntax to
+  assert that every layer rejects it identically;
+* :mod:`repro.fuzz.oracle` -- the differential oracle: one (document, query,
+  IndexOptions, EvaluationOptions) sample is answered by the succinct engine,
+  the pointer-DOM baseline, a save/load round-trip, a
+  :class:`~repro.store.document_store.DocumentStore`, a
+  :class:`~repro.service.QueryService` and (opt-in) a live ``repro-serve``
+  process -- all answers must agree node by node;
+* :mod:`repro.fuzz.shrink` -- delta-debugging shrinker reducing a failing
+  (document, query) pair to a minimal repro;
+* :mod:`repro.fuzz.corpus` -- replayable seed files under
+  ``tests/fuzz_corpus/``;
+* ``python -m repro.fuzz`` -- the command-line fuzzing loop.
+"""
+
+from repro.fuzz.corpus import load_seeds, save_seed, seed_to_case
+from repro.fuzz.oracle import Disagreement, DocumentOracle, FuzzCase, check_case
+from repro.fuzz.querygen import QueryGenConfig, generate_query, generate_unsupported_query
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.xmlgen import XmlGenConfig, generate_xml
+
+__all__ = [
+    "Disagreement",
+    "DocumentOracle",
+    "FuzzCase",
+    "QueryGenConfig",
+    "XmlGenConfig",
+    "check_case",
+    "generate_query",
+    "generate_unsupported_query",
+    "generate_xml",
+    "load_seeds",
+    "save_seed",
+    "seed_to_case",
+    "shrink_case",
+]

@@ -1,0 +1,128 @@
+"""Command-line differential fuzzer::
+
+    python -m repro.fuzz --iterations 500 --seed 0
+    python -m repro.fuzz --layers engine,saveload,store,service,http --time-budget 120
+    python -m repro.fuzz --replay tests/fuzz_corpus
+
+Exit code 0 means every sample agreed across every enabled layer; 1 means at
+least one disagreement was found (shrunken seeds are written to
+``--corpus-dir`` for replay).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.fuzz.corpus import load_seeds
+from repro.fuzz.oracle import DocumentOracle, check_case
+from repro.fuzz.querygen import QueryGenConfig
+from repro.fuzz.runner import DEFAULT_LAYERS, FuzzRunner
+from repro.fuzz.xmlgen import XmlGenConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing of the succinct XPath stack against the DOM baseline.",
+    )
+    parser.add_argument("--iterations", type=int, default=200, help="number of samples (default: 200)")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed (default: 0)")
+    parser.add_argument(
+        "--layers",
+        default=",".join(DEFAULT_LAYERS),
+        help=f"comma-separated oracle layers out of {', '.join(DocumentOracle.LAYERS)} "
+        f"(default: {','.join(DEFAULT_LAYERS)}; 'http' starts a live repro-serve process)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, help="stop after this many seconds (default: none)"
+    )
+    parser.add_argument(
+        "--corpus-dir",
+        default=None,
+        help="directory shrunken failure seeds are written to (default: none)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="DIR",
+        default=None,
+        help="instead of fuzzing, replay every seed in DIR through the oracle",
+    )
+    parser.add_argument(
+        "--queries-per-document",
+        type=int,
+        default=8,
+        help="how many queries share one generated document (default: 8)",
+    )
+    parser.add_argument(
+        "--unsupported-ratio",
+        type=float,
+        default=0.15,
+        help="fraction of deliberately unsupported queries (default: 0.15)",
+    )
+    parser.add_argument("--max-depth", type=int, default=5, help="document depth limit (default: 5)")
+    parser.add_argument("--max-steps", type=int, default=4, help="query step limit (default: 4)")
+    parser.add_argument(
+        "--no-shrink", action="store_true", help="report failures without delta-debugging them"
+    )
+    parser.add_argument(
+        "--stop-on-first", action="store_true", help="exit at the first disagreement"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress progress output")
+    return parser
+
+
+def _replay(directory: str, layers: tuple[str, ...], log) -> int:
+    seeds = load_seeds(directory)
+    if not seeds:
+        print(f"no seeds found under {directory}", file=sys.stderr)
+        return 1
+    if "http" in layers:
+        print("note: the http layer is skipped during --replay (no live server)", file=sys.stderr)
+        layers = tuple(layer for layer in layers if layer != "http")
+    if not layers:
+        print("no replayable layers selected", file=sys.stderr)
+        return 2
+    failures = 0
+    for path, case in seeds:
+        disagreement = check_case(case, layers=layers)
+        if disagreement is None:
+            log(f"ok   {path.name} {case.query!r}")
+        else:
+            failures += 1
+            print(f"FAIL {path.name}: {disagreement}", file=sys.stderr)
+    print(f"replayed {len(seeds)} seed(s), {failures} disagreement(s)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    layers = tuple(part.strip() for part in args.layers.split(",") if part.strip())
+    log = (lambda message: None) if args.quiet else (lambda message: print(message, flush=True))
+
+    if args.replay is not None:
+        return _replay(args.replay, layers, log)
+
+    runner = FuzzRunner(
+        seed=args.seed,
+        layers=layers,
+        xml_config=XmlGenConfig(max_depth=args.max_depth),
+        query_config=QueryGenConfig(max_steps=args.max_steps),
+        queries_per_document=args.queries_per_document,
+        unsupported_ratio=args.unsupported_ratio,
+        corpus_dir=args.corpus_dir,
+        shrink=not args.no_shrink,
+        stop_on_first=args.stop_on_first,
+        log=log,
+    )
+    report = runner.run(iterations=args.iterations, time_budget=args.time_budget)
+    print(report.summary())
+    if not report.ok:
+        for disagreement in report.disagreements:
+            print(f"  {disagreement}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Replayable fuzz seeds: JSON files under ``tests/fuzz_corpus/``.
+
+A seed is one shrunken :class:`~repro.fuzz.oracle.FuzzCase` -- enough to
+reproduce a historical disagreement (or pin a nasty shape forever).  Seeds
+are written by the fuzz CLI when the shrinker finishes and replayed by
+``tests/test_fuzz_replay.py`` on every run, so the corpus only ever grows
+stronger.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.core.options import IndexOptions
+from repro.fuzz.oracle import FuzzCase
+
+__all__ = ["load_seeds", "save_seed", "seed_to_case", "case_to_seed"]
+
+_SEED_FORMAT = 1
+
+
+def case_to_seed(case: FuzzCase) -> dict:
+    """The JSON-serialisable form of a fuzz case."""
+    return {
+        "format": _SEED_FORMAT,
+        "xml": case.xml,
+        "query": case.query,
+        "mode": case.mode,
+        "index_options": asdict(case.index_options),
+        "note": case.note,
+    }
+
+
+def seed_to_case(seed: dict) -> FuzzCase:
+    """Rebuild a fuzz case from its JSON form."""
+    return FuzzCase(
+        xml=seed["xml"],
+        query=seed["query"],
+        index_options=IndexOptions(**seed.get("index_options", {})),
+        mode=seed.get("mode", "supported"),
+        note=seed.get("note", ""),
+    )
+
+
+def save_seed(directory: str | os.PathLike, case: FuzzCase) -> Path:
+    """Write ``case`` to ``directory`` under a content-derived name."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    digest = hashlib.sha1(
+        f"{case.xml}\x00{case.query}\x00{case.index_options}\x00{case.mode}".encode("utf-8")
+    ).hexdigest()[:12]
+    path = directory / f"seed-{digest}.json"
+    path.write_text(
+        json.dumps(case_to_seed(case), indent=2, ensure_ascii=False, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_seeds(directory: str | os.PathLike) -> list[tuple[Path, FuzzCase]]:
+    """All ``(path, case)`` seeds in ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    seeds = []
+    for path in sorted(directory.glob("*.json")):
+        seeds.append((path, seed_to_case(json.loads(path.read_text(encoding="utf-8")))))
+    return seeds

@@ -1,0 +1,221 @@
+"""Grammar-driven random XPath generator.
+
+``generate_query`` emits only the supported Core+ surface -- child,
+descendant, attribute and self axes, the ``//`` contraction, wildcard and
+name tests, ``text()``/``node()``, nested ``contains``/``starts-with``/
+``ends-with``/``=`` predicates, ``not(...)`` and ``and``/``or`` -- biased
+towards the vocabulary of the document under test so queries actually select
+something.
+
+``generate_unsupported_query`` deliberately strays outside the fragment
+(backward axes, positional predicates, arithmetic, unions, malformed syntax)
+so the oracle can assert that *every* layer rejects those queries with the
+same exception.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["QueryGenConfig", "generate_query", "generate_unsupported_query", "quote_pattern"]
+
+
+@dataclass(frozen=True)
+class QueryGenConfig:
+    """Shape knobs of the random query generator."""
+
+    max_steps: int = 4
+    max_predicates: int = 2
+    #: Nesting depth of predicate expressions (and/or/not/paths).
+    max_predicate_depth: int = 2
+    #: Probability that a name test uses a name absent from the document.
+    unknown_name_probability: float = 0.1
+    wildcard_probability: float = 0.15
+    text_test_probability: float = 0.08
+    node_test_probability: float = 0.07
+    attribute_step_probability: float = 0.12
+    self_step_probability: float = 0.08
+    descendant_probability: float = 0.45
+    predicate_probability: float = 0.45
+    #: Probability that a text pattern is sampled from the document's texts
+    #: (the rest are random or deliberately empty).
+    vocabulary_pattern_probability: float = 0.7
+    empty_pattern_probability: float = 0.08
+
+
+def quote_pattern(pattern: str) -> str:
+    """Render ``pattern`` as a Core+ string literal (with escapes)."""
+    body = (
+        pattern.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\t", "\\t")
+    )
+    return f'"{body}"'
+
+
+def _name(rng: random.Random, tags: Sequence[str], config: QueryGenConfig) -> str:
+    if not tags or rng.random() < config.unknown_name_probability:
+        return rng.choice(("zz", "nosuch", "qq"))
+    return rng.choice(list(tags))
+
+
+def _node_test(rng: random.Random, tags: Sequence[str], config: QueryGenConfig) -> str:
+    roll = rng.random()
+    if roll < config.wildcard_probability:
+        return "*"
+    roll -= config.wildcard_probability
+    if roll < config.text_test_probability:
+        return "text()"
+    roll -= config.text_test_probability
+    if roll < config.node_test_probability:
+        return "node()"
+    return _name(rng, tags, config)
+
+
+def _pattern(rng: random.Random, texts: Sequence[str], config: QueryGenConfig) -> str:
+    roll = rng.random()
+    if roll < config.empty_pattern_probability:
+        return ""
+    if texts and roll < config.empty_pattern_probability + config.vocabulary_pattern_probability:
+        text = rng.choice(list(texts))
+        if text:
+            # A random slice of a real text: sometimes the whole value
+            # (equals-friendly), sometimes a strict substring.
+            if rng.random() < 0.4:
+                return text
+            start = rng.randrange(len(text))
+            stop = rng.randint(start + 1, len(text))
+            return text[start:stop]
+    return rng.choice(("zzz", "x", "q q", "é", "0"))
+
+
+def _text_function(rng: random.Random, value_expr: str, texts: Sequence[str], config: QueryGenConfig) -> str:
+    kind = rng.choice(("contains", "starts-with", "ends-with", "equals"))
+    pattern = quote_pattern(_pattern(rng, texts, config))
+    if kind == "equals":
+        return f"{value_expr} = {pattern}"
+    return f"{kind}({value_expr}, {pattern})"
+
+
+def _predicate(
+    rng: random.Random,
+    tags: Sequence[str],
+    texts: Sequence[str],
+    config: QueryGenConfig,
+    depth: int,
+) -> str:
+    roll = rng.random()
+    if depth >= config.max_predicate_depth:
+        roll = min(roll, 0.49)  # force a leaf
+    if roll < 0.30:
+        return _text_function(rng, ".", texts, config)
+    if roll < 0.50:
+        path = _relative_path(rng, tags, config)
+        if rng.random() < 0.5:
+            return _text_function(rng, path, texts, config)
+        return path
+    if roll < 0.62:
+        return f"not({_predicate(rng, tags, texts, config, depth + 1)})"
+    if roll < 0.72:
+        return f"self::{_node_test(rng, tags, config)}"
+    operator = rng.choice(("and", "or"))
+    left = _predicate(rng, tags, texts, config, depth + 1)
+    right = _predicate(rng, tags, texts, config, depth + 1)
+    return f"{left} {operator} {right}"
+
+
+def _relative_path(rng: random.Random, tags: Sequence[str], config: QueryGenConfig) -> str:
+    parts: list[str] = []
+    for index in range(rng.randint(1, 2)):
+        if rng.random() < config.attribute_step_probability:
+            # '//' may not precede an attribute step, so use a plain child '/'.
+            parts.append(f"{'' if index == 0 else '/'}@{_name(rng, tags, config)}")
+            break
+        separator = "" if index == 0 else "/"
+        if rng.random() < config.descendant_probability:
+            separator = ".//" if index == 0 else "//"
+        parts.append(f"{separator}{_node_test(rng, tags, config)}")
+    return "".join(parts)
+
+
+def generate_query(
+    seed: int | random.Random,
+    tags: Sequence[str],
+    texts: Sequence[str] = (),
+    config: QueryGenConfig | None = None,
+) -> str:
+    """Generate one supported Core+ query (deterministic per seed).
+
+    ``tags`` and ``texts`` are the document vocabulary the generator samples
+    name tests and string patterns from (unknown names are mixed in on
+    purpose).
+    """
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    config = config or QueryGenConfig()
+    parts: list[str] = []
+    num_steps = rng.randint(1, config.max_steps)
+    for index in range(num_steps):
+        separator = "//" if rng.random() < config.descendant_probability else "/"
+        is_last = index == num_steps - 1
+        if rng.random() < config.self_step_probability and index > 0:
+            parts.append(f"/self::{_node_test(rng, tags, config)}")
+        elif rng.random() < config.attribute_step_probability and index > 0:
+            # '//' may not precede an attribute step.
+            parts.append(f"/@{_name(rng, tags, config)}")
+        else:
+            parts.append(f"{separator}{_node_test(rng, tags, config)}")
+        if rng.random() < config.predicate_probability and (is_last or rng.random() < 0.4):
+            count = rng.randint(1, config.max_predicates)
+            for _ in range(count):
+                parts.append(f"[{_predicate(rng, tags, texts, config, 0)}]")
+    return "".join(parts)
+
+
+#: Templates of queries outside the supported fragment.  Each entry renders
+#: with a name from the document vocabulary; every layer must reject the
+#: result with the same exception class.
+_UNSUPPORTED_TEMPLATES = (
+    "/parent::{n}",
+    "//{n}/parent::*",
+    "//{n}/ancestor::{n}",
+    "//{n}/..",
+    "//{n}/preceding-sibling::{n}",
+    "//{n}[1]",
+    "//{n}[position() = 1]",
+    "//{n}[last()]",
+    "//{n}[count(.) = 1]",
+    "/{n} | /{n}",
+    "//{n}[@id > 3]",
+    "//{n}[1 + 2]",
+    "{n}/{n}",
+    "//{n}[",
+    "//{n})",
+    "//{n}[contains(.)]",
+    "//{n}[contains(., unquoted)]",
+    '//{n}[contains(., "unterminated]',
+    "//{n}[. != \"x\"]",
+    "//",
+    "/",
+    "",
+    "//{n}/",
+    "//{n}//",
+    "//following-sibling::{n}",
+    "//@{n}//@{n}",
+    "//{n}[starts-with(.)]",
+    "//{n}[text() = text()]",
+)
+
+
+def generate_unsupported_query(
+    seed: int | random.Random,
+    tags: Sequence[str] = (),
+    config: QueryGenConfig | None = None,
+) -> str:
+    """Generate a query outside the supported fragment (deterministic)."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    config = config or QueryGenConfig()
+    template = rng.choice(_UNSUPPORTED_TEMPLATES)
+    return template.format(n=_name(rng, tags, config))

@@ -1,0 +1,228 @@
+"""The fuzzing loop: generate, check, shrink, pin.
+
+One :class:`FuzzRunner` owns a seeded RNG and walks iterations:
+
+* every ``queries_per_document`` iterations a fresh random document is
+  generated (with index options sampled from
+  :data:`~repro.fuzz.oracle.INDEX_MATRIX`) and a
+  :class:`~repro.fuzz.oracle.DocumentOracle` is built for it;
+* each iteration generates one query -- supported surface most of the time,
+  deliberately unsupported syntax the rest -- and checks it through every
+  enabled layer;
+* a disagreement is shrunk with :func:`~repro.fuzz.shrink.shrink_case` and
+  written to the corpus directory as a replayable seed.
+
+The runner stops at the iteration target, the time budget, or (optionally)
+the first disagreement.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.fuzz.corpus import save_seed
+from repro.fuzz.oracle import (
+    INDEX_MATRIX,
+    Disagreement,
+    DocumentOracle,
+    FuzzCase,
+    LiveServer,
+    OracleStats,
+    check_case,
+)
+from repro.fuzz.querygen import QueryGenConfig, generate_query, generate_unsupported_query
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.xmlgen import XmlGenConfig, generate_xml
+from repro.xmlmodel.model import SPECIAL_LABELS
+
+__all__ = ["FuzzReport", "FuzzRunner"]
+
+DEFAULT_LAYERS = ("engine", "saveload", "store", "service")
+
+
+@dataclass
+class FuzzReport:
+    """What one fuzz run did and found."""
+
+    iterations: int = 0
+    documents: int = 0
+    elapsed_seconds: float = 0.0
+    stats: OracleStats = field(default_factory=OracleStats)
+    disagreements: list[Disagreement] = field(default_factory=list)
+    seeds_written: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def summary(self) -> str:
+        layers = ", ".join(f"{name}={count}" for name, count in sorted(self.stats.layers.items()))
+        return (
+            f"{self.iterations} iterations over {self.documents} documents in "
+            f"{self.elapsed_seconds:.1f}s; {self.stats.queries} oracle queries "
+            f"({self.stats.rejected} rejected consistently); per-layer checks: {layers or 'none'}; "
+            f"{len(self.disagreements)} disagreement(s)"
+        )
+
+
+class FuzzRunner:
+    """Drives the generate/check/shrink loop (deterministic per seed)."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        layers: tuple[str, ...] = DEFAULT_LAYERS,
+        xml_config: XmlGenConfig | None = None,
+        query_config: QueryGenConfig | None = None,
+        queries_per_document: int = 8,
+        unsupported_ratio: float = 0.15,
+        corpus_dir: str | None = None,
+        shrink: bool = True,
+        stop_on_first: bool = False,
+        log=None,
+    ):
+        self._rng = random.Random(seed)
+        self._layers = tuple(layers)
+        self._xml_config = xml_config or XmlGenConfig()
+        self._query_config = query_config or QueryGenConfig()
+        self._queries_per_document = max(1, int(queries_per_document))
+        self._unsupported_ratio = float(unsupported_ratio)
+        self._corpus_dir = corpus_dir
+        self._shrink = shrink
+        self._stop_on_first = stop_on_first
+        self._log = log or (lambda message: None)
+        self._server: LiveServer | None = None
+
+    # -- document/oracle management ----------------------------------------------------
+
+    #: Consecutive document-build failures after which the run aborts: a
+    #: systematic indexing regression should fail the job quickly with its
+    #: findings, not spin (and shrink) until an external timeout.
+    MAX_BUILD_FAILURES = 10
+
+    def _new_oracle(self, report: FuzzReport, deadline: float | None) -> DocumentOracle:
+        """Generate documents until one indexes; raises StopIteration to abort."""
+        for _ in range(self.MAX_BUILD_FAILURES):
+            if deadline is not None and time.monotonic() > deadline:
+                raise StopIteration
+            xml = generate_xml(self._rng, self._xml_config)
+            options_label = self._rng.choice(sorted(INDEX_MATRIX))
+            options = INDEX_MATRIX[options_label]
+            report.documents += 1
+            try:
+                return DocumentOracle(
+                    xml,
+                    options,
+                    layers=self._layers,
+                    server=self._server,
+                    http_doc_id=f"fuzz-{report.documents:05d}",
+                )
+            except Exception as exc:  # noqa: BLE001 - an unindexable document is itself a finding
+                case = FuzzCase(xml=xml, query="//node()", index_options=options, note="build failure")
+                report.disagreements.append(
+                    Disagreement("build", case.query, "an indexable document", f"{type(exc).__name__}: {exc}")
+                )
+                self._record(report, case, report.disagreements[-1], deadline)
+                if self._stop_on_first:
+                    raise StopIteration from exc
+        self._log(f"aborting: {self.MAX_BUILD_FAILURES} consecutive document builds failed")
+        raise StopIteration
+
+    # -- findings ----------------------------------------------------------------------
+
+    def _record(
+        self,
+        report: FuzzReport,
+        case: FuzzCase,
+        disagreement: Disagreement,
+        deadline: float | None = None,
+    ) -> None:
+        self._log(f"DISAGREEMENT {disagreement}")
+        shrunk = case
+        if self._shrink:
+            layer = disagreement.layer
+            # Only the failing layer decides acceptance, so re-check just that
+            # one per candidate; synthetic layers ('build', 'baseline') need
+            # the full oracle.
+            check_layers = (layer,) if layer in DocumentOracle.LAYERS else self._layers
+
+            def still_fails(candidate: FuzzCase) -> bool:
+                # Past the deadline nothing counts as failing, which makes the
+                # shrinker run out of reductions almost immediately: a late
+                # finding is pinned less-minimised instead of blowing the
+                # --time-budget.
+                if deadline is not None and time.monotonic() > deadline:
+                    return False
+                found = check_case(candidate, layers=check_layers, server=self._server)
+                return found is not None and found.layer == layer
+
+            shrunk = shrink_case(case, still_fails)
+            self._log(
+                f"  shrunk to {len(shrunk.xml)} bytes of XML, query {shrunk.query!r}"
+            )
+        if self._corpus_dir is not None:
+            path = save_seed(self._corpus_dir, shrunk.replace(note=str(disagreement)[:500]))
+            report.seeds_written.append(str(path))
+            self._log(f"  seed written to {path}")
+
+    # -- the loop ----------------------------------------------------------------------
+
+    def run(self, iterations: int = 200, time_budget: float | None = None) -> FuzzReport:
+        """Run up to ``iterations`` samples (bounded by ``time_budget`` seconds)."""
+        report = FuzzReport()
+        started = time.monotonic()
+        deadline = None if time_budget is None else started + time_budget
+        if "http" in self._layers:
+            self._server = LiveServer()
+        oracle: DocumentOracle | None = None
+        try:
+            for iteration in range(iterations):
+                if deadline is not None and time.monotonic() > deadline:
+                    self._log(f"time budget of {time_budget:.0f}s exhausted at iteration {iteration}")
+                    break
+                if oracle is None or iteration % self._queries_per_document == 0:
+                    if oracle is not None:
+                        report.stats.merge(oracle.stats)
+                        oracle.close()
+                    try:
+                        oracle = self._new_oracle(report, deadline)
+                    except StopIteration:
+                        oracle = None
+                        break
+                    # Vocabulary of the fresh document, extracted once per
+                    # oracle (FM-backed configurations pay rank/select per
+                    # character for get_text).
+                    tags = [
+                        name
+                        for name in oracle.document.tree.tag_names()
+                        if name not in SPECIAL_LABELS
+                    ]
+                    texts = [
+                        oracle.document.get_text(i) for i in range(min(oracle.document.num_texts, 32))
+                    ]
+                report.iterations += 1
+                mode = "unsupported" if self._rng.random() < self._unsupported_ratio else "supported"
+                if mode == "unsupported":
+                    query = generate_unsupported_query(self._rng, tags, self._query_config)
+                else:
+                    query = generate_query(self._rng, tags, texts, self._query_config)
+                disagreement = oracle.check(query, mode)
+                if disagreement is not None:
+                    case = FuzzCase(
+                        xml=oracle.xml, query=query, index_options=oracle.options, mode=mode
+                    )
+                    report.disagreements.append(disagreement)
+                    self._record(report, case, disagreement, deadline)
+                    if self._stop_on_first:
+                        break
+        finally:
+            if oracle is not None:
+                report.stats.merge(oracle.stats)
+                oracle.close()
+            if self._server is not None:
+                self._server.close()
+                self._server = None
+        report.elapsed_seconds = time.monotonic() - started
+        return report

@@ -1,0 +1,356 @@
+"""Delta-debugging shrinker for failing (document, query) pairs.
+
+Given a :class:`~repro.fuzz.oracle.FuzzCase` and a failure predicate, the
+shrinker greedily applies reductions while the failure persists:
+
+* **document** -- promote a subtree to the root, delete children, splice an
+  element away (keeping its children), drop attributes, halve texts;
+* **query** -- drop location steps, drop predicates, strip ``not``/``and``/
+  ``or`` wrappers, shorten string patterns.
+
+The result is typically a handful of nodes and one or two steps -- small
+enough to read, pin under ``tests/fuzz_corpus/`` and fix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.fuzz.oracle import FuzzCase
+from repro.fuzz.xmlgen import escape_attribute, escape_text
+from repro.fuzz.querygen import quote_pattern
+from repro.xmlmodel.parser import Characters, EndElement, StartElement, parse_events
+from repro.xpath.ast import (
+    AndExpr,
+    Axis,
+    ImpossibleTest,
+    LocationPath,
+    NameTest,
+    NodeTypeTest,
+    NotExpr,
+    OrExpr,
+    PathExpr,
+    Predicate,
+    PssmPredicate,
+    Step,
+    TextPredicate,
+    TextTest,
+    WildcardTest,
+)
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["shrink_case", "unparse_path"]
+
+
+# ---------------------------------------------------------------------------
+# Query unparsing (AST -> Core+ text)
+# ---------------------------------------------------------------------------
+
+
+def _unparse_test(test) -> str:
+    if isinstance(test, NameTest):
+        return test.name
+    if isinstance(test, WildcardTest):
+        return "*"
+    if isinstance(test, TextTest):
+        return "text()"
+    if isinstance(test, NodeTypeTest):
+        return "node()"
+    if isinstance(test, ImpossibleTest):
+        # No surface syntax matches nothing; an absent-looking name is the
+        # closest printable approximation (the shrinker re-checks failures, so
+        # an accidental match only discards one reduction attempt).
+        return "zzz-never-matches"
+    raise ValueError(f"cannot unparse node test {test!r}")
+
+
+def _unparse_predicate(predicate: Predicate, parenthesize: bool = False) -> str:
+    if isinstance(predicate, AndExpr):
+        text = (
+            f"{_unparse_predicate(predicate.left, True)} and {_unparse_predicate(predicate.right, True)}"
+        )
+        return f"({text})" if parenthesize else text
+    if isinstance(predicate, OrExpr):
+        text = (
+            f"{_unparse_predicate(predicate.left, True)} or {_unparse_predicate(predicate.right, True)}"
+        )
+        return f"({text})" if parenthesize else text
+    if isinstance(predicate, NotExpr):
+        return f"not({_unparse_predicate(predicate.operand)})"
+    if isinstance(predicate, TextPredicate):
+        pattern = quote_pattern(predicate.pattern)
+        if predicate.kind == "equals":
+            return f". = {pattern}"
+        return f"{predicate.kind}(., {pattern})"
+    if isinstance(predicate, PssmPredicate):
+        threshold = "" if predicate.threshold is None else f", {predicate.threshold}"
+        return f"PSSM(., {predicate.matrix_name}{threshold})"
+    if isinstance(predicate, PathExpr):
+        return unparse_path(predicate.path)
+    raise ValueError(f"cannot unparse predicate {predicate!r}")
+
+
+def _unparse_step(step: Step, first: bool, absolute: bool) -> str:
+    test = _unparse_test(step.test)
+    if step.axis is Axis.CHILD:
+        prefix = "/" if (absolute or not first) else ""
+        body = test
+    elif step.axis is Axis.DESCENDANT:
+        prefix = "//" if (absolute or not first) else ".//"
+        body = test
+    elif step.axis is Axis.ATTRIBUTE:
+        prefix = "/" if (absolute or not first) else ""
+        body = f"@{test}"
+    elif step.axis is Axis.SELF:
+        if isinstance(step.test, NodeTypeTest) and first and not absolute:
+            prefix, body = "", "."
+        else:
+            prefix = "/" if (absolute or not first) else ""
+            body = f"self::{test}"
+    elif step.axis is Axis.FOLLOWING_SIBLING:
+        prefix = "/" if (absolute or not first) else ""
+        body = f"following-sibling::{test}"
+    else:
+        raise ValueError(f"cannot unparse axis {step.axis!r}")
+    predicates = "".join(f"[{_unparse_predicate(p)}]" for p in step.predicates)
+    return f"{prefix}{body}{predicates}"
+
+
+def unparse_path(path: LocationPath) -> str:
+    """Render a parsed (or reduced) location path back to Core+ text."""
+    if not path.steps:
+        return "." if not path.absolute else "/"
+    return "".join(
+        _unparse_step(step, first=index == 0, absolute=path.absolute)
+        for index, step in enumerate(path.steps)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Query reductions
+# ---------------------------------------------------------------------------
+
+
+def _predicate_reductions(predicate: Predicate) -> Iterator[Predicate]:
+    if isinstance(predicate, (AndExpr, OrExpr)):
+        yield predicate.left
+        yield predicate.right
+        for reduced in _predicate_reductions(predicate.left):
+            yield type(predicate)(reduced, predicate.right)
+        for reduced in _predicate_reductions(predicate.right):
+            yield type(predicate)(predicate.left, reduced)
+    elif isinstance(predicate, NotExpr):
+        yield predicate.operand
+        for reduced in _predicate_reductions(predicate.operand):
+            yield NotExpr(reduced)
+    elif isinstance(predicate, PathExpr):
+        for reduced in _path_reductions(predicate.path, keep_nonempty=True):
+            yield PathExpr(reduced)
+    elif isinstance(predicate, TextPredicate) and predicate.pattern:
+        half = len(predicate.pattern) // 2
+        yield TextPredicate(predicate.kind, predicate.pattern[:half])
+        if half:
+            yield TextPredicate(predicate.kind, predicate.pattern[half:])
+
+
+def _step_reductions(step: Step) -> Iterator[Step]:
+    for index in range(len(step.predicates)):
+        yield Step(step.axis, step.test, step.predicates[:index] + step.predicates[index + 1 :])
+    for index, predicate in enumerate(step.predicates):
+        for reduced in _predicate_reductions(predicate):
+            yield Step(
+                step.axis,
+                step.test,
+                step.predicates[:index] + (reduced,) + step.predicates[index + 1 :],
+            )
+
+
+def _path_reductions(path: LocationPath, keep_nonempty: bool = True) -> Iterator[LocationPath]:
+    steps = path.steps
+    minimum = 1 if keep_nonempty else 0
+    if len(steps) > minimum:
+        for index in range(len(steps)):
+            yield LocationPath(steps[:index] + steps[index + 1 :], absolute=path.absolute)
+    for index, step in enumerate(steps):
+        for reduced in _step_reductions(step):
+            yield LocationPath(steps[:index] + (reduced,) + steps[index + 1 :], absolute=path.absolute)
+
+
+def _query_reductions(query: str) -> Iterator[str]:
+    try:
+        path = parse_xpath(query)
+    except Exception:  # noqa: BLE001 - unparsable queries shrink via the document only
+        return
+    seen = {query}
+    for reduced in _path_reductions(path):
+        try:
+            text = unparse_path(reduced)
+        except ValueError:
+            continue
+        if text not in seen:
+            seen.add(text)
+            yield text
+
+
+# ---------------------------------------------------------------------------
+# Document reductions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _XmlNode:
+    tag: str
+    attributes: list[tuple[str, str]] = field(default_factory=list)
+    children: list = field(default_factory=list)  # _XmlNode | str
+
+    def copy(self) -> "_XmlNode":
+        return _XmlNode(
+            self.tag,
+            list(self.attributes),
+            [child.copy() if isinstance(child, _XmlNode) else child for child in self.children],
+        )
+
+    def serialize(self) -> str:
+        rendered = "".join(f' {k}="{escape_attribute(v)}"' for k, v in self.attributes)
+        inner = "".join(
+            child.serialize() if isinstance(child, _XmlNode) else escape_text(child)
+            for child in self.children
+        )
+        if not inner:
+            return f"<{self.tag}{rendered}/>"
+        return f"<{self.tag}{rendered}>{inner}</{self.tag}>"
+
+
+def _parse_tree(xml: str) -> _XmlNode:
+    stack: list[_XmlNode] = []
+    root: _XmlNode | None = None
+    for event in parse_events(xml):
+        if isinstance(event, StartElement):
+            node = _XmlNode(event.name, list(event.attributes))
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                root = node
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            stack.pop()
+        elif isinstance(event, Characters) and stack:
+            stack[-1].children.append(event.data)
+    if root is None:
+        raise ValueError("document has no root element")
+    return root
+
+
+def _elements(node: _XmlNode) -> Iterator[_XmlNode]:
+    yield node
+    for child in node.children:
+        if isinstance(child, _XmlNode):
+            yield from _elements(child)
+
+
+def _xml_reductions(xml: str) -> Iterator[str]:
+    try:
+        root = _parse_tree(xml)
+    except Exception:  # noqa: BLE001 - an unparsable document cannot be shrunk structurally
+        return
+    seen = {xml}
+
+    def emit(candidate: _XmlNode) -> Iterator[str]:
+        text = candidate.serialize()
+        if text not in seen:
+            seen.add(text)
+            yield text
+
+    # 1. Promote any proper descendant element to the root.
+    for element in _elements(root):
+        if element is not root:
+            yield from emit(element)
+    # 2. Delete one child (element or text) anywhere.
+    originals = list(_elements(root))
+    for position, parent in enumerate(originals):
+        for index in range(len(parent.children)):
+            copy = root.copy()
+            target = list(_elements(copy))[position]
+            del target.children[index]
+            yield from emit(copy)
+    # 3. Splice one element away, keeping its children.
+    for position, parent in enumerate(originals):
+        for index, child in enumerate(parent.children):
+            if not isinstance(child, _XmlNode):
+                continue
+            copy = root.copy()
+            target = list(_elements(copy))[position]
+            spliced = target.children[index]
+            target.children[index : index + 1] = spliced.children
+            yield from emit(copy)
+    # 4. Drop one attribute.
+    for position, element in enumerate(originals):
+        for index in range(len(element.attributes)):
+            copy = root.copy()
+            target = list(_elements(copy))[position]
+            del target.attributes[index]
+            yield from emit(copy)
+    # 5. Halve one text (children and attribute values).
+    for position, element in enumerate(originals):
+        for index, child in enumerate(element.children):
+            if isinstance(child, _XmlNode) or len(child) < 2:
+                continue
+            copy = root.copy()
+            target = list(_elements(copy))[position]
+            target.children[index] = child[: len(child) // 2]
+            yield from emit(copy)
+        for index, (name, value) in enumerate(element.attributes):
+            if len(value) < 2:
+                continue
+            copy = root.copy()
+            target = list(_elements(copy))[position]
+            target.attributes[index] = (name, value[: len(value) // 2])
+            yield from emit(copy)
+
+
+# ---------------------------------------------------------------------------
+# The shrink loop
+# ---------------------------------------------------------------------------
+
+
+def shrink_case(
+    case: FuzzCase,
+    fails: Callable[[FuzzCase], bool],
+    max_attempts: int = 3000,
+) -> FuzzCase:
+    """Greedily minimise ``case`` while ``fails`` keeps returning ``True``.
+
+    ``fails`` must be deterministic; it is never called on the input case
+    itself (the caller asserts that).  ``max_attempts`` bounds the number of
+    predicate evaluations so a slow oracle cannot stall the fuzz loop.
+    """
+    best = case
+    attempts = 0
+
+    def try_candidates(candidates: Iterator[FuzzCase]) -> FuzzCase | None:
+        nonlocal attempts
+        for candidate in candidates:
+            if attempts >= max_attempts:
+                return None
+            attempts += 1
+            try:
+                if fails(candidate):
+                    return candidate
+            except Exception:  # noqa: BLE001 - a broken candidate is just not a reduction
+                continue
+        return None
+
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        better = try_candidates(best.replace(xml=xml) for xml in _xml_reductions(best.xml))
+        if better is not None:
+            best = better
+            improved = True
+            continue
+        better = try_candidates(best.replace(query=query) for query in _query_reductions(best.query))
+        if better is not None:
+            best = better
+            improved = True
+    return best

@@ -1,0 +1,128 @@
+"""Seeded random XML document generator.
+
+The generator produces documents the stack's own parser accepts
+(:mod:`repro.xmlmodel.parser`), while deliberately steering into the shapes
+that historically break XML index implementations:
+
+* empty elements and self-closing tags,
+* repeated sibling tags (the lazy result-set and counting paths),
+* deep single-child chains (recursion limits, jump logic),
+* attribute-heavy nodes (the ``@``/``%`` machinery),
+* mixed content -- text interleaved with elements (string-value semantics),
+* empty, whitespace-only, unicode and markup-escaping texts.
+
+Everything is driven by a :class:`random.Random` instance, so the same seed
+always yields the same document.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = ["XmlGenConfig", "generate_xml", "escape_text", "escape_attribute"]
+
+#: Small pools the generator draws from.  The text pools intentionally include
+#: characters that must be entity-escaped and multi-byte UTF-8.
+_WORDS = ("red", "blue", "gold", "pen", "zz", "a b", "x", "0", "discontinued")
+_UNICODE_WORDS = ("príce", "漢字", "öl", "αβγ", "naïve", "☃")
+_NASTY_TEXTS = ("", " ", "  \t ", "\n", "&", "<tag>", 'say "hi"', "it's", "a&b<c>d", "line\nbreak")
+
+
+@dataclass(frozen=True)
+class XmlGenConfig:
+    """Shape knobs of the random document generator."""
+
+    max_depth: int = 5
+    max_children: int = 4
+    #: Tag names are drawn from this alphabet (repetition is the point).
+    tag_alphabet: tuple[str, ...] = ("a", "b", "c", "d", "item", "name")
+    #: Attribute names (drawn independently of tags).
+    attribute_alphabet: tuple[str, ...] = ("id", "lang", "b")
+    #: Probability that a node gets at least one attribute.
+    attribute_probability: float = 0.3
+    max_attributes: int = 3
+    #: Probability that an element position holds text instead of an element.
+    text_probability: float = 0.4
+    #: Probability that a generated text is one of the nasty cases
+    #: (empty, whitespace-only, markup characters, newlines).
+    nasty_text_probability: float = 0.15
+    #: Probability that a generated text is unicode.
+    unicode_probability: float = 0.15
+    #: Probability of forcing a deep single-child chain under a node.
+    deep_chain_probability: float = 0.05
+    #: Extra depth of a forced chain.
+    chain_length: int = 8
+    words: tuple[str, ...] = field(default=_WORDS)
+
+
+def escape_text(value: str) -> str:
+    """Entity-escape character data."""
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(value: str) -> str:
+    """Entity-escape an attribute value (double-quoted)."""
+    return escape_text(value).replace('"', "&quot;")
+
+
+def _random_text(rng: random.Random, config: XmlGenConfig) -> str:
+    roll = rng.random()
+    if roll < config.nasty_text_probability:
+        return rng.choice(_NASTY_TEXTS)
+    if roll < config.nasty_text_probability + config.unicode_probability:
+        return rng.choice(_UNICODE_WORDS)
+    return " ".join(rng.choice(config.words) for _ in range(rng.randint(1, 3)))
+
+
+def _attributes(rng: random.Random, config: XmlGenConfig) -> list[tuple[str, str]]:
+    if rng.random() >= config.attribute_probability:
+        return []
+    names = list(config.attribute_alphabet)
+    rng.shuffle(names)
+    count = rng.randint(1, min(config.max_attributes, len(names)))
+    return [(name, _random_text(rng, config)) for name in names[:count]]
+
+
+def _element(rng: random.Random, config: XmlGenConfig, depth: int, out: list[str]) -> None:
+    tag = rng.choice(config.tag_alphabet)
+    attributes = _attributes(rng, config)
+    rendered = "".join(f' {name}="{escape_attribute(value)}"' for name, value in attributes)
+
+    if depth >= config.max_depth or rng.random() < 0.15:
+        # Leaf: self-closing, empty or a single text.
+        shape = rng.random()
+        if shape < 0.3:
+            out.append(f"<{tag}{rendered}/>")
+        elif shape < 0.5:
+            out.append(f"<{tag}{rendered}></{tag}>")
+        else:
+            out.append(f"<{tag}{rendered}>{escape_text(_random_text(rng, config))}</{tag}>")
+        return
+
+    out.append(f"<{tag}{rendered}>")
+    if rng.random() < config.deep_chain_probability:
+        # A deep single-child chain of one repeated tag.
+        chain_tag = rng.choice(config.tag_alphabet)
+        for _ in range(config.chain_length):
+            out.append(f"<{chain_tag}>")
+        out.append(escape_text(_random_text(rng, config)))
+        for _ in range(config.chain_length):
+            out.append(f"</{chain_tag}>")
+    else:
+        for _ in range(rng.randint(0, config.max_children)):
+            if rng.random() < config.text_probability:
+                # Mixed content: a text chunk between sibling elements.
+                out.append(escape_text(_random_text(rng, config)))
+            else:
+                _element(rng, config, depth + 1, out)
+    out.append(f"</{tag}>")
+
+
+def generate_xml(seed: int | random.Random, config: XmlGenConfig | None = None) -> str:
+    """Generate one random XML document (deterministic per seed)."""
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    config = config or XmlGenConfig()
+    out: list[str] = []
+    _element(rng, config, 0, out)
+    return "".join(out)

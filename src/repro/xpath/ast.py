@@ -28,6 +28,8 @@ __all__ = [
     "WildcardTest",
     "TextTest",
     "NodeTypeTest",
+    "ImpossibleTest",
+    "intersect_node_tests",
     "Step",
     "LocationPath",
     "Predicate",
@@ -90,6 +92,46 @@ class NodeTypeTest(NodeTest):
 
     def describe(self) -> str:
         return "node()"
+
+
+@dataclass(frozen=True)
+class ImpossibleTest(NodeTest):
+    """A test no node can satisfy.
+
+    Produced by :func:`intersect_node_tests` when two tests are contradictory
+    (``/a/self::b``): the step is kept so the query stays well formed, but it
+    selects nothing in every engine.
+    """
+
+    def describe(self) -> str:
+        return "nothing()"
+
+
+def intersect_node_tests(first: NodeTest, second: NodeTest) -> NodeTest:
+    """The test matching exactly the nodes matched by both arguments.
+
+    Used to fold a ``self::`` step into the step before it
+    (``a/self::b`` selects the ``a`` children that are also ``b``), so the
+    compiled automaton never has to move along the self axis.
+    """
+    if isinstance(first, ImpossibleTest) or isinstance(second, ImpossibleTest):
+        return ImpossibleTest()
+    if isinstance(first, NodeTypeTest):
+        return second
+    if isinstance(second, NodeTypeTest):
+        return first
+    if isinstance(first, NameTest):
+        if isinstance(second, NameTest):
+            return first if first.name == second.name else ImpossibleTest()
+        # A name can only denote an element or attribute, both inside '*'.
+        return first if isinstance(second, WildcardTest) else ImpossibleTest()
+    if isinstance(first, WildcardTest):
+        if isinstance(second, (NameTest, WildcardTest)):
+            return second
+        return ImpossibleTest()
+    if isinstance(first, TextTest):
+        return first if isinstance(second, TextTest) else ImpossibleTest()
+    raise TypeError(f"cannot intersect node tests {first!r} and {second!r}")
 
 
 class Predicate:

@@ -278,15 +278,26 @@ class BottomUpEvaluator:
         last_step = steps[last_index]
         self.stats.used_fm_index = True
 
+        at_tag = tree.tag_id("@")
         candidates: set[int] = set()
         for text_id in self._seed_text_ids():
             leaf = tree.node_of_text(text_id)
             self.stats.visited_nodes += 1
+            chain: list[int] = []
             node = leaf
             while node != NIL:
-                if self._matches_step_test(node, last_step):
-                    candidates.add(node)
+                chain.append(node)
                 node = tree.parent(node)
+            # Walk the chain root-to-leaf: everything below an '@' container
+            # lives in an attribute subtree, which the child/descendant spine
+            # axes never select (an attribute-value seed still validates its
+            # host element and the ancestors above it).
+            inside_attributes = False
+            for node in reversed(chain):
+                if not inside_attributes and self._matches_step_test(node, last_step):
+                    candidates.add(node)
+                if tree.tag(node) == at_tag:
+                    inside_attributes = True
 
         results: list[int] = []
         for candidate in sorted(candidates):

@@ -41,6 +41,7 @@ from repro.xmlmodel.model import (
 from repro.xpath.ast import (
     AndExpr,
     Axis,
+    ImpossibleTest,
     LocationPath,
     NameTest,
     NodeTest,
@@ -193,6 +194,8 @@ class QueryCompiler:
             return LabelGuard.of((resolver.text,))
         if isinstance(test, NodeTypeTest):
             return LabelGuard.excluding((resolver.root, resolver.attributes, resolver.attribute_value))
+        if isinstance(test, ImpossibleTest):
+            return LabelGuard.of(())
         raise UnsupportedQueryError(f"unsupported node test {test!r}")
 
     def _complement_guard(self, guard: LabelGuard, also_excluded: frozenset[int] = frozenset()) -> LabelGuard:
@@ -206,10 +209,104 @@ class QueryCompiler:
             return LabelGuard.of(guard.labels - also_excluded)
         return LabelGuard.excluding(guard.labels | also_excluded)
 
+    # -- self-step resolution ----------------------------------------------------------------------------
+    #
+    # A predicate path starting with a ``self::`` step tests the *context*
+    # node's label, which a downward-walking formula cannot observe.  The
+    # compiler makes the label observable by splitting the enclosing step's
+    # guard into label classes on which every such test is constant -- one
+    # class per name mentioned by a self test, one for the text label, one for
+    # the remaining labels -- and compiling the predicates once per class with
+    # the self tests resolved to true/false.  The classes partition the
+    # original guard, so exactly one transition still fires per label and
+    # counting mode stays exact.
+
+    def _leading_self_tests(self, predicates: Sequence[Predicate]) -> list[NodeTest]:
+        """Node tests applied to the context node by leading ``self::`` steps."""
+        found: list[NodeTest] = []
+
+        def visit_predicate(predicate: Predicate) -> None:
+            if isinstance(predicate, (AndExpr, OrExpr)):
+                visit_predicate(predicate.left)
+                visit_predicate(predicate.right)
+            elif isinstance(predicate, NotExpr):
+                visit_predicate(predicate.operand)
+            elif isinstance(predicate, PathExpr):
+                steps = predicate.path.steps
+                if steps and steps[0].axis is Axis.SELF:
+                    found.append(steps[0].test)
+                    # The self step's own predicates also apply to the context.
+                    for nested in steps[0].predicates:
+                        visit_predicate(nested)
+
+        for predicate in predicates:
+            visit_predicate(predicate)
+        return found
+
+    @staticmethod
+    def _class_resolver(kind: str, name: str | None = None):
+        """Truth of a context self test on one label class.
+
+        ``kind`` is ``"name"`` (labels equal to ``name``), ``"text"`` (the
+        ``#`` label) or ``"other"`` (any remaining element/attribute label).
+        """
+
+        def resolve(test: NodeTest) -> bool:
+            if isinstance(test, NodeTypeTest):
+                return True
+            if isinstance(test, ImpossibleTest):
+                return False
+            if kind == "text":
+                return isinstance(test, TextTest)
+            if isinstance(test, TextTest):
+                return False
+            if isinstance(test, WildcardTest):
+                return True
+            if isinstance(test, NameTest):
+                return kind == "name" and test.name == name
+            raise UnsupportedQueryError(f"unsupported node test {test!r} on the self axis")
+
+        return resolve
+
+    def _self_classes(self, guard: LabelGuard, predicates: Sequence[Predicate]):
+        """Partition ``guard`` into (class guard, resolver) pairs.
+
+        Without leading self tests this is the single class ``(guard, None)``;
+        predicates then compile exactly as before.
+        """
+        tests = self._leading_self_tests(predicates)
+        if not tests:
+            return [(guard, None)]
+        resolver = self._resolver
+        classes: list[tuple[LabelGuard, object]] = []
+        carved: set[int] = set()
+        for test_name in sorted({t.name for t in tests if isinstance(t, NameTest)}):
+            tag = resolver.resolve(test_name)
+            if guard.matches(tag):
+                classes.append((LabelGuard.of((tag,)), self._class_resolver("name", test_name)))
+                carved.add(tag)
+        if guard.matches(resolver.text) and resolver.text not in carved:
+            # Only needed when a test distinguishes '#' from element labels.
+            if any(isinstance(t, (TextTest, WildcardTest)) for t in tests):
+                classes.append((LabelGuard.of((resolver.text,)), self._class_resolver("text")))
+                carved.add(resolver.text)
+        if guard.cofinite:
+            residual = LabelGuard.excluding(guard.labels | carved)
+        else:
+            residual = LabelGuard.of(guard.labels - carved)
+        if residual.cofinite or residual.labels:
+            classes.append((residual, self._class_resolver("other")))
+        return classes
+
     # -- spine compilation -------------------------------------------------------------------------------
 
     def _compile_spine(self, steps: list[Step]) -> Formula:
         """Compile the steps back to front; return the entry atom for the root."""
+        if steps[0].axis is Axis.SELF:
+            # The context of an absolute path's first step is the virtual '&'
+            # root, which no supported node test accepts: the query selects
+            # nothing (matching the DOM oracle's semantics for '/.' etc).
+            return self._factory.false()
         continuation: Formula | None = None
         for index in range(len(steps) - 1, -1, -1):
             continuation = self._compile_step(
@@ -227,20 +324,25 @@ class QueryCompiler:
         factory = self._factory
         automaton = self._automaton
         at_id = self._resolver.attributes
-        pred_formula = factory.conjunction(self._compile_predicate(p) for p in step.predicates)
-        payload = factory.true()
-        if is_last:
-            payload = factory.and_(payload, factory.mark())
-        payload = factory.and_(payload, pred_formula)
-        if continuation is not None:
-            payload = factory.and_(payload, continuation)
         guard = self._guard_for_test(step.test)
+        classes = self._self_classes(guard, step.predicates)
+
+        def payload_for(resolve) -> Formula:
+            pred_formula = factory.conjunction(self._compile_predicate(p, resolve) for p in step.predicates)
+            payload = factory.true()
+            if is_last:
+                payload = factory.and_(payload, factory.mark())
+            payload = factory.and_(payload, pred_formula)
+            if continuation is not None:
+                payload = factory.and_(payload, continuation)
+            return payload
 
         if step.axis is Axis.ATTRIBUTE:
             attr_state = automaton.new_state()
             at_state = automaton.new_state()
-            match = factory.and_(factory.opt(payload), factory.down(2, attr_state))
-            automaton.add_transition(attr_state, guard, match)
+            for class_guard, resolve in classes:
+                match = factory.and_(factory.opt(payload_for(resolve)), factory.down(2, attr_state))
+                automaton.add_transition(attr_state, class_guard, match)
             automaton.add_transition(attr_state, self._complement_guard(guard), factory.down(2, attr_state))
             automaton.add_transition(
                 at_state,
@@ -256,8 +358,9 @@ class QueryCompiler:
 
         if step.axis in (Axis.CHILD, Axis.FOLLOWING_SIBLING):
             state = automaton.new_state()
-            match = factory.and_(factory.opt(payload), factory.down(2, state))
-            automaton.add_transition(state, guard, match)
+            for class_guard, resolve in classes:
+                match = factory.and_(factory.opt(payload_for(resolve)), factory.down(2, state))
+                automaton.add_transition(state, class_guard, match)
             automaton.add_transition(state, self._complement_guard(guard), factory.down(2, state))
             self._bottom.add(state)
             if is_last:
@@ -269,18 +372,21 @@ class QueryCompiler:
         if step.axis is Axis.DESCENDANT:
             state = automaton.new_state()
             loop = factory.and_(factory.down(1, state), factory.down(2, state))
-            if not is_last and next_axis is Axis.DESCENDANT:
-                # The continuation's descendant scan already covers every match
-                # reachable through deeper occurrences of this step, so the
-                # recursion below the match can be dropped (prioritised choice
-                # keeps counting exact and set semantics unchanged).
-                match = factory.orelse(
-                    factory.and_(payload, factory.down(2, state)),
-                    loop,
-                )
-            else:
-                match = factory.and_(factory.opt(payload), loop)
-            automaton.add_transition(state, guard, match)
+            for class_guard, resolve in classes:
+                payload = payload_for(resolve)
+                if not is_last and next_axis is Axis.DESCENDANT:
+                    # The continuation's descendant scan already covers every
+                    # match reachable through deeper occurrences of this step,
+                    # so the recursion below the match can be dropped
+                    # (prioritised choice keeps counting exact and set
+                    # semantics unchanged).
+                    match = factory.orelse(
+                        factory.and_(payload, factory.down(2, state)),
+                        loop,
+                    )
+                else:
+                    match = factory.and_(factory.opt(payload), loop)
+                automaton.add_transition(state, class_guard, match)
             automaton.add_transition(state, LabelGuard.of((at_id,)), factory.down(2, state))
             automaton.add_transition(state, self._complement_guard(guard, frozenset((at_id,))), loop)
             self._bottom.add(state)
@@ -293,14 +399,26 @@ class QueryCompiler:
 
     # -- predicate compilation ----------------------------------------------------------------------------
 
-    def _compile_predicate(self, predicate: Predicate) -> Formula:
+    def _compile_predicate(self, predicate: Predicate, resolve=None) -> Formula:
+        """Compile a predicate into a formula evaluated at the context node.
+
+        ``resolve`` is the label-class resolver of the enclosing step (see
+        :meth:`_self_classes`); it decides leading ``self::`` tests, which are
+        the only part of a predicate that inspects the context label.
+        """
         factory = self._factory
         if isinstance(predicate, AndExpr):
-            return factory.and_(self._compile_predicate(predicate.left), self._compile_predicate(predicate.right))
+            return factory.and_(
+                self._compile_predicate(predicate.left, resolve),
+                self._compile_predicate(predicate.right, resolve),
+            )
         if isinstance(predicate, OrExpr):
-            return factory.or_(self._compile_predicate(predicate.left), self._compile_predicate(predicate.right))
+            return factory.or_(
+                self._compile_predicate(predicate.left, resolve),
+                self._compile_predicate(predicate.right, resolve),
+            )
         if isinstance(predicate, NotExpr):
-            return factory.not_(self._compile_predicate(predicate.operand))
+            return factory.not_(self._compile_predicate(predicate.operand, resolve))
         if isinstance(predicate, TextPredicate):
             builtin = self._automaton.register_predicate(predicate.kind, predicate.pattern)
             return factory.predicate(builtin)
@@ -308,9 +426,30 @@ class QueryCompiler:
             builtin = self._automaton.register_predicate("pssm", predicate.matrix_name, predicate.threshold)
             return factory.predicate(builtin)
         if isinstance(predicate, PathExpr):
-            if not predicate.path.steps:
+            steps = list(predicate.path.steps)
+            if not steps:
                 return factory.true()
-            return self._compile_filter_path(list(predicate.path.steps), 0)
+            if steps[0].axis is Axis.SELF:
+                first = steps[0]
+                if isinstance(first.test, NodeTypeTest) or resolve is None:
+                    # '[.]'-style filters hold on every node; a missing
+                    # resolver only happens for hand-built ASTs whose self
+                    # test slipped past _self_classes, where node() is the
+                    # only decidable case.
+                    decided = isinstance(first.test, NodeTypeTest)
+                    if not decided:
+                        raise UnsupportedQueryError(
+                            "self:: steps with node tests inside filters need a label-class resolver"
+                        )
+                elif not resolve(first.test):
+                    return factory.false()
+                formula = factory.conjunction(
+                    self._compile_predicate(p, resolve) for p in first.predicates
+                )
+                if len(steps) > 1:
+                    formula = factory.and_(formula, self._compile_filter_path(steps[1:], 0))
+                return formula
+            return self._compile_filter_path(steps, 0)
         raise UnsupportedQueryError(f"unsupported predicate {predicate!r}")
 
     def _compile_filter_path(self, steps: list[Step], index: int) -> Formula:
@@ -318,16 +457,20 @@ class QueryCompiler:
         automaton = self._automaton
         at_id = self._resolver.attributes
         step = steps[index]
-        nested = factory.conjunction(self._compile_predicate(p) for p in step.predicates)
         continuation = self._compile_filter_path(steps, index + 1) if index + 1 < len(steps) else factory.true()
-        success = factory.and_(nested, continuation)
         guard = self._guard_for_test(step.test)
+        classes = self._self_classes(guard, step.predicates)
+
+        def success_for(resolve) -> Formula:
+            nested = factory.conjunction(self._compile_predicate(p, resolve) for p in step.predicates)
+            return factory.and_(nested, continuation)
 
         if step.axis is Axis.ATTRIBUTE:
             attr_state = automaton.new_state()
             at_state = automaton.new_state()
             scan = factory.down(2, attr_state)
-            automaton.add_transition(attr_state, guard, factory.or_(success, scan))
+            for class_guard, resolve in classes:
+                automaton.add_transition(attr_state, class_guard, factory.or_(success_for(resolve), scan))
             automaton.add_transition(attr_state, self._complement_guard(guard), scan)
             automaton.add_transition(at_state, LabelGuard.of((at_id,)), factory.down(1, attr_state))
             automaton.add_transition(at_state, LabelGuard.excluding((at_id,)), factory.down(2, at_state))
@@ -336,7 +479,8 @@ class QueryCompiler:
         if step.axis in (Axis.CHILD, Axis.FOLLOWING_SIBLING):
             state = automaton.new_state()
             scan = factory.down(2, state)
-            automaton.add_transition(state, guard, factory.or_(success, scan))
+            for class_guard, resolve in classes:
+                automaton.add_transition(state, class_guard, factory.or_(success_for(resolve), scan))
             automaton.add_transition(state, self._complement_guard(guard), scan)
             direction = 1 if step.axis is Axis.CHILD else 2
             return factory.down(direction, state)
@@ -344,17 +488,11 @@ class QueryCompiler:
         if step.axis is Axis.DESCENDANT:
             state = automaton.new_state()
             scan = factory.or_(factory.down(1, state), factory.down(2, state))
-            automaton.add_transition(state, guard, factory.or_(success, scan))
+            for class_guard, resolve in classes:
+                automaton.add_transition(state, class_guard, factory.or_(success_for(resolve), scan))
             automaton.add_transition(state, LabelGuard.of((at_id,)), factory.down(2, state))
             automaton.add_transition(state, self._complement_guard(guard, frozenset((at_id,))), scan)
             return factory.down(1, state)
-
-        if step.axis is Axis.SELF:
-            # self::node() filters are normalised away by the parser; an
-            # explicit self test inside a filter is outside Core+.
-            if isinstance(step.test, NodeTypeTest) and not step.predicates:
-                return success
-            raise UnsupportedQueryError("self:: steps with node tests inside filters are not supported")
 
         raise UnsupportedQueryError(f"axis {step.axis.value} is not supported inside filters")
 

@@ -38,6 +38,7 @@ from repro.xpath.ast import (
     TextPredicate,
     TextTest,
     WildcardTest,
+    intersect_node_tests,
 )
 
 __all__ = ["parse_xpath", "XPathSyntaxError"]
@@ -204,26 +205,29 @@ class _Parser:
     def _normalize_steps(self, steps: list[Step]) -> list[Step]:
         normalized: list[Step] = []
         for step in steps:
-            is_trivial_self = (
-                step.axis is Axis.SELF and isinstance(step.test, NodeTypeTest) and not step.predicates
-            )
-            if is_trivial_self and normalized:
-                continue
-            if (
-                step.axis is Axis.SELF
-                and isinstance(step.test, NodeTypeTest)
-                and step.predicates
-                and normalized
-            ):
+            if step.axis is Axis.SELF and normalized:
+                # A self step filters the node selected by the step before it
+                # without moving, so the two fold into one step whose test is
+                # the intersection ('a/self::b' keeps the 'a' children that
+                # are also 'b') and whose predicates are the concatenation.
                 previous = normalized.pop()
                 normalized.append(
-                    Step(previous.axis, previous.test, previous.predicates + step.predicates)
+                    Step(
+                        previous.axis,
+                        intersect_node_tests(previous.test, step.test),
+                        previous.predicates + step.predicates,
+                    )
                 )
                 continue
             normalized.append(step)
         # A leading trivial self step on a relative path (the bare '.') is kept
         # so that predicates like [.] still parse; drop it if more steps follow.
-        if len(normalized) > 1 and normalized[0].axis is Axis.SELF and not normalized[0].predicates:
+        if (
+            len(normalized) > 1
+            and normalized[0].axis is Axis.SELF
+            and isinstance(normalized[0].test, NodeTypeTest)
+            and not normalized[0].predicates
+        ):
             normalized = normalized[1:]
         return normalized
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.xpath.ast import (
     AndExpr,
     Axis,
+    ImpossibleTest,
     LocationPath,
     NameTest,
     NotExpr,
@@ -116,6 +117,14 @@ class QueryPlanner:
         anchors = self._extract_anchor(path.last_step)
         if not anchors:
             plan.reasons.append("no required text predicate to seed a bottom-up run")
+            self._check_mixed_content(path, plan)
+            return plan
+
+        if any(isinstance(a, TextPredicate) and a.pattern == "" for a in anchors):
+            # A predicate the empty string satisfies also holds on nodes with
+            # *no* text below them, which no text-index seed can reach: the
+            # bottom-up run would silently miss them.
+            plan.reasons.append("anchor predicate accepts the empty string value: top-down")
             self._check_mixed_content(path, plan)
             return plan
 
@@ -274,6 +283,8 @@ class QueryPlanner:
             return tree.tag_count(tag) if tag >= 0 else 0
         if isinstance(step.test, TextTest):
             return tree.num_texts
+        if isinstance(step.test, ImpossibleTest):
+            return 0
         return None
 
     def _check_mixed_content(self, path: LocationPath, plan: QueryPlan) -> None:

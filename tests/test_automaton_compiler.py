@@ -129,9 +129,23 @@ class TestCompilerErrors:
         with pytest.raises(UnsupportedQueryError):
             compiler.compile(parse_xpath("//a").__class__(steps=parse_xpath("//a").steps, absolute=False))
 
-    def test_self_name_test_in_filter_rejected(self):
-        with pytest.raises(UnsupportedQueryError):
-            compile_query("//a[self::b]")
+    def test_self_name_test_in_filter_compiles(self):
+        # Leading self tests in filters are resolved by splitting the
+        # enclosing step's guard into label classes (one per mentioned name).
+        compiled = compile_query("//keyword[self::keyword or self::emph]")
+        assert compiled.automaton.num_states >= 2
+
+    def test_self_test_folded_into_previous_step(self):
+        # 'site/self::site' folds to a single 'site' step at parse time.
+        folded = parse_xpath("/site/self::site")
+        plain = parse_xpath("/site")
+        assert folded == plain
+
+    def test_contradictory_self_test_selects_nothing(self):
+        # 'site/self::person' can never match; the guard is empty but the
+        # query still compiles and runs.
+        compiled = compile_query("/site/self::person")
+        assert compiled.automaton.num_states >= 2
 
 
 class TestCountSafety:

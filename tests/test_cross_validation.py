@@ -10,12 +10,34 @@ from __future__ import annotations
 
 import pytest
 
-from repro import EvaluationOptions
+from repro import Document, EvaluationOptions, IndexOptions
 from repro.workloads import MEDLINE_QUERIES, TREEBANK_QUERIES, XMARK_QUERIES
 
 
 def preorders(document, query, options=None):
     return [document.tree.preorder(node) for node in document.query(query, options)]
+
+
+#: The index configurations the whole query matrix is revalidated under (the
+#: default configuration is what every other test in this module uses).
+INDEX_CONFIGURATIONS = {
+    "dense-sampling": IndexOptions(sample_rate=4),
+    "no-plain-text": IndexOptions(keep_plain_text=False),
+    "rlcsa": IndexOptions(text_index="rlcsa"),
+    "tree-only": IndexOptions(text_index="none"),
+}
+
+
+@pytest.fixture(scope="module", params=sorted(INDEX_CONFIGURATIONS))
+def xmark_document_matrix(request, xmark_model):
+    """One indexed XMark document per non-default IndexOptions configuration."""
+    return Document.from_model(xmark_model, INDEX_CONFIGURATIONS[request.param])
+
+
+@pytest.fixture(scope="module", params=sorted(INDEX_CONFIGURATIONS))
+def medline_document_matrix(request, medline_model):
+    """One indexed Medline document per non-default IndexOptions configuration."""
+    return Document.from_model(medline_model, INDEX_CONFIGURATIONS[request.param])
 
 
 class TestXMarkQueries:
@@ -49,6 +71,29 @@ class TestMedlineQueries:
         # contain; both engines must simply agree (typically on zero results).
         query = MEDLINE_QUERIES["M11"]
         assert preorders(medline_document, query) == medline_dom.preorders(query)
+
+
+class TestIndexOptionsMatrix:
+    """The answers may never depend on how the document was indexed.
+
+    Every published XMark query is revalidated against the DOM engine under
+    each non-default :class:`IndexOptions` configuration (FM sampling, plain
+    text dropped, RLCSA backend, tree-only indexing) -- the configurations
+    change space/time, not results.
+    """
+
+    @pytest.mark.parametrize("name", sorted(XMARK_QUERIES))
+    def test_results_stable_across_index_options(self, name, xmark_document_matrix, xmark_dom):
+        query = XMARK_QUERIES[name]
+        assert preorders(xmark_document_matrix, query) == xmark_dom.preorders(query)
+        assert xmark_document_matrix.count(query) == xmark_dom.count(query)
+
+    @pytest.mark.parametrize("name", ["M02", "M05", "M09", "M10"])
+    def test_medline_text_queries_stable_across_index_options(
+        self, name, medline_document_matrix, medline_dom
+    ):
+        query = MEDLINE_QUERIES[name]
+        assert preorders(medline_document_matrix, query) == medline_dom.preorders(query)
 
 
 class TestOptimizationEquivalence:

@@ -7,6 +7,8 @@ import pytest
 from repro import Document, EvaluationOptions, IndexOptions, UnsupportedQueryError
 from repro.text.pssm import PositionWeightMatrix
 from repro.workloads import generate_bio_xml, jaspar_like_matrices
+from repro.xpath.compiler import QueryCompiler
+from repro.xpath.parser import parse_xpath
 
 
 class TestConstruction:
@@ -133,5 +135,13 @@ class TestPssmRegistry:
 
 class TestErrors:
     def test_unsupported_query_surfaces(self, paper_example_document):
+        path = parse_xpath("//part")
+        relative = path.__class__(steps=path.steps, absolute=False)
         with pytest.raises(UnsupportedQueryError):
-            paper_example_document.count("//part[self::color]")
+            QueryCompiler(list(paper_example_document.tree.tag_names())).compile(relative)
+
+    def test_self_filters_now_supported(self, paper_example_document):
+        # '//part[self::color]' used to raise; self filters are resolved by
+        # label-class splitting now and agree with plain name selection.
+        assert paper_example_document.count("//part[self::color]") == 0
+        assert paper_example_document.count("//*[self::part]") == paper_example_document.count("//part")

@@ -1,0 +1,53 @@
+"""Replay every pinned fuzz seed through the differential oracle (tier 1).
+
+Each seed under ``tests/fuzz_corpus/`` is a shrunken historical disagreement
+or a deliberately nasty shape; the oracle re-checks it across the engine,
+save/load, store and service layers on every test run, so a fixed bug stays
+fixed through every refactor.  Add new seeds with::
+
+    PYTHONPATH=src python -m repro.fuzz --iterations 2000 --corpus-dir tests/fuzz_corpus
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import FuzzCase, check_case, load_seeds, seed_to_case
+
+CORPUS_DIR = Path(__file__).parent / "fuzz_corpus"
+SEEDS = load_seeds(CORPUS_DIR)
+
+
+def test_corpus_is_populated():
+    assert len(SEEDS) >= 10, "the pinned corpus must hold at least ten shrunken seeds"
+
+
+def test_corpus_covers_both_modes():
+    modes = {case.mode for _, case in SEEDS}
+    assert modes == {"supported", "unsupported"}
+
+
+def test_corpus_covers_multiple_index_options():
+    assert len({case.index_options for _, case in SEEDS}) >= 3
+
+
+@pytest.mark.parametrize(
+    "path,case", SEEDS, ids=[f"{path.stem}-{case.query[:30]}" for path, case in SEEDS]
+)
+def test_seed_replays_clean(path, case):
+    disagreement = check_case(case)
+    assert disagreement is None, f"{path.name}: {disagreement}\nnote: {case.note}"
+
+
+def test_seed_files_round_trip(tmp_path):
+    from repro.fuzz import save_seed
+    from repro.fuzz.corpus import case_to_seed
+
+    case = FuzzCase(xml="<a>x</a>", query="//a", note="round trip")
+    written = save_seed(tmp_path, case)
+    (loaded_path, loaded), = load_seeds(tmp_path)
+    assert loaded_path == written
+    assert loaded == case
+    assert seed_to_case(case_to_seed(case)) == case

@@ -142,9 +142,29 @@ def test_syntax_error_maps_to_400(client):
         client.run("item[")
 
 
-def test_unsupported_query_maps_to_400(client):
-    with pytest.raises(UnsupportedQueryError):
-        client.run("/self::a")
+def test_self_axis_query_served_over_the_wire(client):
+    # '/self::a' used to map to 400 (UnsupportedQueryError); the self axis is
+    # supported now and the query answers with zero matches everywhere.
+    result = client.run("/self::a")
+    assert result.total == 0 and not result.failures
+
+
+def test_unsupported_query_maps_to_400(server, client, monkeypatch):
+    # Every parseable query compiles since the self-axis work, so the
+    # UnsupportedQueryError->400 mapping is driven by injecting the error at
+    # the server's eager-bind validation and asserting the typed re-raise
+    # travels the wire.
+    sentinel = "//trigger-unsupported"
+    real_get = server.service.plan_cache.get
+
+    def fake_get(query, index_options=None):
+        if query == sentinel:
+            raise UnsupportedQueryError("injected: outside the fragment")
+        return real_get(query, index_options)
+
+    monkeypatch.setattr(server.service.plan_cache, "get", fake_get)
+    with pytest.raises(UnsupportedQueryError, match="outside the fragment"):
+        client.run(sentinel)
 
 
 def test_unknown_document_maps_to_404(client):
