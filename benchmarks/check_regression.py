@@ -22,14 +22,20 @@ import sys
 from pathlib import Path
 
 
-def check(current: dict, baseline: dict, threshold: float | None = None) -> list[str]:
-    """Return the list of failure messages (empty = pass); warnings go to stdout."""
+def check(current: dict, baseline: dict, threshold: float | None = None, subset: bool = False) -> list[str]:
+    """Return the list of failure messages (empty = pass); warnings go to stdout.
+
+    With ``subset=True`` baseline metrics absent from the current run are
+    skipped instead of failing (used by jobs that run only some of the
+    benchmark modules, e.g. the nightly batch-kernel run).
+    """
     limit = threshold if threshold is not None else float(baseline.get("threshold", 0.30))
     measured = current["metrics"]
     failures: list[str] = []
     for name, spec in baseline["metrics"].items():
         if name not in measured:
-            failures.append(f"{name}: missing from the current run")
+            if not subset:
+                failures.append(f"{name}: missing from the current run")
             continue
         value = float(measured[name])
         base = float(spec["value"])
@@ -61,6 +67,11 @@ def main(argv=None) -> int:
         help="one or more BENCH_*.json runs, then the committed baseline.json last",
     )
     parser.add_argument("--threshold", type=float, default=None, help="override the regression threshold")
+    parser.add_argument(
+        "--subset",
+        action="store_true",
+        help="only check baseline metrics the current run actually produced",
+    )
     args = parser.parse_args(argv)
     if len(args.files) < 2:
         parser.error("need at least one benchmark run and the baseline")
@@ -73,7 +84,7 @@ def main(argv=None) -> int:
             parser.error(f"{path} redefines metric(s) {', '.join(sorted(overlap))}")
         current["metrics"].update(run["metrics"])
     baseline = json.loads(args.files[-1].read_text(encoding="utf-8"))
-    failures = check(current, baseline, args.threshold)
+    failures = check(current, baseline, args.threshold, subset=args.subset)
     for failure in failures:
         print(failure, file=sys.stderr)
     if failures:

@@ -16,6 +16,15 @@ cumulative popcount directory per word, so
 This mirrors the "uncompressed bitmaps inside" choice the authors make for
 their Huffman-shaped wavelet trees: a little extra space buys much better
 constants.
+
+Every query also has a *batch* variant (``rank1_many``, ``select1_many``,
+``get_many``, ...) taking a numpy array of positions and answering them in a
+constant number of vectorised numpy operations (one gather over the rank
+directory plus table-driven popcount/select inside the touched words), so the
+per-call Python interpreter overhead is paid once per *array* instead of once
+per position.  The scalar methods are the reference semantics; the batch
+kernels must agree with a scalar loop exactly (property-tested in
+``tests/test_batch_kernels.py``).
 """
 
 from __future__ import annotations
@@ -34,11 +43,34 @@ _WORD_BITS = 64
 # Byte-wise popcount table used to count bits inside a partially masked word.
 _POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint32)
 
+# _SELECT8[b, k] = position (0-7) of the (k+1)-th set bit of byte b; entries
+# past the byte's popcount are never read (callers validate ranks first).
+_SELECT8 = np.zeros((256, 8), dtype=np.uint8)
+for _byte in range(256):
+    for _k, _bit in enumerate(i for i in range(8) if _byte >> i & 1):
+        _SELECT8[_byte, _k] = _bit
+del _byte, _k, _bit
+
 
 def _popcount_words(words: np.ndarray) -> np.ndarray:
     """Return the popcount of every 64-bit word in ``words`` as ``uint32``."""
     as_bytes = words.view(np.uint8).reshape(-1, 8)
     return _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.uint32)
+
+
+def _select_in_words(words: np.ndarray, ranks: np.ndarray) -> np.ndarray:
+    """Bit offset (0-63) of the ``ranks[i]``-th set bit (1-based) of ``words[i]``.
+
+    Each ``ranks[i]`` must lie in ``[1, popcount(words[i])]``; byte-cumulative
+    popcounts locate the byte, ``_SELECT8`` finishes inside it.
+    """
+    as_bytes = words.view(np.uint8).reshape(-1, 8)
+    cumulative = np.cumsum(_POPCOUNT8[as_bytes], axis=1, dtype=np.int64)
+    byte_idx = (cumulative < ranks[:, None]).sum(axis=1)
+    rows = np.arange(words.size)
+    before = np.where(byte_idx > 0, cumulative[rows, np.maximum(byte_idx, 1) - 1], 0)
+    within = ranks - before
+    return byte_idx * 8 + _SELECT8[as_bytes[rows, byte_idx], within - 1]
 
 
 class BitVector(Serializable):
@@ -58,7 +90,7 @@ class BitVector(Serializable):
     to express as ``rank1(i + 1)``.
     """
 
-    __slots__ = ("_length", "_words", "_rank_blocks", "_total_ones")
+    __slots__ = ("_length", "_words", "_rank_blocks", "_total_ones", "_zero_blocks")
 
     def __init__(self, bits: Iterable[int] | np.ndarray | "BitVector" = ()):
         if isinstance(bits, BitVector):
@@ -74,12 +106,22 @@ class BitVector(Serializable):
         # position w * 64 + i of the vector.
         packed_bytes = np.packbits(padded.reshape(-1, 8)[:, ::-1], axis=1).reshape(-1)
         self._words = packed_bytes.view(np.uint64) if n_words else np.zeros(0, dtype=np.uint64)
+        self._build_directory()
+
+    def _build_directory(self) -> None:
+        """(Re)compute the cumulative rank directory from the packed words.
+
+        ``_rank_blocks[w]`` holds the number of ones in ``words[0:w]``; both
+        the constructor and :meth:`read` (via :meth:`_from_words`) derive the
+        directory through this single helper.
+        """
+        n_words = self._words.size
         counts = _popcount_words(self._words) if n_words else np.zeros(0, dtype=np.uint32)
-        # _rank_blocks[w] = number of ones in words[0:w]
         self._rank_blocks = np.zeros(n_words + 1, dtype=np.uint64)
         if n_words:
             np.cumsum(counts, out=self._rank_blocks[1:])
         self._total_ones = int(self._rank_blocks[-1]) if n_words else 0
+        self._zero_blocks: np.ndarray | None = None  # lazy select0_many directory
 
     # -- construction helpers -------------------------------------------------
 
@@ -97,12 +139,7 @@ class BitVector(Serializable):
         bv = cls.__new__(cls)
         bv._length = int(length)
         bv._words = np.ascontiguousarray(words, dtype=np.uint64)
-        n_words = bv._words.size
-        counts = _popcount_words(bv._words) if n_words else np.zeros(0, dtype=np.uint32)
-        bv._rank_blocks = np.zeros(n_words + 1, dtype=np.uint64)
-        if n_words:
-            np.cumsum(counts, out=bv._rank_blocks[1:])
-        bv._total_ones = int(bv._rank_blocks[-1]) if n_words else 0
+        bv._build_directory()
         return bv
 
     # -- persistence -----------------------------------------------------------
@@ -208,6 +245,76 @@ class BitVector(Serializable):
     def rank(self, bit: int, i: int) -> int:
         """Generic rank: number of occurrences of ``bit`` in ``[0, i)``."""
         return self.rank1(i) if bit else self.rank0(i)
+
+    # -- batch kernels ------------------------------------------------------------
+
+    def get_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Bits at ``positions`` (each in ``[0, len)``), as an ``int64`` array."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise IndexError(f"bit index out of range for length {self._length}")
+        words = self._words[pos >> 6]
+        return ((words >> (pos & 63).astype(np.uint64)) & np.uint64(1)).astype(np.int64)
+
+    def rank1_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank1`: ones in ``[0, i)`` for every ``i`` in ``positions``.
+
+        Out-of-range positions are clamped exactly like the scalar method
+        (``i <= 0`` gives 0, ``i >= len`` gives the total number of ones).
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        clipped = np.clip(pos, 0, self._length)
+        word_idx = clipped >> 6
+        bit_idx = clipped & 63
+        result = self._rank_blocks[word_idx].astype(np.int64)
+        inside = np.flatnonzero(bit_idx)
+        if inside.size:
+            masks = (np.uint64(1) << bit_idx[inside].astype(np.uint64)) - np.uint64(1)
+            masked = self._words[word_idx[inside]] & masks
+            as_bytes = masked.view(np.uint8).reshape(-1, 8)
+            result[inside] += _POPCOUNT8[as_bytes].sum(axis=1, dtype=np.int64)
+        return result
+
+    def rank0_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank0` (same clamping as the scalar method)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        clipped = np.clip(pos, 0, self._length)
+        return clipped - self.rank1_many(clipped)
+
+    def select1_many(self, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select1`: position of the ``j``-th one for every ``j``."""
+        j = np.asarray(ranks, dtype=np.int64)
+        if j.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(j.min()) < 1 or int(j.max()) > self._total_ones:
+            raise ValueError(f"select1 rank out of range; vector has {self._total_ones} ones")
+        word_idx = np.searchsorted(self._rank_blocks, j.astype(np.uint64), side="left") - 1
+        remaining = j - self._rank_blocks[word_idx].astype(np.int64)
+        return word_idx * _WORD_BITS + _select_in_words(self._words[word_idx], remaining)
+
+    def select0_many(self, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select0`: position of the ``j``-th zero for every ``j``."""
+        j = np.asarray(ranks, dtype=np.int64)
+        if j.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        total_zeros = self.count_zeros
+        if int(j.min()) < 1 or int(j.max()) > total_zeros:
+            raise ValueError(f"select0 rank out of range; vector has {total_zeros} zeros")
+        if self._zero_blocks is None:
+            # zeros in words[0:w] = w * 64 - rank_blocks[w] (non-decreasing)
+            self._zero_blocks = (
+                np.arange(self._rank_blocks.size, dtype=np.int64) * _WORD_BITS
+                - self._rank_blocks.astype(np.int64)
+            )
+        word_idx = np.searchsorted(self._zero_blocks, j, side="left") - 1
+        remaining = j - self._zero_blocks[word_idx]
+        return word_idx * _WORD_BITS + _select_in_words(~self._words[word_idx], remaining)
 
     # -- select -----------------------------------------------------------------
 

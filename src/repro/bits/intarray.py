@@ -132,6 +132,35 @@ class PackedIntArray(Serializable):
         arr._words = words
         return arr
 
+    # -- batch kernels ----------------------------------------------------------
+
+    def get_many(self, indices: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Values at ``indices`` as an ``int64`` array, in one vectorised pass.
+
+        Negative indices count from the end, like ``__getitem__``.  Widths of
+        64 bits would not fit ``int64`` and are rejected (no user of the batch
+        path packs values that wide).
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self._width >= 64:
+            raise ValueError("get_many supports widths up to 63 bits")
+        idx = np.where(idx < 0, idx + self._length, idx)
+        if int(idx.min()) < 0 or int(idx.max()) >= self._length:
+            raise IndexError(f"index out of range for length {self._length}")
+        bit_pos = idx * self._width
+        word_idx = bit_pos >> 6
+        offset = (bit_pos & 63).astype(np.uint64)
+        lo_bits = np.minimum(self._width, 64 - (bit_pos & 63)).astype(np.uint64)
+        value = (self._words[word_idx] >> offset) & ((np.uint64(1) << lo_bits) - np.uint64(1))
+        hi_bits = (np.uint64(self._width) - lo_bits).astype(np.uint64)
+        spill = np.flatnonzero(hi_bits)
+        if spill.size:
+            hi = self._words[word_idx[spill] + 1] & ((np.uint64(1) << hi_bits[spill]) - np.uint64(1))
+            value[spill] |= hi << lo_bits[spill]
+        return value.astype(np.int64)
+
     # -- accessors --------------------------------------------------------------
 
     @property

@@ -139,6 +139,56 @@ class SparseBitVector(Serializable):
             raise ValueError(f"select1({j}) out of range; vector has {self._positions.size} ones")
         return int(self._positions[j - 1])
 
+    # -- batch kernels -------------------------------------------------------------
+
+    def get_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Bits at ``positions`` (each in ``[0, len)``), as an ``int64`` array."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise IndexError(f"bit index out of range for length {self._length}")
+        idx = np.searchsorted(self._positions, pos, side="left")
+        hit = idx < self._positions.size
+        hit[hit] &= self._positions[idx[hit]] == pos[hit]
+        return hit.astype(np.int64)
+
+    def rank1_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank1` (same clamping as the scalar method)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        clipped = np.clip(pos, 0, self._length)
+        return np.searchsorted(self._positions, clipped, side="left").astype(np.int64)
+
+    def rank0_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank0` (same clamping as the scalar method)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        clipped = np.clip(pos, 0, self._length)
+        return clipped - self.rank1_many(clipped)
+
+    def select1_many(self, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select1`: one gather over the position list."""
+        j = np.asarray(ranks, dtype=np.int64)
+        if j.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(j.min()) < 1 or int(j.max()) > self._positions.size:
+            raise ValueError(f"select1 rank out of range; vector has {self._positions.size} ones")
+        return self._positions[j - 1]
+
+    def next_one_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`next_one` (``-1`` where no successor exists)."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        idx = np.searchsorted(self._positions, np.maximum(pos, 0), side="left")
+        out = np.full(pos.size, -1, dtype=np.int64)
+        found = idx < self._positions.size
+        out[found] = self._positions[idx[found]]
+        return out
+
     # -- successor / predecessor ---------------------------------------------------
 
     def next_one(self, i: int) -> int:

@@ -48,6 +48,8 @@ class RunLengthSequence(Serializable):
         self._run_symbols = run_symbols
         self._counts: Counter[int] = Counter()
         self._per_symbol: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # _run_prefix[r] = occurrences of run r's symbol before the run starts.
+        self._run_prefix = np.zeros(run_starts.size, dtype=np.int64)
         if self._length == 0:
             return
         run_ends = np.concatenate((run_starts[1:], [self._length]))
@@ -60,6 +62,7 @@ class RunLengthSequence(Serializable):
             cumulative = np.zeros(starts.size + 1, dtype=np.int64)
             np.cumsum(lengths, out=cumulative[1:])
             self._per_symbol[int(symbol)] = (starts, cumulative)
+            self._run_prefix[mask] = cumulative[:-1]
             self._counts[int(symbol)] = int(cumulative[-1])
 
     # -- persistence --------------------------------------------------------------
@@ -152,6 +155,63 @@ class RunLengthSequence(Serializable):
         run = int(np.searchsorted(cumulative, j, side="left")) - 1
         offset = j - 1 - int(cumulative[run])
         return int(starts[run]) + offset
+
+    # -- batch kernels ---------------------------------------------------------------
+
+    def access_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`access`: one ``searchsorted`` over the run starts."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise IndexError(f"position out of range for length {self._length}")
+        runs = np.searchsorted(self._run_starts, pos, side="right") - 1
+        return self._run_symbols[runs]
+
+    def access_rank_many(
+        self, positions: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(access(i), rank(access(i), i))`` for every position, in one pass."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise IndexError(f"position out of range for length {self._length}")
+        runs = np.searchsorted(self._run_starts, pos, side="right") - 1
+        symbols = self._run_symbols[runs]
+        ranks = self._run_prefix[runs] + (pos - self._run_starts[runs])
+        return symbols, ranks
+
+    def rank_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank` over the per-symbol run directory."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        entry = self._per_symbol.get(int(symbol))
+        if entry is None:
+            return np.zeros(pos.size, dtype=np.int64)
+        starts, cumulative = entry
+        i = np.clip(pos, 0, self._length)
+        runs = np.searchsorted(starts, i, side="right") - 1
+        safe = np.maximum(runs, 0)
+        full = cumulative[safe]
+        run_len = cumulative[safe + 1] - full
+        inside = np.minimum(run_len, i - starts[safe])
+        return np.where(runs < 0, 0, full + inside)
+
+    def select_many(self, symbol: int, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select` over the per-symbol run directory."""
+        j = np.asarray(ranks, dtype=np.int64)
+        if j.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        entry = self._per_symbol.get(int(symbol))
+        total = self._counts.get(int(symbol), 0)
+        if entry is None or int(j.min()) < 1 or int(j.max()) > total:
+            raise ValueError(f"select({symbol!r}, ...) rank out of range")
+        starts, cumulative = entry
+        runs = np.searchsorted(cumulative, j, side="left") - 1
+        offsets = j - 1 - cumulative[runs]
+        return starts[runs] + offsets
 
     def to_list(self) -> list[int]:
         """Reconstruct the full sequence (mainly for testing)."""

@@ -239,6 +239,123 @@ class WaveletTree(Serializable):
         """Rank of every alphabet symbol at position ``i`` (used by backtracking search)."""
         return {symbol: self.rank(symbol, i) for symbol in self._counts}
 
+    # -- batch kernels -------------------------------------------------------------
+
+    def access_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`access`: the symbols at ``positions``.
+
+        Positions taking the same root-to-leaf path are resolved together, so
+        each wavelet-tree node is visited once per *batch* with one batched
+        rank per bitmap instead of once per position.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise IndexError(f"position out of range for length {self._length}")
+        out = np.empty(pos.size, dtype=np.int64)
+        assert self._root is not None
+        stack: list[tuple[_WTNode, np.ndarray, np.ndarray]] = [(self._root, np.arange(pos.size), pos)]
+        while stack:
+            node, slots, local = stack.pop()
+            if node.symbol is not None:
+                out[slots] = node.symbol
+                continue
+            assert node.bitmap is not None and node.left is not None and node.right is not None
+            bits = node.bitmap.get_many(local).astype(bool)
+            ones_before = node.bitmap.rank1_many(local)
+            if bits.all():
+                stack.append((node.right, slots, ones_before))
+            elif not bits.any():
+                stack.append((node.left, slots, local - ones_before))
+            else:
+                stack.append((node.right, slots[bits], ones_before[bits]))
+                stack.append((node.left, slots[~bits], (local - ones_before)[~bits]))
+        return out
+
+    def access_rank_many(
+        self, positions: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(access(i), rank(access(i), i))`` for every position, in one descent.
+
+        The leaf-local index reached by the access descent *is* the rank of
+        the accessed symbol before the position, so the LF-mapping of the
+        FM-index gets both ingredients from a single batched walk.
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise IndexError(f"position out of range for length {self._length}")
+        symbols = np.empty(pos.size, dtype=np.int64)
+        ranks = np.empty(pos.size, dtype=np.int64)
+        assert self._root is not None
+        stack: list[tuple[_WTNode, np.ndarray, np.ndarray]] = [(self._root, np.arange(pos.size), pos)]
+        while stack:
+            node, slots, local = stack.pop()
+            if node.symbol is not None:
+                symbols[slots] = node.symbol
+                ranks[slots] = local
+                continue
+            assert node.bitmap is not None and node.left is not None and node.right is not None
+            bits = node.bitmap.get_many(local).astype(bool)
+            ones_before = node.bitmap.rank1_many(local)
+            if bits.all():
+                stack.append((node.right, slots, ones_before))
+            elif not bits.any():
+                stack.append((node.left, slots, local - ones_before))
+            else:
+                stack.append((node.right, slots[bits], ones_before[bits]))
+                stack.append((node.left, slots[~bits], (local - ones_before)[~bits]))
+        return symbols, ranks
+
+    def rank_many(self, symbol: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank`: occurrences of ``symbol`` before every position.
+
+        One walk down the symbol's Huffman path with a batched bitmap rank per
+        level (instead of one full descent per position).
+        """
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if symbol not in self._counts:
+            return np.zeros(pos.size, dtype=np.int64)
+        assert self._code is not None and self._root is not None
+        i = np.clip(pos, 0, self._length)
+        node = self._root
+        for bit in self._code.code(symbol):
+            if node.symbol is not None:
+                break
+            assert node.bitmap is not None
+            i = node.bitmap.rank1_many(i) if bit else node.bitmap.rank0_many(i)
+            node = node.right if bit else node.left
+            assert node is not None
+        return i
+
+    def select_many(self, symbol: int, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select`: positions of the ``j``-th occurrences of ``symbol``."""
+        j = np.asarray(ranks, dtype=np.int64)
+        if j.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        total = self._counts.get(symbol, 0)
+        if int(j.min()) < 1 or int(j.max()) > total:
+            raise ValueError(f"select({symbol!r}, ...) rank out of range")
+        assert self._code is not None and self._root is not None
+        path: list[tuple[_WTNode, int]] = []
+        node = self._root
+        for bit in self._code.code(symbol):
+            if node.symbol is not None:
+                break
+            path.append((node, bit))
+            node = node.right if bit else node.left
+            assert node is not None
+        pos = j - 1
+        for parent, bit in reversed(path):
+            assert parent.bitmap is not None
+            ranks_up = pos + 1
+            pos = parent.bitmap.select1_many(ranks_up) if bit else parent.bitmap.select0_many(ranks_up)
+        return pos
+
     def to_list(self) -> list[int]:
         """Reconstruct the full sequence (mainly for testing)."""
         return [self.access(i) for i in range(self._length)]

@@ -198,6 +198,21 @@ class FMIndex(Serializable):
         base = int(self._c_array[symbol])
         return base + self._rank(symbol, sp), base + self._rank(symbol, ep)
 
+    def backward_step_many(
+        self, symbol: int, sps: np.ndarray, eps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`backward_step`: advance many ``[sp, ep)`` ranges at once.
+
+        All ranges step over the *same* symbol (the common case when many
+        backward searches are driven in lockstep); the two boundary arrays are
+        answered with one batched rank each.
+        """
+        sps = np.asarray(sps, dtype=np.int64)
+        eps = np.asarray(eps, dtype=np.int64)
+        base = int(self._c_array[symbol])
+        bounds = self._sequence.rank_many(symbol, np.concatenate((sps, eps)))
+        return base + bounds[: sps.size], base + bounds[sps.size :]
+
     def backward_search(self, pattern: bytes, sp: int | None = None, ep: int | None = None) -> tuple[int, int]:
         """Rows whose suffix starts with ``pattern``, as a half-open range.
 
@@ -244,9 +259,61 @@ class FMIndex(Serializable):
             current = int(self._c_array[symbol]) + self._rank(symbol, current)
             steps += 1
 
-    def locate_range(self, sp: int, ep: int) -> np.ndarray:
-        """Global positions of all suffixes in rows ``[sp, ep)`` (unsorted)."""
-        return np.array([self.locate_row(row) for row in range(sp, ep)], dtype=np.int64)
+    #: Below this many rows the scalar per-row walk wins: each batched round
+    #: pays a per-wavelet-node numpy-call overhead that only amortises once
+    #: enough rows share the descent (crossover measured on text alphabets).
+    _BATCH_LOCATE_CUTOFF = 512
+
+    def locate_rows_many(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`locate_row`: resolve many BWT rows in lockstep.
+
+        All rows walk the LF-mapping together; each round answers the sample
+        bitmap and one combined access+rank descent
+        (:meth:`~repro.sequence.wavelet_tree.WaveletTree.access_rank_many`) for
+        the whole surviving batch, so the LF step of every row costs a shared
+        constant number of numpy calls instead of a Python loop iteration.
+        Small batches fall back to the scalar walk, which is faster there.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size < self._BATCH_LOCATE_CUTOFF:
+            return np.array([self.locate_row(int(row)) for row in rows], dtype=np.int64)
+        current = rows.copy()
+        out = np.full(current.size, -1, dtype=np.int64)
+        active = np.arange(current.size)
+        steps = 0
+        while active.size:
+            rows_now = current[active]
+            sampled = self._sample_bitmap.get_many(rows_now).astype(bool)
+            if sampled.any():
+                hit = active[sampled]
+                sample_ranks = self._sample_bitmap.rank1_many(current[hit])
+                out[hit] = self._samples[sample_ranks] + steps
+                active = active[~sampled]
+                if not active.size:
+                    break
+                rows_now = current[active]
+            symbols, symbol_ranks = self._sequence.access_rank_many(rows_now)
+            terminal = symbols == TERMINATOR
+            if terminal.any():
+                done = active[terminal]
+                docs = self._doc_row_map[symbol_ranks[terminal]]
+                out[done] = self._text_starts[docs] + steps
+                active = active[~terminal]
+                symbols = symbols[~terminal]
+                symbol_ranks = symbol_ranks[~terminal]
+            current[active] = self._c_array[symbols] + symbol_ranks
+            steps += 1
+        return out
+
+    def locate_range(self, sp: int, ep: int, batch: bool = True) -> np.ndarray:
+        """Global positions of all suffixes in rows ``[sp, ep)`` (unsorted).
+
+        ``batch=False`` forces the scalar per-row walk (the reference
+        implementation the batched kernel is cross-checked against).
+        """
+        if not batch:
+            return np.array([self.locate_row(row) for row in range(sp, ep)], dtype=np.int64)
+        return self.locate_rows_many(np.arange(sp, ep, dtype=np.int64))
 
     def locate(self, pattern: bytes) -> np.ndarray:
         """Global positions of all occurrences of ``pattern`` (sorted)."""
@@ -261,6 +328,15 @@ class FMIndex(Serializable):
             raise ValueError(f"position {position} out of range")
         doc = int(np.searchsorted(self._text_starts, position, side="right")) - 1
         return doc, position - int(self._text_starts[doc])
+
+    def positions_to_docs(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`position_to_doc`, text identifiers only."""
+        pos = np.asarray(positions, dtype=np.int64)
+        if pos.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        if int(pos.min()) < 0 or int(pos.max()) >= self._length:
+            raise ValueError("position out of range")
+        return np.searchsorted(self._text_starts, pos, side="right") - 1
 
     # -- dollar-row helpers (the Doc structure of the paper) ----------------------------
 

@@ -170,15 +170,15 @@ class TextCollection(Serializable):
         sp, ep = self._fm.backward_search(pattern)
         return self._fm.dollar_docs_in_range(sp, ep)
 
-    def ends_with(self, pattern: bytes | str) -> np.ndarray:
+    def ends_with(self, pattern: bytes | str, batch: bool = True) -> np.ndarray:
         """Identifiers of texts that end with ``pattern`` (sorted)."""
         pattern = self._as_bytes(pattern)
         if not pattern:
             return np.arange(self._num_texts, dtype=np.int64)
         sp, ep = self._fm.dollar_row_range(0, self._num_texts - 1)
         sp, ep = self._fm.backward_search(pattern, sp, ep)
-        docs = sorted({self._fm.position_to_doc(self._fm.locate_row(row))[0] for row in range(sp, ep)})
-        return np.array(docs, dtype=np.int64)
+        positions = self._fm.locate_range(sp, ep, batch=batch)
+        return np.unique(self._fm.positions_to_docs(positions))
 
     def equals(self, pattern: bytes | str) -> np.ndarray:
         """Identifiers of texts exactly equal to ``pattern`` (sorted)."""
@@ -188,14 +188,20 @@ class TextCollection(Serializable):
             sp, ep = self._fm.backward_search(pattern, sp, ep)
         return self._fm.dollar_docs_in_range(sp, ep)
 
-    def contains(self, pattern: bytes | str) -> np.ndarray:
-        """Identifiers of texts containing ``pattern`` (sorted, deduplicated)."""
+    def contains(self, pattern: bytes | str, batch: bool = True) -> np.ndarray:
+        """Identifiers of texts containing ``pattern`` (sorted, deduplicated).
+
+        With ``batch=True`` (the default) the occurrence rows are located in
+        one batched LF walk (:meth:`~repro.text.fm_index.FMIndex.locate_rows_many`)
+        and mapped to text identifiers with a single ``searchsorted``;
+        ``batch=False`` keeps the scalar per-row walk for cross-checking.
+        """
         pattern = self._as_bytes(pattern)
         if not pattern:
             return np.arange(self._num_texts, dtype=np.int64)
         sp, ep = self._fm.backward_search(pattern)
-        docs = {self._fm.position_to_doc(self._fm.locate_row(row))[0] for row in range(sp, ep)}
-        return np.array(sorted(docs), dtype=np.int64)
+        positions = self._fm.locate_range(sp, ep, batch=batch)
+        return np.unique(self._fm.positions_to_docs(positions))
 
     def contains_count(self, pattern: bytes | str) -> int:
         """Number of distinct texts containing ``pattern``."""
@@ -215,9 +221,10 @@ class TextCollection(Serializable):
         if not pattern:
             return []
         sp, ep = self._fm.backward_search(pattern)
-        out = [self._fm.position_to_doc(self._fm.locate_row(row)) for row in range(sp, ep)]
-        out.sort()
-        return out
+        positions = np.sort(self._fm.locate_range(sp, ep))
+        docs = self._fm.positions_to_docs(positions)
+        offsets = positions - self._fm.text_starts[docs]
+        return [(int(doc), int(offset)) for doc, offset in zip(docs, offsets)]
 
     # -- lexicographic comparison operators -------------------------------------------------
 
@@ -253,7 +260,7 @@ class TextCollection(Serializable):
             return self.contains(pattern)
         return self._plain.contains(self._as_bytes(pattern))
 
-    def contains_auto(self, pattern: bytes | str, cutoff: int = 20_000) -> np.ndarray:
+    def contains_auto(self, pattern: bytes | str, cutoff: int = 20_000, batch: bool = True) -> np.ndarray:
         """``contains`` with the paper's strategy switch.
 
         The cheap global count decides whether to report over the FM-index
@@ -263,4 +270,4 @@ class TextCollection(Serializable):
         pattern = self._as_bytes(pattern)
         if self._plain is not None and self.global_count(pattern) > cutoff:
             return self._plain.contains(pattern)
-        return self.contains(pattern)
+        return self.contains(pattern, batch=batch)

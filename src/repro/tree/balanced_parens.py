@@ -159,6 +159,25 @@ class BalancedParentheses(Serializable):
         """Number of opens minus closes in positions ``[0, i]`` (inclusive)."""
         return 2 * self._bv.rank1(i + 1) - (i + 1)
 
+    # -- batch kernels -----------------------------------------------------------------------
+
+    def is_open_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_open` (boolean array)."""
+        return self._bv.get_many(positions).astype(bool)
+
+    def rank_open_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank_open`."""
+        return self._bv.rank1_many(positions)
+
+    def select_open_many(self, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select_open`."""
+        return self._bv.select1_many(ranks)
+
+    def excess_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`excess`."""
+        pos = np.asarray(positions, dtype=np.int64)
+        return 2 * self._bv.rank1_many(pos + 1) - (pos + 1)
+
     # -- excess searches ---------------------------------------------------------------------------
 
     def _scan_forward(self, start: int, end: int, excess_before: int, target: int) -> tuple[int, int]:

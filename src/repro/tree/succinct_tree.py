@@ -82,6 +82,7 @@ class SuccinctTree(Serializable):
         self._text_bitmap = BitVector.from_positions(sorted(int(p) for p in text_leaf_positions), length)
         self._num_texts = self._text_bitmap.count_ones
         self._num_nodes = length // 2
+        self._nav: tuple[np.ndarray, np.ndarray] | None = None
 
     # -- persistence --------------------------------------------------------------------------
 
@@ -112,11 +113,12 @@ class SuccinctTree(Serializable):
             raise CorruptedFileError("tree component lengths disagree")
         tree._num_texts = tree._text_bitmap.count_ones
         tree._num_nodes = len(tree._par) // 2
+        tree._nav = None
         return tree
 
     def text_leaf_positions(self) -> list[int]:
         """Opening-parenthesis positions of the text-carrying leaves, in document order."""
-        return [self._text_bitmap.select1(j) for j in range(1, self._num_texts + 1)]
+        return self._text_bitmap.select1_many(np.arange(1, self._num_texts + 1)).tolist()
 
     # -- size / identity ----------------------------------------------------------------------
 
@@ -321,3 +323,121 @@ class SuccinctTree(Serializable):
     def xml_id_node(self, x: int) -> int:
         """Global (preorder) identifier of node ``x``."""
         return self.preorder(x)
+
+    # -- batch navigation (vectorised kernels) ------------------------------------------------------------
+    #
+    # The batch methods take numpy arrays of *opening-parenthesis* positions
+    # and answer them with a constant number of numpy operations.  The first
+    # batch call builds a navigation directory (the matching-close and parent
+    # position of every node, two int64 arrays derived from the parentheses
+    # bitmap in O(n log n) vectorised work).  The directory is an in-memory
+    # acceleration structure only: it is never serialised, the succinct core
+    # stays the source of truth, and the scalar methods above never touch it.
+
+    def _nav_directory(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (close positions, parent positions) arrays, built lazily."""
+        if self._nav is None:
+            bits = self._par.to_numpy()
+            n = bits.size
+            close_arr = np.full(n, NIL, dtype=np.int64)
+            parent_arr = np.full(n, NIL, dtype=np.int64)
+            if n:
+                excess = np.cumsum(np.where(bits, np.int64(1), np.int64(-1)))
+                opens = np.flatnonzero(bits)
+                closes = np.flatnonzero(~bits)
+                # The k-th open at depth d matches the k-th close whose excess
+                # is d - 1: same-depth subtrees are disjoint and ordered, so
+                # sorting both sides by depth (stably, keeping document order)
+                # aligns every pair.
+                open_depth = excess[opens]
+                close_depth = excess[closes] + 1
+                open_order = np.argsort(open_depth, kind="stable")
+                close_order = np.argsort(close_depth, kind="stable")
+                close_arr[opens[open_order]] = closes[close_order]
+                # Parent of an open at depth d: the latest open at depth d - 1
+                # before it; resolved depth by depth with one searchsorted.
+                sorted_opens = opens[open_order]
+                sorted_depth = open_depth[open_order]
+                for depth in range(2, int(sorted_depth[-1]) + 1):
+                    lo, hi = np.searchsorted(sorted_depth, (depth, depth + 1), side="left")
+                    plo = np.searchsorted(sorted_depth, depth - 1, side="left")
+                    children = sorted_opens[lo:hi]
+                    candidates = sorted_opens[plo:lo]
+                    parent_arr[children] = candidates[np.searchsorted(candidates, children) - 1]
+            self._nav = (close_arr, parent_arr)
+        return self._nav
+
+    def close_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`close` over an array of opening positions."""
+        close_arr, _ = self._nav_directory()
+        return close_arr[np.asarray(nodes, dtype=np.int64)]
+
+    def parent_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`parent` (:data:`NIL` for the root)."""
+        _, parent_arr = self._nav_directory()
+        return parent_arr[np.asarray(nodes, dtype=np.int64)]
+
+    def subtree_interval_many(
+        self, nodes: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Opening and matching closing positions of every node (two arrays)."""
+        starts = np.asarray(nodes, dtype=np.int64)
+        return starts, self.close_many(starts)
+
+    def subtree_size_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`subtree_size`."""
+        starts, ends = self.subtree_interval_many(nodes)
+        return (ends - starts + 1) // 2
+
+    def preorder_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`preorder`."""
+        return self._par.rank_open_many(np.asarray(nodes, dtype=np.int64) + 1)
+
+    def node_at_preorder_many(self, preorders: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`node_at_preorder`."""
+        return self._par.select_open_many(preorders)
+
+    def depth_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`depth`."""
+        return self._par.excess_many(nodes)
+
+    def tag_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`tag`."""
+        return self._tags.tag_at_many(nodes)
+
+    def is_text_leaf_many(self, nodes: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_text_leaf` (boolean array)."""
+        return self._text_bitmap.get_many(nodes).astype(bool)
+
+    def node_of_text_many(self, text_ids: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`node_of_text`."""
+        return self._text_bitmap.select1_many(np.asarray(text_ids, dtype=np.int64) + 1)
+
+    def text_ids_many(self, nodes: Sequence[int] | np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`text_ids`: half-open text ranges for every node."""
+        starts = np.asarray(nodes, dtype=np.int64)
+        firsts = self._text_bitmap.rank1_many(starts)
+        lasts = self._text_bitmap.rank1_many(self.close_many(starts) + 1)
+        return firsts, lasts
+
+    def tagged_desc_many(self, x: int, tags: Sequence[int] | np.ndarray) -> np.ndarray:
+        """:meth:`tagged_desc` for one node over many tags (:data:`NIL` where none)."""
+        tags = np.asarray(tags, dtype=np.int64)
+        out = np.full(tags.size, NIL, dtype=np.int64)
+        close = self.close(x)
+        for slot, tag in enumerate(tags):
+            candidate = self._tags.next_occurrence(int(tag), x + 1)
+            if candidate != -1 and candidate <= close:
+                out[slot] = candidate
+        return out
+
+    def tagged_foll_many(self, x: int, tags: Sequence[int] | np.ndarray) -> np.ndarray:
+        """:meth:`tagged_foll` for one node over many tags (:data:`NIL` where none)."""
+        tags = np.asarray(tags, dtype=np.int64)
+        out = np.full(tags.size, NIL, dtype=np.int64)
+        after = self.close(x) + 1
+        for slot, tag in enumerate(tags):
+            candidate = self._tags.next_occurrence(int(tag), after)
+            if candidate != -1:
+                out[slot] = candidate
+        return out

@@ -153,3 +153,31 @@ class TagSequence(Serializable):
         if not 0 <= tag < self._num_tags:
             return np.zeros(0, dtype=np.int64)
         return self._rows[tag].positions()
+
+    # -- batch kernels -----------------------------------------------------------------
+
+    def tag_at_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`tag_at` (``-1`` at closing positions)."""
+        values = self._access.get_many(positions)
+        return np.where(values < self._num_tags, values, -1)
+
+    def closing_tag_at_many(self, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`closing_tag_at` (``-1`` at opening positions)."""
+        values = self._access.get_many(positions)
+        return np.where(values >= self._num_tags, values - self._num_tags, -1)
+
+    def rank_many(self, tag: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rank`."""
+        if not 0 <= tag < self._num_tags:
+            return np.zeros(np.asarray(positions).size, dtype=np.int64)
+        return self._rows[tag].rank1_many(positions)
+
+    def select_many(self, tag: int, ranks: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select`."""
+        return self._rows[tag].select1_many(ranks)
+
+    def next_occurrence_many(self, tag: int, positions: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`next_occurrence` (``-1`` where no occurrence follows)."""
+        if not 0 <= tag < self._num_tags:
+            return np.full(np.asarray(positions).size, -1, dtype=np.int64)
+        return self._rows[tag].next_one_many(positions)

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.errors import UnsupportedQueryError
 from repro.tree.succinct_tree import NIL
 from repro.xpath.ast import (
@@ -214,6 +216,9 @@ class BottomUpEvaluator:
     anchor: list[BuiltinPredicate]
     predicate_runtime: TextPredicateRuntime
     stats: EvaluationStatistics = field(default_factory=EvaluationStatistics)
+    #: Collect candidates through the vectorised tree kernels (one numpy call
+    #: per ancestor level) instead of one Python parent-chain walk per seed.
+    batch_kernels: bool = True
 
     def __post_init__(self) -> None:
         self._tree = self.document.tree
@@ -228,6 +233,15 @@ class BottomUpEvaluator:
         for predicate in self.anchor:
             seeds |= self.predicate_runtime.matching_text_ids(predicate)
         return seeds
+
+    def _seed_text_id_array(self) -> np.ndarray:
+        """The union of the anchors' matching text identifiers, as a sorted array."""
+        arrays = [self.predicate_runtime.matching_id_array(predicate) for predicate in self.anchor]
+        if not arrays:
+            return np.zeros(0, dtype=np.int64)
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.unique(np.concatenate(arrays))
 
     # -- upward verification -----------------------------------------------------------------------------
 
@@ -268,16 +282,11 @@ class BottomUpEvaluator:
         self._verify_cache[key] = result
         return result
 
-    # -- the run ---------------------------------------------------------------------------------------------
+    # -- candidate collection ----------------------------------------------------------------------------
 
-    def run(self) -> list[int]:
-        """Return the selected nodes (document order)."""
+    def _collect_candidates_scalar(self, last_step: Step) -> list[int]:
+        """One parent-chain walk per seed (the reference scalar path)."""
         tree = self._tree
-        steps = self.path.steps
-        last_index = len(steps) - 1
-        last_step = steps[last_index]
-        self.stats.used_fm_index = True
-
         at_tag = tree.tag_id("@")
         candidates: set[int] = set()
         for text_id in self._seed_text_ids():
@@ -298,9 +307,100 @@ class BottomUpEvaluator:
                     candidates.add(node)
                 if tree.tag(node) == at_tag:
                     inside_attributes = True
+        return sorted(candidates)
+
+    @staticmethod
+    def _membership(values: np.ndarray, sorted_array: np.ndarray) -> np.ndarray:
+        """Boolean mask: which ``values`` occur in the sorted ``sorted_array``."""
+        idx = np.searchsorted(sorted_array, values)
+        mask = idx < sorted_array.size
+        mask[mask] = sorted_array[idx[mask]] == values[mask]
+        return mask
+
+    def _match_test_mask(self, nodes: np.ndarray, step: Step) -> np.ndarray:
+        """Vectorised ``_matches_test`` over an array of nodes."""
+        tree = self._tree
+        tags = tree.tag_many(nodes)
+        test = step.test
+        if isinstance(test, NameTest):
+            tag = tree.tag_id(test.name)
+            return tags == tag if tag >= 0 else np.zeros(nodes.size, dtype=bool)
+        if isinstance(test, TextTest):
+            return tags == tree.tag_id("#")
+        if isinstance(test, WildcardTest):
+            excluded = ("&", "#", "@", "%")
+        elif isinstance(test, NodeTypeTest):
+            excluded = ("&", "@", "%")
+        else:
+            return np.zeros(nodes.size, dtype=bool)
+        mask = np.ones(nodes.size, dtype=bool)
+        for name in excluded:
+            special = tree.tag_id(name)
+            if special >= 0:
+                mask &= tags != special
+        return mask
+
+    def _inside_attribute_mask(self, nodes: np.ndarray) -> np.ndarray:
+        """Which ``nodes`` lie strictly inside some ``@`` container subtree.
+
+        A node is inside an attribute subtree iff some ``@`` node opens before
+        it and closes after it; the prefix maximum of the containers' closing
+        positions answers that for the whole batch with one ``searchsorted``.
+        """
+        tree = self._tree
+        at_tag = tree.tag_id("@")
+        out = np.zeros(nodes.size, dtype=bool)
+        if at_tag < 0:
+            return out
+        containers = tree.tagged_nodes(at_tag)
+        if containers.size == 0:
+            return out
+        reach = np.maximum.accumulate(tree.close_many(containers))
+        preceding = np.searchsorted(containers, nodes, side="left")
+        has_preceding = preceding > 0
+        out[has_preceding] = reach[preceding[has_preceding] - 1] > nodes[has_preceding]
+        return out
+
+    def _collect_candidates_batch(self, last_step: Step) -> list[int]:
+        """Array-valued candidate collection: seeds -> leaves -> ancestor closure.
+
+        The ancestor closure is computed level by level with one
+        ``parent_many`` call per tree level (shared ancestors are deduplicated
+        each round, giving the same work sharing as the memoised scalar walk).
+        """
+        tree = self._tree
+        seeds = self._seed_text_id_array()
+        if seeds.size == 0:
+            return []
+        leaves = tree.node_of_text_many(seeds)
+        self.stats.visited_nodes += int(leaves.size)
+        nodes = np.unique(leaves)
+        frontier = nodes
+        while frontier.size:
+            parents = tree.parent_many(frontier)
+            parents = np.unique(parents[parents != NIL])
+            frontier = parents[~self._membership(parents, nodes)]
+            if frontier.size:
+                nodes = np.union1d(nodes, frontier)
+        keep = self._match_test_mask(nodes, last_step) & ~self._inside_attribute_mask(nodes)
+        return [int(node) for node in nodes[keep]]
+
+    # -- the run ---------------------------------------------------------------------------------------------
+
+    def run(self) -> list[int]:
+        """Return the selected nodes (document order)."""
+        steps = self.path.steps
+        last_index = len(steps) - 1
+        last_step = steps[last_index]
+        self.stats.used_fm_index = True
+
+        if self.batch_kernels:
+            candidates = self._collect_candidates_batch(last_step)
+        else:
+            candidates = self._collect_candidates_scalar(last_step)
 
         results: list[int] = []
-        for candidate in sorted(candidates):
+        for candidate in candidates:
             self.stats.visited_nodes += 1
             if not all(self._checker.check(p, candidate) for p in last_step.predicates):
                 continue

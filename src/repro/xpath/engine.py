@@ -90,7 +90,7 @@ class XPathEngine:
         prepared = self.prepare(query)
         compiled = self.compile(prepared)
         stats = EvaluationStatistics()
-        runtime = TextPredicateRuntime(self._document, stats)
+        runtime = TextPredicateRuntime(self._document, stats, batch_kernels=options.batch_kernels)
         plan = QueryPlanner(self._document, runtime).plan(prepared.ast, options.allow_bottom_up)
         lines = [f"query: {prepared.text}", f"strategy: {plan.describe()}"]
         lines.extend(f"  note: {reason}" for reason in plan.reasons)
@@ -104,7 +104,7 @@ class XPathEngine:
     ) -> QueryResult:
         started = time.perf_counter()
         stats = EvaluationStatistics()
-        runtime = TextPredicateRuntime(self._document, stats)
+        runtime = TextPredicateRuntime(self._document, stats, batch_kernels=options.batch_kernels)
         prepared = self.prepare(query)
         planner = QueryPlanner(self._document, runtime, plan_cache=self._plan_cache)
         plan = planner.plan(
@@ -120,6 +120,7 @@ class XPathEngine:
                 anchor=plan.anchor_predicates,
                 predicate_runtime=runtime,
                 stats=stats,
+                batch_kernels=options.batch_kernels,
             )
             nodes = evaluator.run()
             count = len(nodes)

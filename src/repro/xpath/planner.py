@@ -135,9 +135,10 @@ class QueryPlanner:
             return plan
 
         builtins = [self._as_builtin(a) for a in anchors]
-        seeds = 0
-        for builtin in builtins:
-            seeds += self._runtime.estimated_matches(builtin)
+        # Seed collection is array-valued: each anchor's matching ids come
+        # back as one sorted numpy array (computed through the batched
+        # FM-index locate path) that the bottom-up evaluator will reuse.
+        seeds = sum(int(self._runtime.matching_id_array(builtin).size) for builtin in builtins)
         candidates = self._candidate_estimate(path.last_step)
         plan.seed_estimate = seeds
         plan.candidate_estimate = candidates

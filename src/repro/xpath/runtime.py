@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable
 
+import numpy as np
+
 __all__ = [
     "EvaluationStatistics",
     "ResultSemiring",
@@ -205,6 +207,10 @@ class MaterializingSemiring(ResultSemiring):
 class _PredicatePlan:
     """Cached evaluation data for one built-in predicate."""
 
+    #: Sorted text identifiers matching the predicate (the canonical form;
+    #: the batch engine paths and the planner consume this array directly).
+    matching_id_array: np.ndarray | None = None
+    #: Same identifiers as a set, materialised lazily for membership tests.
     matching_text_ids: set[int] | None = None
     uses_fm_index: bool = False
 
@@ -220,9 +226,10 @@ class TextPredicateRuntime:
     queries M10/M11).
     """
 
-    def __init__(self, document, stats: EvaluationStatistics | None = None):
+    def __init__(self, document, stats: EvaluationStatistics | None = None, batch_kernels: bool = True):
         self._document = document
         self._stats = stats or EvaluationStatistics()
+        self._batch_kernels = bool(batch_kernels)
         self._plans: dict[tuple, _PredicatePlan] = {}
 
     # -- matching-id computation ------------------------------------------------------------------
@@ -231,24 +238,38 @@ class TextPredicateRuntime:
         document = self._document
         plan = _PredicatePlan()
         self._stats.text_queries += 1
-        ids = document.match_text_predicate(predicate.kind, predicate.pattern, predicate.threshold)
-        plan.matching_text_ids = set(int(d) for d in ids)
+        ids = document.match_text_predicate(
+            predicate.kind, predicate.pattern, predicate.threshold, batch_kernels=self._batch_kernels
+        )
+        plan.matching_id_array = np.unique(np.asarray(ids, dtype=np.int64))
         plan.uses_fm_index = True
         self._stats.used_fm_index = True
         return plan
 
-    def matching_text_ids(self, predicate) -> set[int]:
-        """The set of text identifiers whose text satisfies ``predicate``."""
+    def _plan_for(self, predicate) -> _PredicatePlan:
         key = (predicate.kind, predicate.pattern, predicate.threshold)
         plan = self._plans.get(key)
-        if plan is None or plan.matching_text_ids is None:
+        if plan is None or plan.matching_id_array is None:
             plan = self._compute_matching_ids(predicate)
             self._plans[key] = plan
+        return plan
+
+    def matching_id_array(self, predicate) -> np.ndarray:
+        """Sorted text identifiers whose text satisfies ``predicate`` (shared array)."""
+        array = self._plan_for(predicate).matching_id_array
+        assert array is not None
+        return array
+
+    def matching_text_ids(self, predicate) -> set[int]:
+        """The set of text identifiers whose text satisfies ``predicate``."""
+        plan = self._plan_for(predicate)
+        if plan.matching_text_ids is None:
+            plan.matching_text_ids = set(int(d) for d in plan.matching_id_array)
         return plan.matching_text_ids
 
     def estimated_matches(self, predicate) -> int:
         """Number of matching texts (used by the planner to pick a strategy)."""
-        return len(self.matching_text_ids(predicate))
+        return int(self.matching_id_array(predicate).size)
 
     # -- per-node evaluation -----------------------------------------------------------------------------
 
