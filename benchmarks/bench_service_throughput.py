@@ -14,10 +14,16 @@ deliberately smaller than the corpus, the regime the store is built for:
 * **service (processes)** -- the same batch through the shard-affine worker
   pools: each worker keeps its share of the corpus resident across calls, so
   a warm service holds ``workers x cache_size`` documents in aggregate and
-  repeated batches skip the disk entirely.
+  repeated batches skip the disk entirely;
+* **service (threads, traced)** -- the thread path again with span tracing
+  globally enabled, guarding the observability layer's overhead: the
+  ``tracing_overhead_ratio`` metric (traced / untraced wall time) is a
+  critical same-machine ratio in ``baseline.json``, and the untraced numbers
+  above double as the tracing-disabled regression guard because the tracer's
+  disabled path runs inside every measured query.
 
 Runs standalone for CI (``python benchmarks/bench_service_throughput.py
---quick --out BENCH_pr2.json``) or under pytest like the other modules.
+--quick --out BENCH_pr6.json``) or under pytest like the other modules.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ import time
 from pathlib import Path
 
 from repro import DocumentStore, IndexOptions, QueryService
+from repro.obs.tracing import Tracer, set_tracer
 from repro.workloads import generate_xmark_xml
 
 from _bench_utils import print_table
@@ -86,6 +93,17 @@ def run_benchmark(
             thread_service.run_many(QUERIES)
         thread_seconds = time.perf_counter() - started
 
+        # The same warm thread service with span tracing enabled: every query
+        # now records its full span tree into the ring buffer.
+        previous_tracer = set_tracer(Tracer(capacity=1024, enabled=True))
+        try:
+            started = time.perf_counter()
+            for _ in range(repeats):
+                thread_service.run_many(QUERIES)
+            traced_seconds = time.perf_counter() - started
+        finally:
+            set_tracer(previous_tracer)
+
         # Service, shard-affine process workers, warm residency.
         with QueryService(
             DocumentStore(root, cache_size=cache_size), max_workers=workers, executor="process"
@@ -115,6 +133,8 @@ def run_benchmark(
             "service_process_sweeps_per_second": round(sweeps / process_seconds, 3),
             "service_thread_speedup": round(sequential_seconds / thread_seconds, 3),
             "service_process_speedup": round(sequential_seconds / process_seconds, 3),
+            "tracing_enabled_sweeps_per_second": round(sweeps / traced_seconds, 3),
+            "tracing_overhead_ratio": round(traced_seconds / thread_seconds, 3),
         },
     }
 
@@ -135,6 +155,11 @@ def _report(results: dict) -> None:
                 "service run_many (processes)",
                 metrics["service_process_sweeps_per_second"],
                 f"{metrics['service_process_speedup']:.2f}x",
+            ],
+            [
+                "service run_many (threads, traced)",
+                metrics["tracing_enabled_sweeps_per_second"],
+                f"{metrics['tracing_overhead_ratio']:.2f}x overhead",
             ],
         ],
     )

@@ -51,16 +51,25 @@ __all__ = [
     "CorruptedFileError",
     "VersionMismatchError",
     "DocumentNotFoundError",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "configure_logging",
     "__version__",
 ]
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: Lazily exported so ``import repro`` stays cheap: the HTTP server and client
-#: (asyncio, http.client, url parsing) only load when actually referenced.
+#: (asyncio, http.client, url parsing) only load when actually referenced, and
+#: the observability entry points resolve to :mod:`repro.obs` on first use.
 _LAZY_EXPORTS = {
     "ReproServer": ("repro.server", "ReproServer"),
     "ReproClient": ("repro.client", "ReproClient"),
+    "Tracer": ("repro.obs", "Tracer"),
+    "get_tracer": ("repro.obs", "get_tracer"),
+    "set_tracer": ("repro.obs", "set_tracer"),
+    "configure_logging": ("repro.obs", "configure_logging"),
 }
 
 

@@ -22,6 +22,14 @@ without ``overwrite``, a delete) only retry failures that prove the request
 never reached the server (refused connection, resolution failure) -- a timeout
 after a mutation was sent is surfaced, not replayed, because the server may
 have completed it.
+
+Every request carries an ``X-Request-Id`` header -- caller-supplied via the
+``request_id=`` keyword on query calls, otherwise generated -- which the server
+echoes, stamps on its spans and access-log line, and folds into error
+envelopes.  The id of the most recent exchange is kept on
+:attr:`ReproClient.last_request_id`, and server-side errors re-raised on the
+client carry it in their message, so a failing call names the server-side
+trace to look up.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ import http.client
 import json
 import socket
 import time
+import uuid
 from typing import Iterable, Sequence
 from urllib.parse import quote
 
@@ -101,6 +110,9 @@ class ReproClient:
         self._retries = int(retries)
         self._backoff = float(backoff)
         self._connection: http.client.HTTPConnection | None = None
+        #: ``X-Request-Id`` of the most recent completed exchange (the server's
+        #: echo when one arrived, else the id this client sent).
+        self.last_request_id: str | None = None
 
     # -- transport ---------------------------------------------------------------------
 
@@ -113,9 +125,12 @@ class ReproClient:
         raw_body: bytes | None = None,
         headers=None,
         idempotent: bool = True,
+        request_id: str | None = None,
     ) -> tuple[int, bytes]:
         body: bytes | None
         request_headers = dict(headers or {})
+        request_id = request_id or uuid.uuid4().hex
+        request_headers.setdefault("X-Request-Id", request_id)
         if raw_body is not None:
             body = raw_body
             request_headers.setdefault("Content-Type", "application/xml")
@@ -136,6 +151,7 @@ class ReproClient:
                 self._connection.request(method, path, body=body, headers=request_headers)
                 response = self._connection.getresponse()
                 data = response.read()
+                self.last_request_id = response.getheader("X-Request-Id") or request_id
                 if response.getheader("Connection", "").lower() == "close":
                     self.close()
                 return response.status, data
@@ -157,14 +173,17 @@ class ReproClient:
         *,
         raw_body: bytes | None = None,
         idempotent: bool = True,
+        request_id: str | None = None,
     ):
-        status, data = self._request(method, path, payload, raw_body=raw_body, idempotent=idempotent)
+        status, data = self._request(
+            method, path, payload, raw_body=raw_body, idempotent=idempotent, request_id=request_id
+        )
         try:
             decoded = json.loads(data.decode("utf-8")) if data else None
         except (ValueError, UnicodeDecodeError):
             decoded = data.decode("utf-8", "replace")
         if status >= 400:
-            raise exception_from_payload(status, decoded)
+            raise exception_from_payload(status, decoded, request_id=self.last_request_id)
         return decoded
 
     def close(self) -> None:
@@ -200,10 +219,19 @@ class ReproClient:
         doc_ids: Iterable[str] | None = None,
         want_nodes: bool = False,
         options: EvaluationOptions | None = None,
+        *,
+        explain: bool = False,
+        request_id: str | None = None,
     ) -> ServiceResult:
-        """Evaluate one query over the corpus; the remote ``QueryService.run``."""
+        """Evaluate one query over the corpus; the remote ``QueryService.run``.
+
+        With ``explain=True`` the returned result's :attr:`ServiceResult.explain`
+        carries the server's plan, exact cardinalities and span tree.
+        """
         body = {"query": query, **self._query_body(doc_ids, want_nodes, options)}
-        return service_result_from_json(self._json("POST", "/v1/query", body))
+        if explain:
+            body["explain"] = True
+        return service_result_from_json(self._json("POST", "/v1/query", body, request_id=request_id))
 
     def run_many(
         self,
@@ -211,11 +239,30 @@ class ReproClient:
         doc_ids: Iterable[str] | None = None,
         want_nodes: bool = False,
         options: EvaluationOptions | None = None,
+        *,
+        explain: bool = False,
+        request_id: str | None = None,
     ) -> list[ServiceResult]:
         """Evaluate a batch in one request/one corpus sweep; the remote ``run_many``."""
         body = {"queries": list(queries), **self._query_body(doc_ids, want_nodes, options)}
-        data = self._json("POST", "/v1/query/batch", body)
+        if explain:
+            body["explain"] = True
+        data = self._json("POST", "/v1/query/batch", body, request_id=request_id)
         return [service_result_from_json(entry) for entry in data["results"]]
+
+    def explain(
+        self,
+        query: str,
+        doc_ids: Iterable[str] | None = None,
+        options: EvaluationOptions | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> dict:
+        """The server's EXPLAIN payload for ``query``: plan, cardinalities, span tree."""
+        result = self.run(
+            query, doc_ids=doc_ids, options=options, explain=True, request_id=request_id
+        )
+        return result.explain or {}
 
     def count_all(self, query: str, doc_ids: Iterable[str] | None = None) -> dict[str, int]:
         """Per-document counts of ``query``."""
@@ -268,6 +315,11 @@ class ReproClient:
     def healthz(self) -> dict:
         """Liveness probe; answers even while heavy queries are in flight."""
         return self._json("GET", "/healthz")
+
+    def debug_traces(self, limit: int | None = None) -> dict:
+        """Recent server-side traces (``GET /v1/debug/traces``)."""
+        path = "/v1/debug/traces" if limit is None else f"/v1/debug/traces?limit={int(limit)}"
+        return self._json("GET", path)
 
     def metrics_text(self) -> str:
         """The raw Prometheus ``/metrics`` page."""

@@ -385,6 +385,10 @@ class Document(Serializable):
         """Describe how ``query`` would be evaluated (automaton + strategy)."""
         return self._engine.explain(query, options)
 
+    def explain_data(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> dict:
+        """Evaluate ``query`` and return the EXPLAIN record (plan, cardinalities, span tree)."""
+        return self._engine.explain_data(query, options)
+
     # -- convenience ---------------------------------------------------------------------------------------------------
 
     def node_path(self, node: int) -> str:

@@ -1,0 +1,31 @@
+"""Observability: span tracing, engine counters, and structured logging.
+
+The one layer every part of the serving stack reports into:
+
+* :mod:`repro.obs.tracing` -- dependency-free nested spans with a global
+  :class:`Tracer`, a ring buffer of finished traces, and a near-free disabled
+  path (the :data:`NULL_SPAN` singleton).
+* :mod:`repro.obs.counters` -- process-wide engine totals (``repro_engine_*``
+  on ``/metrics``), folded in once per finished query.
+* :mod:`repro.obs.logging` -- JSON-lines / key=value structured logging with
+  field passing, used for the server's access and slow-query logs.
+"""
+
+from repro.obs.counters import ENGINE_COUNTERS, EngineCounters
+from repro.obs.logging import JsonLineFormatter, KeyValueFormatter, configure_logging, get_logger
+from repro.obs.tracing import NULL_SPAN, Span, Tracer, current_span, get_tracer, set_tracer
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "get_tracer",
+    "set_tracer",
+    "current_span",
+    "EngineCounters",
+    "ENGINE_COUNTERS",
+    "configure_logging",
+    "get_logger",
+    "JsonLineFormatter",
+    "KeyValueFormatter",
+]

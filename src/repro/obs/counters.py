@@ -1,0 +1,87 @@
+"""Process-wide engine counters aggregated across queries.
+
+Per-query numbers live in :class:`repro.xpath.runtime.EvaluationStatistics`;
+this module accumulates them into one thread-safe, monotonically increasing
+set of totals that ``/metrics`` renders as the ``repro_engine_*`` Prometheus
+families.  Counters are folded in *once per finished query* (at the end of
+``XPathEngine._execute``) rather than incremented inside the succinct-structure
+hot loops, so instrumentation cost stays off the rank/select fast paths.
+
+Note the scalar-vs-batch semantics: ``kernel_batch_calls_total`` counts batch
+*invocations* (one ``tagged_desc_many`` over 10k nodes is one call), while
+``select_calls_total``/``rank_calls_total`` count engine-level scalar
+operations.  The two families are therefore not comparable element-for-element;
+a workload shifting from scalar to batch kernels will show scalar counters
+falling and batch counters rising far more slowly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["EngineCounters", "ENGINE_COUNTERS"]
+
+#: Counter field names, in the order they are rendered.
+_FIELDS = (
+    "queries_total",
+    "queries_top_down_total",
+    "queries_bottom_up_total",
+    "visited_nodes_total",
+    "marked_nodes_total",
+    "result_nodes_total",
+    "jumps_total",
+    "text_queries_total",
+    "fm_index_queries_total",
+    "rank_calls_total",
+    "select_calls_total",
+    "kernel_batch_calls_total",
+)
+
+
+class EngineCounters:
+    """Thread-safe monotonic totals over every query the process evaluated."""
+
+    __slots__ = ("_lock",) + tuple(f"_{name}" for name in _FIELDS)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in _FIELDS:
+            setattr(self, f"_{name}", 0)
+
+    def record_query(self, stats) -> None:
+        """Fold one finished query's :class:`EvaluationStatistics` into the totals."""
+        with self._lock:
+            self._queries_total += 1
+            if stats.strategy == "bottom-up":
+                self._queries_bottom_up_total += 1
+            else:
+                self._queries_top_down_total += 1
+            self._visited_nodes_total += stats.visited_nodes
+            self._marked_nodes_total += stats.marked_nodes
+            self._result_nodes_total += stats.result_nodes
+            self._jumps_total += stats.jumps
+            self._text_queries_total += stats.text_queries
+            if stats.used_fm_index:
+                self._fm_index_queries_total += 1
+            self._rank_calls_total += getattr(stats, "rank_calls", 0)
+            self._select_calls_total += getattr(stats, "select_calls", 0)
+            self._kernel_batch_calls_total += getattr(stats, "kernel_batch_calls", 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {name: getattr(self, f"_{name}") for name in _FIELDS}
+
+    def reset(self) -> None:
+        """Zero every counter (tests only; Prometheus counters must not reset in production)."""
+        with self._lock:
+            for name in _FIELDS:
+                setattr(self, f"_{name}", 0)
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return f"EngineCounters(queries={snap['queries_total']})"
+
+
+#: The process-global aggregate the server's ``/metrics`` endpoint reads.
+ENGINE_COUNTERS = EngineCounters()

@@ -1,0 +1,111 @@
+"""Structured logging for the serving stack.
+
+Built on :mod:`logging` with two formatters -- JSON-lines for machines, a
+``key=value`` suffix style for humans -- and a tiny field-passing wrapper so
+call sites write ``log.info("query done", request_id=rid, duration_ms=3.2)``
+instead of interpolating values into the message (which would defeat log
+aggregation).  Everything hangs off the ``repro`` logger namespace and never
+touches the root logger, so embedding applications keep full control.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["configure_logging", "get_logger", "JsonLineFormatter", "KeyValueFormatter"]
+
+_ROOT_NAME = "repro"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per line: ts, level, logger, message, plus structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: dict = {
+            "ts": round(record.created, 6),
+            "time": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime(record.created))
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            entry.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, default=str, separators=(",", ":"))
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable line with structured fields appended as ``key=value`` pairs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = (
+            f"{time.strftime('%H:%M:%S', time.localtime(record.created))}"
+            f" {record.levelname:<7} {record.name}: {record.getMessage()}"
+        )
+        fields = getattr(record, "fields", None)
+        if fields:
+            pairs = " ".join(f"{key}={_render_value(value)}" for key, value in fields.items())
+            base = f"{base} {pairs}"
+        if record.exc_info and record.exc_info[0] is not None:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def _render_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    text = str(value)
+    return json.dumps(text) if " " in text else text
+
+
+def configure_logging(level: str = "info", json_lines: bool = False, stream=None) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; idempotent, leaves root alone."""
+    logger = logging.getLogger(_ROOT_NAME)
+    logger.setLevel(getattr(logging, level.upper(), logging.INFO))
+    logger.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(JsonLineFormatter() if json_lines else KeyValueFormatter())
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    return logger
+
+
+class StructuredLogger:
+    """Thin wrapper passing keyword fields through ``extra`` to the formatters."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    def isEnabledFor(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+    def _log(self, level: int, message: str, fields: dict, exc_info=None) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, message, extra={"fields": fields}, exc_info=exc_info)
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(logging.DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(logging.INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._log(logging.WARNING, message, fields)
+
+    def error(self, message: str, exc_info=None, **fields) -> None:
+        self._log(logging.ERROR, message, fields, exc_info=exc_info)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """A structured logger under the ``repro`` namespace (``name`` is the suffix)."""
+    full = name if name == _ROOT_NAME or name.startswith(_ROOT_NAME + ".") else f"{_ROOT_NAME}.{name}"
+    return StructuredLogger(logging.getLogger(full))

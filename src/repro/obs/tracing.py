@@ -1,0 +1,329 @@
+"""Dependency-free span tracing for the query path.
+
+A :class:`Tracer` produces nested :class:`Span` objects -- named, monotonic
+wall-clock timings with free-form attributes -- and keeps the most recent
+finished traces in a bounded in-memory ring buffer (served by
+``GET /v1/debug/traces``).  The design constraints, in order:
+
+* **Near-zero cost when disabled.**  ``tracer.span(...)`` returns one shared
+  :data:`NULL_SPAN` singleton when tracing is off and no trace is active, so
+  the instrumented hot paths allocate nothing and take a single attribute
+  lookup plus a context-variable read per call.
+* **Nesting across threads and processes.**  The "current span" lives in a
+  :mod:`contextvars` variable, so spans nest naturally within one task; code
+  that hops threads (the HTTP executor bridge, the scatter-gather workers)
+  passes the parent span explicitly or copies the context, and code that hops
+  *processes* (the shard-affine worker pools) runs under a local tracer and
+  ships finished span records back as plain dicts, which the parent grafts
+  into its own trace with :meth:`Span.add_child_record`.
+* **Forceable.**  ``explain=true`` must produce a span tree even when global
+  tracing is off; ``span(..., force=True)`` starts a trace regardless of the
+  enabled flag (it is only *recorded* into the ring buffer when enabled).
+
+Span timings use ``time.perf_counter`` (monotonic); the wall-clock start
+(``start_unix``) is informational only and never used for durations.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+import uuid
+from collections import deque
+from typing import Mapping
+
+__all__ = ["Span", "Tracer", "NULL_SPAN", "get_tracer", "set_tracer", "current_span"]
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_current_span", default=None
+)
+
+#: Sentinel meaning "take the parent from the ambient context variable".
+_AMBIENT = object()
+
+
+class _NullSpan:
+    """The shared no-op span returned while tracing is disabled.
+
+    Implements the full :class:`Span` surface as no-ops so call sites never
+    branch on the tracing state; being a module-level singleton, the disabled
+    path allocates nothing.
+    """
+
+    __slots__ = ()
+
+    #: Mirrors :class:`Span` fields read by generic code.
+    name = ""
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    request_id = None
+    duration_seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def __bool__(self) -> bool:
+        return False
+
+    def set_attribute(self, name: str, value) -> None:
+        pass
+
+    def add_child_record(self, record: Mapping) -> None:
+        pass
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed, named stage of a trace; use as a context manager.
+
+    Children created while this span is current (same context) or with
+    ``parent=this`` attach themselves to :attr:`children`, so the finished
+    root span *is* the span tree.  Appending to a parent's child list from
+    several worker threads is safe (``list.append`` is atomic under the GIL).
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "request_id",
+        "start_unix",
+        "duration_seconds",
+        "attributes",
+        "children",
+        "_start",
+        "_token",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent: "Span | None",
+        attributes: Mapping | None = None,
+        request_id: str | None = None,
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = _new_id()
+        if parent is None:
+            self.trace_id = _new_id()
+            self.parent_id = None
+            self.request_id = request_id
+        else:
+            self.trace_id = parent.trace_id
+            self.parent_id = parent.span_id
+            self.request_id = request_id if request_id is not None else parent.request_id
+        self.attributes: dict = dict(attributes) if attributes else {}
+        self.children: list = []
+        self.start_unix = time.time()
+        self.duration_seconds = 0.0
+        self._start = time.perf_counter()
+        self._token: contextvars.Token | None = None
+        self._finished = False
+        if parent is not None:
+            parent.children.append(self)
+
+    def __enter__(self) -> "Span":
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.finish(error=exc)
+        return False
+
+    def __bool__(self) -> bool:
+        return True
+
+    def set_attribute(self, name: str, value) -> None:
+        """Attach one attribute (overwrites a previous value of the same name)."""
+        self.attributes[name] = value
+
+    def add_child_record(self, record: Mapping) -> None:
+        """Graft an already-serialised span record (from another process) under this span."""
+        self.children.append(dict(record))
+
+    def finish(self, error: BaseException | None = None) -> None:
+        """Close the span (idempotent); roots are recorded into the tracer's ring buffer."""
+        if self._finished:
+            return
+        self._finished = True
+        self.duration_seconds = time.perf_counter() - self._start
+        if error is not None:
+            self.attributes.setdefault("error", f"{type(error).__name__}: {error}")
+        if self._token is not None:
+            try:
+                _current_span.reset(self._token)
+            except ValueError:
+                # Finished from a different context than it was entered in
+                # (e.g. an explicitly parented cross-thread span); the child
+                # context dies with its task, so there is nothing to restore.
+                pass
+            self._token = None
+        if self.parent_id is None:
+            self.tracer._record(self)
+
+    def to_dict(self) -> dict:
+        """The span (and its subtree) as a JSON-serialisable record."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "request_id": self.request_id,
+            "start_unix": self.start_unix,
+            "duration_seconds": self.duration_seconds,
+            "attributes": dict(self.attributes),
+            "children": [
+                child if isinstance(child, dict) else child.to_dict() for child in self.children
+            ],
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_seconds * 1000:.3f}ms" if self._finished else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class Tracer:
+    """Thread-safe span factory with a bounded ring buffer of finished traces."""
+
+    def __init__(self, capacity: int = 256, enabled: bool = False):
+        if capacity < 1:
+            raise ValueError("the trace ring buffer must hold at least one trace")
+        self._traces: deque[dict] = deque(maxlen=int(capacity))
+        self._enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._completed = 0
+
+    # -- state -------------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Whether finished traces are recorded (and new roots started implicitly)."""
+        return self._enabled
+
+    @property
+    def capacity(self) -> int:
+        """Ring-buffer capacity in traces."""
+        return self._traces.maxlen or 0
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    # -- span creation -----------------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        parent: "Span | _NullSpan | None" = _AMBIENT,  # type: ignore[assignment]
+        *,
+        force: bool = False,
+        request_id: str | None = None,
+        **attributes,
+    ):
+        """Start a span named ``name``.
+
+        Without an explicit ``parent``, the ambient current span (context
+        variable) is used, so nested ``with tracer.span(...)`` blocks build a
+        tree.  When there is no parent and the tracer is disabled, the shared
+        :data:`NULL_SPAN` is returned unless ``force=True`` -- which is how
+        ``explain=true`` obtains a span tree with global tracing off.
+        """
+        if parent is _AMBIENT:
+            parent = _current_span.get()
+        elif isinstance(parent, _NullSpan):
+            parent = None
+        if parent is None and not (self._enabled or force):
+            return NULL_SPAN
+        return Span(self, name, parent, attributes, request_id=request_id)
+
+    def current_span(self) -> "Span | None":
+        """The span currently active in this context, if any."""
+        return _current_span.get()
+
+    @property
+    def active(self) -> bool:
+        """Whether a span started now would actually record (enabled or inside a trace)."""
+        return self._enabled or _current_span.get() is not None
+
+    # -- ring buffer -------------------------------------------------------------------
+
+    def _record(self, root: Span) -> None:
+        with self._lock:
+            self._completed += 1
+            if self._enabled:
+                self._traces.append(root.to_dict())
+
+    def traces(self, limit: int | None = None) -> list[dict]:
+        """The buffered finished traces, oldest first (``limit`` keeps the newest)."""
+        with self._lock:
+            items = list(self._traces)
+        if limit is not None and limit >= 0:
+            items = items[len(items) - min(limit, len(items)) :]
+        return items
+
+    def clear(self) -> None:
+        """Drop every buffered trace (the completed counter is kept)."""
+        with self._lock:
+            self._traces.clear()
+
+    def info(self) -> dict:
+        """Tracer state for introspection endpoints."""
+        with self._lock:
+            return {
+                "enabled": self._enabled,
+                "capacity": self.capacity,
+                "buffered": len(self._traces),
+                "completed_traces": self._completed,
+            }
+
+    def __repr__(self) -> str:
+        state = "enabled" if self._enabled else "disabled"
+        return f"Tracer({state}, buffered={len(self._traces)}/{self.capacity})"
+
+
+#: The process-global tracer every layer shares.  Disabled by default: the
+#: library pays only the NULL_SPAN fast path unless a server (or a test)
+#: switches tracing on.
+_GLOBAL_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (look it up per call; tests may swap it)."""
+    return _GLOBAL_TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Replace the global tracer; returns the previous one (for restoration)."""
+    global _GLOBAL_TRACER
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = tracer
+    return previous
+
+
+def current_span() -> "Span | None":
+    """The ambient current span of this context (module-level convenience)."""
+    return _current_span.get()

@@ -10,6 +10,12 @@ not exist yet, so ``repro-serve --root new-corpus/`` followed by
 ``PUT /v1/documents/{id}`` bootstraps a corpus entirely over the wire.
 SIGINT/SIGTERM trigger a graceful shutdown (in-flight requests finish) and a
 zero exit code -- which is what the CI e2e smoke job asserts.
+
+Observability flags: ``--log-level``/``--log-json`` configure the structured
+logger (access log lines carry request id, route, status, duration and shard
+count), ``--slow-query-ms`` turns on the slow-query WARNING log,
+``--trace``/``--no-trace`` toggle span tracing (served by
+``GET /v1/debug/traces``), and ``--trace-buffer`` sizes its ring buffer.
 """
 
 from __future__ import annotations
@@ -20,9 +26,13 @@ import contextlib
 import signal
 import sys
 
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.tracing import Tracer, set_tracer
 from repro.server.http import ReproServer
 from repro.service.query_service import QueryService
 from repro.store.document_store import DocumentStore
+
+_log = get_logger("server.main")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +71,35 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--request-timeout", type=float, default=60.0, help="per-request handler budget in seconds"
     )
+    parser.add_argument(
+        "--log-level",
+        default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="log verbosity of the repro loggers (default: info)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit JSON-lines structured logs instead of human-readable ones",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        help="log a WARNING for any request slower than this many milliseconds",
+    )
+    parser.add_argument(
+        "--trace",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="record query traces into the in-memory ring buffer (GET /v1/debug/traces)",
+    )
+    parser.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        help="trace ring-buffer capacity in traces (default: 256)",
+    )
     return parser
 
 
@@ -71,18 +110,20 @@ async def _serve(server: ReproServer) -> None:
         with contextlib.suppress(NotImplementedError):  # e.g. non-Unix event loops
             loop.add_signal_handler(signum, shutdown.set)
     await server.astart()
-    print(f"repro-serve: listening on {server.url}", flush=True)
+    _log.info("listening", url=server.url)
     try:
         await shutdown.wait()
     finally:
-        print("repro-serve: shutting down", flush=True)
+        _log.info("shutting down")
         await server.aclose()
         server.service.close()
-        print("repro-serve: shutdown complete", flush=True)
+        _log.info("shutdown complete")
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
+    set_tracer(Tracer(capacity=max(1, args.trace_buffer), enabled=bool(args.trace)))
     store = DocumentStore(args.root, num_shards=args.shards, cache_size=args.cache_size)
     service = QueryService(
         store, max_workers=args.service_workers, plan_cache_size=args.plan_cache_size
@@ -94,8 +135,15 @@ def main(argv: list[str] | None = None) -> int:
         executor_workers=args.workers,
         max_body_bytes=args.max_body_bytes,
         request_timeout=args.request_timeout,
+        slow_query_ms=args.slow_query_ms,
     )
-    print(f"repro-serve: store {store.root} ({len(store)} documents, {store.num_shards} shards)")
+    _log.info(
+        "store opened",
+        root=str(store.root),
+        documents=len(store),
+        shards=store.num_shards,
+        tracing=bool(args.trace),
+    )
     asyncio.run(_serve(server))
     return 0
 

@@ -51,15 +51,20 @@ the benchmark use to serve and query from one process.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import re
 import threading
 import time
+import uuid
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
+from repro.obs.counters import ENGINE_COUNTERS
+from repro.obs.logging import get_logger
+from repro.obs.tracing import get_tracer
 from repro.server.json_api import (
     ApiError,
     error_payload,
@@ -72,6 +77,8 @@ from repro.server.metrics import ServerMetrics
 from repro.service.query_service import QueryService
 
 __all__ = ["ReproServer"]
+
+_log = get_logger("server.http")
 
 _REASONS = {
     200: "OK",
@@ -92,6 +99,17 @@ _DOC_ID_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*\Z")
 
 _TRUTHY = {"1", "true", "yes", "on"}
 
+#: Shape of an acceptable caller-supplied ``X-Request-Id`` (anything else is
+#: replaced by a generated one, so log lines and span attributes stay clean).
+_REQUEST_ID_RE = re.compile(r"[A-Za-z0-9._-]{1,128}\Z")
+
+
+def _request_id_of(headers: dict[str, str]) -> str:
+    supplied = headers.get("x-request-id", "")
+    if supplied and _REQUEST_ID_RE.match(supplied):
+        return supplied
+    return uuid.uuid4().hex
+
 
 @dataclass
 class _Request:
@@ -101,6 +119,10 @@ class _Request:
     headers: dict[str, str]
     body: bytes
     keep_alive: bool
+    request_id: str = ""
+    #: Extra key=value pairs handlers contribute to this request's access-log
+    #: line (shard count, documents answered, ...).
+    log_fields: dict = field(default_factory=dict)
 
     def json(self):
         try:
@@ -152,6 +174,9 @@ class ReproServer:
         Seconds an idle connection may sit between requests.
     shutdown_grace:
         Seconds in-flight requests get to finish during shutdown.
+    slow_query_ms:
+        When set, any request slower than this logs a WARNING with its
+        request id, route and duration (the slow-query log).
     """
 
     def __init__(
@@ -166,6 +191,7 @@ class ReproServer:
         header_timeout: float = 30.0,
         shutdown_grace: float = 10.0,
         metrics: ServerMetrics | None = None,
+        slow_query_ms: float | None = None,
     ):
         if executor_workers < 1:
             raise ValueError("executor_workers must be at least 1")
@@ -178,6 +204,7 @@ class ReproServer:
         self._request_timeout = float(request_timeout)
         self._header_timeout = float(header_timeout)
         self._shutdown_grace = float(shutdown_grace)
+        self._slow_query_ms = float(slow_query_ms) if slow_query_ms is not None else None
         self.metrics = metrics if metrics is not None else ServerMetrics()
 
         self._server: asyncio.base_events.Server | None = None
@@ -198,6 +225,7 @@ class ReproServer:
         self._routes: list[tuple[str, re.Pattern, str, Callable, bool]] = [
             ("GET", re.compile(r"/healthz\Z"), "/healthz", self._h_healthz, False),
             ("GET", re.compile(r"/metrics\Z"), "/metrics", self._h_metrics, False),
+            ("GET", re.compile(r"/v1/debug/traces\Z"), "/v1/debug/traces", self._h_debug_traces, False),
             ("POST", re.compile(r"/v1/query\Z"), "/v1/query", self._h_query, True),
             ("POST", re.compile(r"/v1/query/batch\Z"), "/v1/query/batch", self._h_query_batch, True),
             ("GET", re.compile(r"/v1/stats\Z"), "/v1/stats", self._h_stats, True),
@@ -380,7 +408,12 @@ class ReproServer:
                 status, payload, content_type = await self._dispatch(request)
                 keep_alive = request.keep_alive and not self._closing
                 await self._write_response(
-                    writer, status, payload, keep_alive=keep_alive, content_type=content_type
+                    writer,
+                    status,
+                    payload,
+                    keep_alive=keep_alive,
+                    content_type=content_type,
+                    extra_headers={"X-Request-Id": request.request_id},
                 )
                 connection.busy = False
                 if not keep_alive:
@@ -461,6 +494,7 @@ class ReproServer:
             headers=headers,
             body=body,
             keep_alive=keep_alive,
+            request_id=_request_id_of(headers),
         )
 
     async def _write_response(
@@ -471,16 +505,19 @@ class ReproServer:
         *,
         keep_alive: bool,
         content_type: str = "application/json",
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         if isinstance(payload, (bytes, str)):
             body = payload.encode("utf-8") if isinstance(payload, str) else payload
         else:
             body = (json.dumps(payload) + "\n").encode("utf-8")
         reason = _REASONS.get(status, "Unknown")
+        extras = "".join(f"{name}: {value}\r\n" for name, value in (extra_headers or {}).items())
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extras}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
         )
@@ -506,10 +543,17 @@ class ReproServer:
                 route_label = label
                 self._inflight += 1
                 try:
-                    if blocking:
-                        status, payload = await self._run_blocking(handler, request, match)
-                    else:
-                        status, payload = await handler(request, match)
+                    with get_tracer().span(
+                        "http.request",
+                        request_id=request.request_id,
+                        route=route_label,
+                        method=request.method,
+                    ) as span:
+                        if blocking:
+                            status, payload = await self._run_blocking(handler, request, match)
+                        else:
+                            status, payload = await handler(request, match)
+                        span.set_attribute("status", status)
                 finally:
                     self._inflight -= 1
                 if isinstance(payload, (bytes, str)):
@@ -522,20 +566,38 @@ class ReproServer:
             raise ApiError(404, f"no route for {request.method} {request.path}")
         except Exception as exc:  # every error leaves as a structured envelope
             status = status_of_exception(exc)
-            return self._observed(
-                route_label, request, status, started, error_payload(exc, status), "application/json"
-            )
+            payload = error_payload(exc, status, request_id=request.request_id)
+            return self._observed(route_label, request, status, started, payload, "application/json")
 
     def _observed(self, route, request, status, started, payload, content_type):
-        self.metrics.observe_request(route, request.method, status, time.perf_counter() - started)
+        seconds = time.perf_counter() - started
+        self.metrics.observe_request(route, request.method, status, seconds)
+        duration_ms = round(seconds * 1000, 3)
+        fields = {
+            "request_id": request.request_id,
+            "route": route,
+            "method": request.method,
+            "status": status,
+            "duration_ms": duration_ms,
+            **request.log_fields,
+        }
+        _log.info("request", **fields)
+        if self._slow_query_ms is not None and duration_ms >= self._slow_query_ms:
+            _log.warning("slow query", threshold_ms=self._slow_query_ms, **fields)
         return status, payload, content_type
 
     async def _run_blocking(self, handler, request: _Request, match: re.Match):
-        """Run a blocking handler on the pool, capped by ``request_timeout``."""
+        """Run a blocking handler on the pool, capped by ``request_timeout``.
+
+        The handler runs under a copy of this task's context, so the ambient
+        ``http.request`` span (a contextvar) stays current inside the worker
+        thread and handler-side spans nest under it.
+        """
         if self._executor is None:
             raise ApiError(503, "the server is shutting down")
         loop = asyncio.get_running_loop()
-        future = loop.run_in_executor(self._executor, handler, request, match)
+        context = contextvars.copy_context()
+        future = loop.run_in_executor(self._executor, lambda: context.run(handler, request, match))
         try:
             return await asyncio.wait_for(future, timeout=self._request_timeout)
         except asyncio.TimeoutError:
@@ -601,7 +663,22 @@ class ReproServer:
             "store_cache_misses_total": store["misses"],
             "store_cache_resident_documents": store["resident"],
         }
-        return 200, self.metrics.render(gauges)
+        return 200, self.metrics.render(gauges, engine=ENGINE_COUNTERS.snapshot())
+
+    async def _h_debug_traces(self, request: _Request, match: re.Match):
+        tracer = get_tracer()
+        limit = None
+        values = request.query.get("limit")
+        if values:
+            try:
+                limit = max(0, int(values[-1]))
+            except ValueError as exc:
+                raise ApiError(400, f"limit must be an integer, not {values[-1]!r}") from exc
+        return 200, {**tracer.info(), "traces": tracer.traces(limit)}
+
+    @staticmethod
+    def _wants_explain(request: _Request, body) -> bool:
+        return (isinstance(body, dict) and bool(body.get("explain", False))) or request.flag("explain")
 
     def _h_query(self, request: _Request, match: re.Match):
         body = request.json()
@@ -609,8 +686,25 @@ class ReproServer:
         if not isinstance(query, str):
             raise ApiError(400, "the request body needs a 'query' string")
         self._validate_query(query)
-        result = self._service.run(query, **self._query_params(body))
-        return 200, service_result_to_json(result)
+        explain = self._wants_explain(request, body)
+        params = self._query_params(body)
+        if explain:
+            # Force a span tree for the response even when tracing is off
+            # globally; with tracing on, this nests under ``http.request``.
+            root = get_tracer().span("explain", force=True, request_id=request.request_id, query=query)
+            with root:
+                result = self._service.run(query, explain=True, **params)
+            trace = root.to_dict()
+        else:
+            result = self._service.run(query, **params)
+            trace = None
+        request.log_fields["shards"] = len(result.shard_timings)
+        request.log_fields["documents"] = result.num_documents
+        payload = service_result_to_json(result)
+        payload["request_id"] = request.request_id
+        if explain:
+            payload["explain"] = {**(result.explain or {}), "trace": trace}
+        return 200, payload
 
     def _h_query_batch(self, request: _Request, match: re.Match):
         body = request.json()
@@ -623,8 +717,27 @@ class ReproServer:
             raise ApiError(400, "the request body needs a non-empty 'queries' list of strings")
         for query in queries:
             self._validate_query(query)
-        results = self._service.run_many(queries, **self._query_params(body))
-        return 200, {"results": [service_result_to_json(result) for result in results]}
+        explain = self._wants_explain(request, body)
+        params = self._query_params(body)
+        if explain:
+            root = get_tracer().span(
+                "explain", force=True, request_id=request.request_id, num_queries=len(queries)
+            )
+            with root:
+                results = self._service.run_many(queries, explain=True, **params)
+            trace = root.to_dict()
+        else:
+            results = self._service.run_many(queries, **params)
+            trace = None
+        if results:
+            request.log_fields["shards"] = len(results[0].shard_timings)
+        payload = {
+            "results": [service_result_to_json(result) for result in results],
+            "request_id": request.request_id,
+        }
+        if explain:
+            payload["trace"] = trace
+        return 200, payload
 
     def _h_put_document(self, request: _Request, match: re.Match):
         doc_id = self._doc_id(match)

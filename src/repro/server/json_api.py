@@ -86,30 +86,40 @@ def status_of_exception(exc: Exception) -> int:
     return 500
 
 
-def error_payload(exc: Exception, status: int | None = None) -> dict:
+def error_payload(exc: Exception, status: int | None = None, request_id: str | None = None) -> dict:
     """The structured JSON body every error response carries."""
     status = status if status is not None else status_of_exception(exc)
     error_type = exc.error_type if isinstance(exc, ApiError) else type(exc).__name__
-    return {"error": {"type": error_type, "message": str(exc), "status": status}}
+    error: dict = {"type": error_type, "message": str(exc), "status": status}
+    if request_id:
+        error["request_id"] = request_id
+    return {"error": error}
 
 
-def exception_from_payload(status: int, payload: Any) -> Exception:
+def exception_from_payload(status: int, payload: Any, request_id: str | None = None) -> Exception:
     """Rebuild the typed exception a response body describes.
 
     Domain types come back as themselves (``XPathSyntaxError`` raised on the
     server is ``XPathSyntaxError`` on the client); anything else -- including a
     non-JSON body from a proxy -- degrades to :class:`ApiError` with the
-    status attached.
+    status attached.  The request id (from the envelope or the caller) is
+    appended to the message so a client-side traceback names the server-side
+    trace to look up.
     """
     error = payload.get("error") if isinstance(payload, Mapping) else None
     if not isinstance(error, Mapping):
-        return ApiError(status, f"HTTP {status}: {str(payload)[:200]}")
-    name = str(error.get("type", ""))
-    message = str(error.get("message", f"HTTP {status}"))
-    cls = _EXCEPTION_BY_NAME.get(name)
-    if cls is not None:
-        return cls(message)
-    return ApiError(status, message, error_type=name or None)
+        exc: Exception = ApiError(status, f"HTTP {status}: {str(payload)[:200]}")
+    else:
+        name = str(error.get("type", ""))
+        message = str(error.get("message", f"HTTP {status}"))
+        request_id = str(error.get("request_id") or request_id or "") or None
+        if request_id:
+            message = f"{message} [request_id={request_id}]"
+        cls = _EXCEPTION_BY_NAME.get(name)
+        exc = cls(message) if cls is not None else ApiError(status, message, error_type=name or None)
+    if request_id and not isinstance(error, Mapping):
+        exc = ApiError(status, f"{exc} [request_id={request_id}]")
+    return exc
 
 
 # -- options ---------------------------------------------------------------------------
@@ -151,7 +161,7 @@ def parse_evaluation_options(data: Any):
 
 def service_result_to_json(result: ServiceResult) -> dict:
     """A :class:`ServiceResult` as the JSON dict the query endpoints return."""
-    return {
+    payload = {
         "query": result.query,
         "total": result.total,
         "counts": dict(result.counts),
@@ -160,15 +170,29 @@ def service_result_to_json(result: ServiceResult) -> dict:
             {"doc_id": f.doc_id, "error": f.error, "message": f.message} for f in result.failures
         ],
         "shard_timings": [
-            {"shard": t.shard, "num_documents": t.num_documents, "seconds": t.seconds}
+            {
+                "shard": t.shard,
+                "num_documents": t.num_documents,
+                "seconds": t.seconds,
+                "load_seconds": t.load_seconds,
+                "eval_seconds": t.eval_seconds,
+            }
             for t in result.shard_timings
         ],
         "elapsed_seconds": result.elapsed_seconds,
     }
+    if result.explain is not None:
+        payload["explain"] = result.explain
+    return payload
 
 
 def service_result_from_json(data: Mapping) -> ServiceResult:
-    """Rebuild the typed :class:`ServiceResult` on the client side."""
+    """Rebuild the typed :class:`ServiceResult` on the client side.
+
+    Tolerates payloads from servers predating the load/eval shard-timing
+    split (the fields default to zero) and ignores unknown extras, so client
+    and server can be upgraded independently.
+    """
     nodes = data.get("nodes")
     return ServiceResult(
         query=str(data["query"]),
@@ -184,8 +208,11 @@ def service_result_from_json(data: Mapping) -> ServiceResult:
                 shard=int(t["shard"]),
                 num_documents=int(t["num_documents"]),
                 seconds=float(t["seconds"]),
+                load_seconds=float(t.get("load_seconds", 0.0)),
+                eval_seconds=float(t.get("eval_seconds", 0.0)),
             )
             for t in data.get("shard_timings", [])
         ],
         elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+        explain=data.get("explain"),
     )

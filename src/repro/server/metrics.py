@@ -95,13 +95,21 @@ class ServerMetrics:
         with self._lock:
             self._rejected[reason] += 1
 
-    def render(self, gauges: Mapping[str, float] | None = None) -> str:
+    def render(
+        self,
+        gauges: Mapping[str, float] | None = None,
+        engine: Mapping[str, int] | None = None,
+    ) -> str:
         """The full Prometheus text page, with ``gauges`` appended as-is.
 
         ``gauges`` maps a bare metric name (namespaced automatically) to its
         current value -- the server passes the plan-cache hit rate, store cache
         counters and the in-flight request count this way, so the page always
         reflects live service state without the registry knowing the service.
+
+        ``engine`` is the :meth:`~repro.obs.counters.EngineCounters.snapshot`
+        of the process-wide evaluation totals, rendered as the
+        ``<ns>_engine_*`` counter family.
         """
         ns = self._ns
         with self._lock:
@@ -125,6 +133,9 @@ class ServerMetrics:
                 route_labels = _labels({"route": route})
                 lines.append(f"{ns}_http_request_seconds_sum{route_labels} {_format_value(histogram.sum)}")
                 lines.append(f"{ns}_http_request_seconds_count{route_labels} {histogram.total}")
+        for name, value in (engine or {}).items():
+            lines.append(f"# TYPE {ns}_engine_{name} counter")
+            lines.append(f"{ns}_engine_{name} {_format_value(value)}")
         for name, value in (gauges or {}).items():
             lines.append(f"# TYPE {ns}_{name} gauge")
             lines.append(f"{ns}_{name} {_format_value(value)}")

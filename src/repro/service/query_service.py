@@ -37,6 +37,7 @@ from typing import Iterable, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.options import EvaluationOptions
+from repro.obs.tracing import get_tracer
 from repro.service.plan_cache import PlanCache
 from repro.store.document_store import DocumentFailure, DocumentStore
 from repro.xpath.plan import PreparedQuery
@@ -46,11 +47,19 @@ __all__ = ["QueryService", "ServiceResult", "ShardTiming"]
 
 @dataclass(frozen=True)
 class ShardTiming:
-    """Wall-clock cost of serving one shard in a scatter-gather sweep."""
+    """Wall-clock cost of serving one shard in a scatter-gather sweep.
+
+    ``seconds`` is the end-to-end shard time; ``load_seconds`` and
+    ``eval_seconds`` split it into store loads (disk + index rebuild, zero on
+    LRU hits) versus query evaluation.  The split fields default to zero so
+    records serialised before the breakdown existed still round-trip.
+    """
 
     shard: int
     num_documents: int
     seconds: float
+    load_seconds: float = 0.0
+    eval_seconds: float = 0.0
 
 
 @dataclass
@@ -71,6 +80,10 @@ class ServiceResult:
     failures: list[DocumentFailure] = field(default_factory=list)
     shard_timings: list[ShardTiming] = field(default_factory=list)
     elapsed_seconds: float = 0.0
+    #: EXPLAIN record (plan, exact cardinalities, statistics) from the first
+    #: document that answered; only populated when the sweep ran with
+    #: ``explain=True``.
+    explain: dict | None = None
 
     def __len__(self) -> int:
         return self.total
@@ -104,24 +117,37 @@ def _serve_shard(
     jobs: Sequence[tuple[int, str | PreparedQuery]],
     options: EvaluationOptions | None,
     want_nodes: bool,
-) -> dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]]:
+    explain: bool = False,
+) -> tuple[dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]], float, float, dict]:
     """Serve every query of ``jobs`` over every document of one shard.
 
     The document loop is outermost so a document loaded through the store's
     LRU answers the whole batch while resident (this is what makes
     ``run_many`` cost one load per document, not one per query).
+
+    Returns ``(results, load_seconds, eval_seconds, explains)``: the merged
+    per-job results, the shard time split into store loads versus evaluation,
+    and -- when ``explain`` is set -- one EXPLAIN record per job from the
+    first document that answered it.
     """
     out: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
         key: ({}, {}, []) for key, _ in jobs
     }
+    explains: dict[int, dict] = {}
+    load_seconds = 0.0
+    eval_seconds = 0.0
     for doc_id in members:
+        load_started = time.perf_counter()
         try:
             document = store.get(doc_id)
         except (ReproError, OSError) as exc:
+            load_seconds += time.perf_counter() - load_started
             failure = DocumentFailure.from_exception(doc_id, exc)
             for key, _ in jobs:
                 out[key][2].append(failure)
             continue
+        load_seconds += time.perf_counter() - load_started
+        eval_started = time.perf_counter()
         for key, query in jobs:
             counts, nodes, failures = out[key]
             try:
@@ -133,7 +159,17 @@ def _serve_shard(
             counts[doc_id] = result.count
             if want_nodes:
                 nodes[doc_id] = [int(node) for node in result.nodes or []]
-    return out
+            if explain and key not in explains and result.plan is not None:
+                explains[key] = {
+                    "doc_id": doc_id,
+                    "strategy": result.plan.strategy,
+                    "plan": result.plan.as_dict(),
+                    "cardinalities": document.engine.exact_cardinalities(plan, options),
+                    "statistics": result.statistics.as_dict(),
+                    "elapsed_seconds": result.elapsed_seconds,
+                }
+        eval_seconds += time.perf_counter() - eval_started
+    return out, load_seconds, eval_seconds, explains
 
 
 #: Per-worker-process state: one store view and one plan cache per store root,
@@ -153,8 +189,17 @@ def _serve_shards_in_process(
     job_texts: Sequence[tuple[int, str]],
     options: EvaluationOptions | None,
     want_nodes: bool,
+    explain: bool = False,
+    trace: bool = False,
 ):
-    """Process-pool worker: serve a group of shards from this process's store view."""
+    """Process-pool worker: serve a group of shards from this process's store view.
+
+    When the parent sweep is being traced (``trace``), each shard runs under a
+    forced local root span whose finished record is shipped back with the
+    results; the parent grafts those records into its own span tree
+    (:meth:`~repro.obs.tracing.Span.add_child_record`), so cross-process spans
+    appear in the trace exactly like same-process ones.
+    """
     store = _WORKER_STORES.get((root, cache_size))
     if store is None:
         store = DocumentStore(root, cache_size=cache_size)
@@ -163,11 +208,26 @@ def _serve_shards_in_process(
     if plans is None:
         plans = PlanCache()
         _WORKER_PLANS[root] = plans
+    tracer = get_tracer()
     results = []
     for shard, members in shard_members:
         started = time.perf_counter()
-        out = _serve_shard(store, plans, members, job_texts, options, want_nodes)
-        results.append((shard, len(members), time.perf_counter() - started, out))
+        span = tracer.span(
+            "service.shard", force=True, shard=shard, num_documents=len(members), executor="process"
+        ) if trace else None
+        record = None
+        if span is not None:
+            with span:
+                out, load_seconds, eval_seconds, explains = _serve_shard(
+                    store, plans, members, job_texts, options, want_nodes, explain
+                )
+            record = span.to_dict()
+        else:
+            out, load_seconds, eval_seconds, explains = _serve_shard(
+                store, plans, members, job_texts, options, want_nodes, explain
+            )
+        seconds = time.perf_counter() - started
+        results.append((shard, len(members), seconds, load_seconds, eval_seconds, out, explains, record))
     return results
 
 
@@ -227,9 +287,12 @@ class QueryService:
         doc_ids: Iterable[str] | None = None,
         want_nodes: bool = False,
         options: EvaluationOptions | None = None,
+        explain: bool = False,
     ) -> ServiceResult:
         """Evaluate ``query`` over the corpus (or ``doc_ids``), scatter-gather."""
-        return self.run_many([query], doc_ids=doc_ids, want_nodes=want_nodes, options=options)[0]
+        return self.run_many(
+            [query], doc_ids=doc_ids, want_nodes=want_nodes, options=options, explain=explain
+        )[0]
 
     def count_all(self, query: str | PreparedQuery, doc_ids: Iterable[str] | None = None) -> dict[str, int]:
         """Per-document counts, like :meth:`DocumentStore.count_all` but parallel."""
@@ -247,6 +310,7 @@ class QueryService:
         doc_ids: Iterable[str] | None = None,
         want_nodes: bool = False,
         options: EvaluationOptions | None = None,
+        explain: bool = False,
     ) -> list[ServiceResult]:
         """Evaluate a batch of queries in one sweep over the corpus.
 
@@ -254,39 +318,63 @@ class QueryService:
         once) and every document answers the whole batch while resident, so
         the store's LRU sees one load per document regardless of batch size.
         Returns one :class:`ServiceResult` per input query, in order.
+
+        With ``explain=True`` the sweep runs under a forced trace and every
+        result carries an EXPLAIN record (plan, exact cardinalities,
+        statistics) from the first document that answered its query.
         """
         started = time.perf_counter()
         options = options if options is not None else self._default_options
         shards = self._store.iter_shards(doc_ids)
+        tracer = get_tracer()
 
-        # Group by plan: one job per distinct query; remember which input
-        # positions each job answers.
-        jobs: list[tuple[int, str | PreparedQuery]] = []
-        job_of: dict[object, int] = {}
-        positions: list[int] = []
-        for query in queries:
-            dedup_key = query if isinstance(query, str) else id(query)
-            job = job_of.get(dedup_key)
-            if job is None:
-                job = len(jobs)
-                job_of[dedup_key] = job
-                jobs.append((job, query))
-                # Parse eagerly so a malformed query fails the call, not a worker.
-                self._plans.get(query)
-            positions.append(job)
+        with tracer.span(
+            "service.run_many", force=explain, num_queries=len(queries), executor=self._executor
+        ) as sweep_span:
+            # Group by plan: one job per distinct query; remember which input
+            # positions each job answers.
+            jobs: list[tuple[int, str | PreparedQuery]] = []
+            job_of: dict[object, int] = {}
+            positions: list[int] = []
+            for query in queries:
+                dedup_key = query if isinstance(query, str) else id(query)
+                job = job_of.get(dedup_key)
+                if job is None:
+                    job = len(jobs)
+                    job_of[dedup_key] = job
+                    jobs.append((job, query))
+                    # Parse eagerly so a malformed query fails the call, not a worker.
+                    self._plans.get(query)
+                positions.append(job)
+            sweep_span.set_attribute("num_jobs", len(jobs))
+            sweep_span.set_attribute("num_shards", len(shards))
 
-        merged: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
-            key: ({}, {}, []) for key, _ in jobs
-        }
-        timings: list[ShardTiming] = []
-        if jobs and shards:
-            for shard, num_documents, seconds, out in self._sweep(shards, jobs, options, want_nodes):
-                timings.append(ShardTiming(shard=shard, num_documents=num_documents, seconds=seconds))
-                for key, (counts, nodes, failures) in out.items():
-                    merged[key][0].update(counts)
-                    merged[key][1].update(nodes)
-                    merged[key][2].extend(failures)
-        timings.sort(key=lambda t: t.shard)
+            merged: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
+                key: ({}, {}, []) for key, _ in jobs
+            }
+            explains: dict[int, dict] = {}
+            timings: list[ShardTiming] = []
+            if jobs and shards:
+                sweep = self._sweep(shards, jobs, options, want_nodes, explain, sweep_span)
+                for shard, num_documents, seconds, load_s, eval_s, out, shard_explains, record in sweep:
+                    timings.append(
+                        ShardTiming(
+                            shard=shard,
+                            num_documents=num_documents,
+                            seconds=seconds,
+                            load_seconds=load_s,
+                            eval_seconds=eval_s,
+                        )
+                    )
+                    if record:
+                        sweep_span.add_child_record(record)
+                    for key, value in shard_explains.items():
+                        explains.setdefault(key, value)
+                    for key, (counts, nodes, failures) in out.items():
+                        merged[key][0].update(counts)
+                        merged[key][1].update(nodes)
+                        merged[key][2].extend(failures)
+            timings.sort(key=lambda t: t.shard)
 
         elapsed = time.perf_counter() - started
         results: list[ServiceResult] = []
@@ -302,41 +390,63 @@ class QueryService:
                     failures=list(failures),
                     shard_timings=timings,
                     elapsed_seconds=elapsed,
+                    explain=explains.get(job),
                 )
             )
         return results
 
     # -- execution ---------------------------------------------------------------------
 
-    def _sweep(self, shards, jobs, options, want_nodes):
-        """Yield ``(shard, num_documents, seconds, results)`` for every shard."""
+    def _sweep(self, shards, jobs, options, want_nodes, explain, sweep_span):
+        """Yield one extended timing/result tuple per shard.
+
+        Each item is ``(shard, num_documents, seconds, load_seconds,
+        eval_seconds, results, explains, span_record)``; ``span_record`` is a
+        serialised cross-process span tree (processes only, ``None``
+        otherwise -- in-process shard spans attach to the ambient trace
+        directly).
+        """
         if self._executor == "process":
-            yield from self._sweep_processes(shards, jobs, options, want_nodes)
+            yield from self._sweep_processes(shards, jobs, options, want_nodes, explain, sweep_span)
         elif self._max_workers == 1 or len(shards) == 1:
+            tracer = get_tracer()
             for shard, members in shards:
                 shard_started = time.perf_counter()
-                out = _serve_shard(self._store, self._plans, members, jobs, options, want_nodes)
-                yield shard, len(members), time.perf_counter() - shard_started, out
+                with tracer.span("service.shard", shard=shard, num_documents=len(members)):
+                    out, load_s, eval_s, explains = _serve_shard(
+                        self._store, self._plans, members, jobs, options, want_nodes, explain
+                    )
+                seconds = time.perf_counter() - shard_started
+                yield shard, len(members), seconds, load_s, eval_s, out, explains, None
         else:
-            yield from self._sweep_threads(shards, jobs, options, want_nodes)
+            yield from self._sweep_threads(shards, jobs, options, want_nodes, explain, sweep_span)
 
-    def _sweep_threads(self, shards, jobs, options, want_nodes):
-        def worker(members):
+    def _sweep_threads(self, shards, jobs, options, want_nodes, explain, sweep_span):
+        tracer = get_tracer()
+        # Pool threads do not inherit this task's contextvars, so the sweep
+        # span is handed to each worker as the explicit span parent.
+        parent = sweep_span if sweep_span else None
+
+        def worker(shard, members):
             shard_started = time.perf_counter()
-            out = _serve_shard(self._store, self._plans, members, jobs, options, want_nodes)
-            return time.perf_counter() - shard_started, out
+            with tracer.span(
+                "service.shard", parent=parent, shard=shard, num_documents=len(members)
+            ):
+                served = _serve_shard(self._store, self._plans, members, jobs, options, want_nodes, explain)
+            return time.perf_counter() - shard_started, served
 
         workers = min(self._max_workers, len(shards))
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [(shard, members, pool.submit(worker, members)) for shard, members in shards]
+            futures = [(shard, members, pool.submit(worker, shard, members)) for shard, members in shards]
             for shard, members, future in futures:
-                seconds, out = future.result()
-                yield shard, len(members), seconds, out
+                seconds, (out, load_s, eval_s, explains) = future.result()
+                yield shard, len(members), seconds, load_s, eval_s, out, explains, None
 
-    def _sweep_processes(self, shards, jobs, options, want_nodes):
+    def _sweep_processes(self, shards, jobs, options, want_nodes, explain, sweep_span):
         job_texts = [(key, query if isinstance(query, str) else query.text) for key, query in jobs]
         root = str(self._store.root)
         cache_size = self._store.cache_size
+        trace = bool(sweep_span)
         if self._pool is None:
             # One single-worker pool per slot: shard groups are routed to a
             # *fixed* worker (``shard % max_workers``), so each process keeps
@@ -349,7 +459,15 @@ class QueryService:
             groups.setdefault(shard % self._max_workers, []).append((shard, members))
         futures = [
             self._pool[slot].submit(
-                _serve_shards_in_process, root, cache_size, group, job_texts, options, want_nodes
+                _serve_shards_in_process,
+                root,
+                cache_size,
+                group,
+                job_texts,
+                options,
+                want_nodes,
+                explain,
+                trace,
             )
             for slot, group in sorted(groups.items())
         ]

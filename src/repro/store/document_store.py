@@ -39,6 +39,7 @@ from typing import Callable, Iterable, Iterator
 from repro.core.document import Document
 from repro.core.errors import DocumentNotFoundError, ReproError, StorageError
 from repro.core.options import EvaluationOptions, IndexOptions
+from repro.obs.tracing import get_tracer
 from repro.xpath.plan import PreparedQuery
 
 __all__ = ["DocumentStore", "DocumentFailure"]
@@ -262,7 +263,9 @@ class DocumentStore:
                 self._meta.pop(doc_id, None)
         if meta is None:
             raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
-        document = Document.load(path)
+        with get_tracer().span("store.load", doc_id=doc_id) as span:
+            document = Document.load(path)
+            span.set_attribute("bytes", meta[1])
         with self._lock:
             raced = self._cache.get(doc_id)
             if raced is not None and self._meta.get(doc_id) == meta:

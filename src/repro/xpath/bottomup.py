@@ -290,6 +290,7 @@ class BottomUpEvaluator:
         at_tag = tree.tag_id("@")
         candidates: set[int] = set()
         for text_id in self._seed_text_ids():
+            self.stats.select_calls += 1
             leaf = tree.node_of_text(text_id)
             self.stats.visited_nodes += 1
             chain: list[int] = []
@@ -372,11 +373,13 @@ class BottomUpEvaluator:
         seeds = self._seed_text_id_array()
         if seeds.size == 0:
             return []
+        self.stats.kernel_batch_calls += 1
         leaves = tree.node_of_text_many(seeds)
         self.stats.visited_nodes += int(leaves.size)
         nodes = np.unique(leaves)
         frontier = nodes
         while frontier.size:
+            self.stats.kernel_batch_calls += 1
             parents = tree.parent_many(frontier)
             parents = np.unique(parents[parents != NIL])
             frontier = parents[~self._membership(parents, nodes)]

@@ -24,11 +24,14 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.options import EvaluationOptions
+from repro.obs.counters import ENGINE_COUNTERS
+from repro.obs.tracing import get_tracer
+from repro.xpath.ast import ImpossibleTest, NameTest, TextTest
 from repro.xpath.bottomup import BottomUpEvaluator
 from repro.xpath.compiler import CompiledQuery
 from repro.xpath.evaluator import TopDownEvaluator
 from repro.xpath.plan import PreparedQuery, prepare_query
-from repro.xpath.planner import QueryPlan, QueryPlanner
+from repro.xpath.planner import QueryPlan, QueryPlanner, as_builtin_predicate, collect_text_predicates
 from repro.xpath.runtime import EvaluationStatistics, TextPredicateRuntime
 
 __all__ = ["QueryResult", "XPathEngine"]
@@ -105,45 +108,64 @@ class XPathEngine:
         started = time.perf_counter()
         stats = EvaluationStatistics()
         runtime = TextPredicateRuntime(self._document, stats, batch_kernels=options.batch_kernels)
-        prepared = self.prepare(query)
-        planner = QueryPlanner(self._document, runtime, plan_cache=self._plan_cache)
-        plan = planner.plan(
-            prepared.ast,
-            allow_bottom_up=options.allow_bottom_up,
-            cache_key=(prepared.text, options.allow_bottom_up),
-        )
+        tracer = get_tracer()
+        with tracer.span("engine.query") as query_span:
+            with tracer.span("engine.parse"):
+                prepared = self.prepare(query)
+            query_span.set_attribute("query", prepared.text)
+            with tracer.span("engine.plan") as plan_span:
+                planner = QueryPlanner(self._document, runtime, plan_cache=self._plan_cache)
+                plan = planner.plan(
+                    prepared.ast,
+                    allow_bottom_up=options.allow_bottom_up,
+                    cache_key=(prepared.text, options.allow_bottom_up),
+                )
+                plan_span.set_attribute("strategy", plan.strategy)
+                plan_span.set_attribute("seed_estimate", plan.seed_estimate)
+                plan_span.set_attribute("candidate_estimate", plan.candidate_estimate)
+                plan_span.set_attribute("reasons", list(plan.reasons))
+            stats.strategy = plan.strategy
 
-        if plan.strategy == "bottom-up":
-            evaluator = BottomUpEvaluator(
-                document=self._document,
-                path=prepared.ast,
-                anchor=plan.anchor_predicates,
-                predicate_runtime=runtime,
-                stats=stats,
-                batch_kernels=options.batch_kernels,
-            )
-            nodes = evaluator.run()
-            count = len(nodes)
-            result_nodes = nodes if want_nodes else None
-        else:
-            compiled = self.compile(prepared)
-            use_counting_mode = not want_nodes and compiled.count_safe
-            run_options = options.replace(counting=use_counting_mode)
-            evaluator = TopDownEvaluator(
-                self._document,
-                compiled,
-                options=run_options,
-                predicate_runtime=runtime,
-                stats=stats,
-            )
-            if use_counting_mode:
-                count = evaluator.count()
-                result_nodes = None
+            if plan.strategy == "bottom-up":
+                with tracer.span("engine.evaluate", strategy="bottom-up") as eval_span:
+                    evaluator = BottomUpEvaluator(
+                        document=self._document,
+                        path=prepared.ast,
+                        anchor=plan.anchor_predicates,
+                        predicate_runtime=runtime,
+                        stats=stats,
+                        batch_kernels=options.batch_kernels,
+                    )
+                    nodes = evaluator.run()
+                    count = len(nodes)
+                    result_nodes = nodes if want_nodes else None
+                    eval_span.set_attribute("count", count)
             else:
-                nodes = evaluator.materialize()
-                count = len(nodes)
-                result_nodes = nodes if want_nodes else None
-        stats.result_nodes = count
+                with tracer.span("engine.bind"):
+                    compiled = self.compile(prepared)
+                use_counting_mode = not want_nodes and compiled.count_safe
+                run_options = options.replace(counting=use_counting_mode)
+                with tracer.span(
+                    "engine.evaluate", strategy="top-down", counting=use_counting_mode
+                ) as eval_span:
+                    evaluator = TopDownEvaluator(
+                        self._document,
+                        compiled,
+                        options=run_options,
+                        predicate_runtime=runtime,
+                        stats=stats,
+                    )
+                    if use_counting_mode:
+                        count = evaluator.count()
+                        result_nodes = None
+                    else:
+                        nodes = evaluator.materialize()
+                        count = len(nodes)
+                        result_nodes = nodes if want_nodes else None
+                    eval_span.set_attribute("count", count)
+            stats.result_nodes = count
+            query_span.set_attribute("count", count)
+        ENGINE_COUNTERS.record_query(stats)
         elapsed = time.perf_counter() - started
         return QueryResult(
             query=prepared.text,
@@ -153,6 +175,74 @@ class XPathEngine:
             statistics=stats,
             elapsed_seconds=elapsed,
         )
+
+    def explain_data(
+        self,
+        query: str | PreparedQuery,
+        options: EvaluationOptions | None = None,
+        want_nodes: bool = False,
+    ) -> dict:
+        """Evaluate ``query`` and return the full EXPLAIN record.
+
+        The record carries the chosen plan with its heuristic inputs, the
+        *exact* cardinalities those inputs came from (per-step tag counts via
+        the tag sequence's rank directory, per-predicate match counts via the
+        FM-index), the evaluation statistics, and a span tree of the stages.
+        Tracing is forced for the duration, so EXPLAIN works even when the
+        global tracer is disabled.
+        """
+        options = options or EvaluationOptions()
+        tracer = get_tracer()
+        root = tracer.span("explain", force=True)
+        with root:
+            result = self._execute(query, options, want_nodes=want_nodes)
+        plan = result.plan or QueryPlan()
+        return {
+            "query": result.query,
+            "strategy": plan.strategy,
+            "plan": plan.as_dict(),
+            "cardinalities": self.exact_cardinalities(query, options),
+            "statistics": result.statistics.as_dict(),
+            "count": result.count,
+            "nodes": result.nodes if want_nodes else None,
+            "elapsed_seconds": result.elapsed_seconds,
+            "trace": root.to_dict(),
+        }
+
+    def exact_cardinalities(
+        self, query: str | PreparedQuery, options: EvaluationOptions | None = None
+    ) -> dict:
+        """Exact per-step and per-predicate input cardinalities of the plan heuristic.
+
+        Step counts come from the tag sequence's rank directory
+        (``TagSequence.rank``-backed ``tag_count``); text-predicate match
+        counts come from FM-index ``count``/``locate``.
+        """
+        options = options or EvaluationOptions()
+        prepared = self.prepare(query)
+        tree = self._document.tree
+        steps = []
+        for step in prepared.ast.steps:
+            if isinstance(step.test, NameTest):
+                tag = tree.tag_id(step.test.name)
+                tag_count = tree.tag_count(tag) if tag >= 0 else 0
+            elif isinstance(step.test, TextTest):
+                tag_count = tree.num_texts
+            elif isinstance(step.test, ImpossibleTest):
+                tag_count = 0
+            else:
+                tag_count = None
+            steps.append({"step": f"{step.axis.value}::{step.test.describe()}", "tag_count": tag_count})
+        runtime = TextPredicateRuntime(self._document, batch_kernels=options.batch_kernels)
+        predicates = []
+        for predicate in collect_text_predicates(prepared.ast):
+            builtin = as_builtin_predicate(predicate)
+            if builtin.kind == "pssm":
+                label = f"pssm({builtin.pattern!r}, {builtin.threshold})"
+            else:
+                label = f"{builtin.kind}({builtin.pattern!r})"
+            predicates.append({"predicate": label, "matching_texts": runtime.estimated_matches(builtin)})
+        return {"steps": steps, "text_predicates": predicates}
 
     def count(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> int:
         """Number of nodes selected by ``query`` (counting mode)."""

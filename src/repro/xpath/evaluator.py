@@ -283,6 +283,7 @@ class TopDownEvaluator:
                     tags = self._trigger_array(states, triggers)
                     if self._options.use_tag_tables and tags.size:
                         tags = tags[self._tables.occurs_as_descendant_many(parent_tag, tags)]
+                    self._stats.kernel_batch_calls += 1
                     candidates = tree.tagged_desc_many(parent, tags)
                     candidates = candidates[candidates != NIL]
                     best = int(candidates.min()) if candidates.size else NIL
@@ -293,6 +294,7 @@ class TopDownEvaluator:
                         continue
                     if self._options.use_tag_tables and not self._tables.occurs_as_descendant(parent_tag, tag):
                         continue
+                    self._stats.select_calls += 1
                     candidate = tree.tagged_desc(parent, tag)
                     if candidate != NIL and (best == NIL or candidate < best):
                         best = candidate
@@ -311,6 +313,7 @@ class TopDownEvaluator:
                     tags = self._trigger_array(states, triggers)
                     if self._options.use_tag_tables and tags.size:
                         tags = tags[self._tables.occurs_as_descendant_many(limit_tag, tags)]
+                    self._stats.kernel_batch_calls += 1
                     candidates = tree.tagged_foll_many(node, tags)
                     candidates = candidates[(candidates != NIL) & (candidates < close_limit)]
                     best = int(candidates.min()) if candidates.size else NIL
@@ -321,6 +324,7 @@ class TopDownEvaluator:
                         continue
                     if self._options.use_tag_tables and not self._tables.occurs_as_descendant(limit_tag, tag):
                         continue
+                    self._stats.select_calls += 1
                     candidate = tree.tagged_foll(node, tag)
                     if candidate != NIL and candidate < close_limit and (best == NIL or candidate < best):
                         best = candidate
@@ -491,6 +495,9 @@ class TopDownEvaluator:
                     if collect_tag is not None:
                         (state,) = frame.states
                         hi = self._tree.close(frame.limit)
+                        # A lazy tagged-range mark costs two tag-sequence rank
+                        # probes when later counted or expanded.
+                        self._stats.rank_calls += 2
                         marks = self._semiring.collect_tagged_range(self._tree, frame.node, hi, collect_tag)
                         self._stats.marked_nodes += 1
                         finish({state: marks})

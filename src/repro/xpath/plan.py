@@ -66,6 +66,10 @@ class PreparedQuery:
                     self._bindings[signature] = binding
         return binding
 
+    def explain(self, document, options=None) -> dict:
+        """EXPLAIN this query against ``document``: plan, exact cardinalities, span tree."""
+        return document.engine.explain_data(self, options)
+
     @property
     def num_bindings(self) -> int:
         """Number of distinct tag tables this query has been compiled against."""

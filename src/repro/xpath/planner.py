@@ -41,7 +41,38 @@ from repro.xpath.ast import (
 from repro.xpath.formula import BuiltinPredicate
 from repro.xpath.runtime import TextPredicateRuntime
 
-__all__ = ["QueryPlan", "QueryPlanner"]
+__all__ = ["QueryPlan", "QueryPlanner", "collect_text_predicates", "as_builtin_predicate"]
+
+
+def collect_text_predicates(path: LocationPath) -> list[TextPredicate | PssmPredicate]:
+    """Every text/PSSM predicate anywhere in ``path`` (steps and filter paths)."""
+    found: list[TextPredicate | PssmPredicate] = []
+
+    def visit_predicate(predicate: Predicate) -> None:
+        if isinstance(predicate, (TextPredicate, PssmPredicate)):
+            found.append(predicate)
+        elif isinstance(predicate, (AndExpr, OrExpr)):
+            visit_predicate(predicate.left)
+            visit_predicate(predicate.right)
+        elif isinstance(predicate, NotExpr):
+            visit_predicate(predicate.operand)
+        elif isinstance(predicate, PathExpr):
+            visit_path(predicate.path)
+
+    def visit_path(p: LocationPath) -> None:
+        for step in p.steps:
+            for predicate in step.predicates:
+                visit_predicate(predicate)
+
+    visit_path(path)
+    return found
+
+
+def as_builtin_predicate(predicate: TextPredicate | PssmPredicate) -> BuiltinPredicate:
+    """The runtime-evaluable form of an AST text/PSSM predicate."""
+    if isinstance(predicate, TextPredicate):
+        return BuiltinPredicate(-1, predicate.kind, predicate.pattern)
+    return BuiltinPredicate(-1, "pssm", predicate.matrix_name, predicate.threshold)
 
 
 @dataclass
@@ -63,6 +94,18 @@ class QueryPlan:
         if self.seed_estimate is not None:
             extra = f", {self.seed_estimate} seeds"
         return f"{self.strategy} ({text_part}){extra}"
+
+    def as_dict(self) -> dict:
+        """The plan and its heuristic inputs as a JSON-serialisable record."""
+        return {
+            "strategy": self.strategy,
+            "uses_fm_index": self.uses_fm_index,
+            "uses_naive_text": self.uses_naive_text,
+            "seed_estimate": self.seed_estimate,
+            "candidate_estimate": self.candidate_estimate,
+            "reasons": list(self.reasons),
+            "summary": self.describe(),
+        }
 
 
 class QueryPlanner:
@@ -155,26 +198,7 @@ class QueryPlanner:
     # -- helpers ---------------------------------------------------------------------------------------------
 
     def _collect_text_predicates(self, path: LocationPath) -> list[TextPredicate | PssmPredicate]:
-        found: list[TextPredicate | PssmPredicate] = []
-
-        def visit_predicate(predicate: Predicate) -> None:
-            if isinstance(predicate, (TextPredicate, PssmPredicate)):
-                found.append(predicate)
-            elif isinstance(predicate, (AndExpr, OrExpr)):
-                visit_predicate(predicate.left)
-                visit_predicate(predicate.right)
-            elif isinstance(predicate, NotExpr):
-                visit_predicate(predicate.operand)
-            elif isinstance(predicate, PathExpr):
-                visit_path(predicate.path)
-
-        def visit_path(p: LocationPath) -> None:
-            for step in p.steps:
-                for predicate in step.predicates:
-                    visit_predicate(predicate)
-
-        visit_path(path)
-        return found
+        return collect_text_predicates(path)
 
     def _spine_is_bottom_up_capable(self, path: LocationPath) -> bool:
         steps = path.steps
@@ -273,9 +297,7 @@ class QueryPlanner:
         return []
 
     def _as_builtin(self, predicate: TextPredicate | PssmPredicate) -> BuiltinPredicate:
-        if isinstance(predicate, TextPredicate):
-            return BuiltinPredicate(-1, predicate.kind, predicate.pattern)
-        return BuiltinPredicate(-1, "pssm", predicate.matrix_name, predicate.threshold)
+        return as_builtin_predicate(predicate)
 
     def _candidate_estimate(self, step: Step) -> int | None:
         tree = self._document.tree

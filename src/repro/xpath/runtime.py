@@ -20,6 +20,8 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.obs.tracing import get_tracer
+
 __all__ = [
     "EvaluationStatistics",
     "ResultSemiring",
@@ -31,7 +33,15 @@ __all__ = [
 
 @dataclass
 class EvaluationStatistics:
-    """Counters gathered during one query evaluation (Figure 13)."""
+    """Counters gathered during one query evaluation (Figure 13).
+
+    The call counters sit at engine granularity, not inside the succinct
+    structures: ``rank_calls``/``select_calls`` count scalar engine-level
+    operations (one navigation answered per call), while
+    ``kernel_batch_calls`` counts batch-kernel *invocations* -- one
+    ``tagged_desc_many`` over ten thousand nodes is a single call.  The two
+    are therefore deliberately not element-comparable.
+    """
 
     visited_nodes: int = 0
     marked_nodes: int = 0
@@ -40,6 +50,9 @@ class EvaluationStatistics:
     text_queries: int = 0
     strategy: str = "top-down"
     used_fm_index: bool = False
+    rank_calls: int = 0
+    select_calls: int = 0
+    kernel_batch_calls: int = 0
 
     def as_dict(self) -> dict:
         """The counters as a plain dictionary (handy for benchmark reports)."""
@@ -51,6 +64,9 @@ class EvaluationStatistics:
             "text_queries": self.text_queries,
             "strategy": self.strategy,
             "used_fm_index": self.used_fm_index,
+            "rank_calls": self.rank_calls,
+            "select_calls": self.select_calls,
+            "kernel_batch_calls": self.kernel_batch_calls,
         }
 
 
@@ -238,10 +254,16 @@ class TextPredicateRuntime:
         document = self._document
         plan = _PredicatePlan()
         self._stats.text_queries += 1
-        ids = document.match_text_predicate(
-            predicate.kind, predicate.pattern, predicate.threshold, batch_kernels=self._batch_kernels
-        )
-        plan.matching_id_array = np.unique(np.asarray(ids, dtype=np.int64))
+        if self._batch_kernels:
+            self._stats.kernel_batch_calls += 1
+        with get_tracer().span(
+            "engine.text_predicate", kind=predicate.kind, pattern=str(predicate.pattern)
+        ) as span:
+            ids = document.match_text_predicate(
+                predicate.kind, predicate.pattern, predicate.threshold, batch_kernels=self._batch_kernels
+            )
+            plan.matching_id_array = np.unique(np.asarray(ids, dtype=np.int64))
+            span.set_attribute("matching_texts", int(plan.matching_id_array.size))
         plan.uses_fm_index = True
         self._stats.used_fm_index = True
         return plan
