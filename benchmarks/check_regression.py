@@ -32,6 +32,11 @@ def check(current: dict, baseline: dict, threshold: float | None = None, subset:
     limit = threshold if threshold is not None else float(baseline.get("threshold", 0.30))
     measured = current["metrics"]
     failures: list[str] = []
+    # A measured metric the baseline does not know about means a benchmark
+    # started reporting something nobody is gating -- fail loudly instead of
+    # silently skipping it, so new metrics always land with a baseline entry.
+    for name in sorted(set(measured) - set(baseline["metrics"])):
+        failures.append(f"FAIL {name}: measured but missing from the baseline (add it to baseline.json)")
     for name, spec in baseline["metrics"].items():
         if name not in measured:
             if not subset:

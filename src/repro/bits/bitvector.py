@@ -90,7 +90,7 @@ class BitVector(Serializable):
     to express as ``rank1(i + 1)``.
     """
 
-    __slots__ = ("_length", "_words", "_rank_blocks", "_total_ones", "_zero_blocks")
+    __slots__ = ("_length", "_words", "_rank_blocks", "_ones", "_zero_blocks")
 
     def __init__(self, bits: Iterable[int] | np.ndarray | "BitVector" = ()):
         if isinstance(bits, BitVector):
@@ -120,8 +120,22 @@ class BitVector(Serializable):
         self._rank_blocks = np.zeros(n_words + 1, dtype=np.uint64)
         if n_words:
             np.cumsum(counts, out=self._rank_blocks[1:])
-        self._total_ones = int(self._rank_blocks[-1]) if n_words else 0
+        self._ones: int | None = int(self._rank_blocks[-1]) if n_words else 0
         self._zero_blocks: np.ndarray | None = None  # lazy select0_many directory
+
+    @property
+    def _total_ones(self) -> int:
+        """Total set bits; resolved from the rank directory on first use.
+
+        Mapped reads leave this unresolved so opening a document touches no
+        rank-directory pages; the first rank/select on the vector pays the
+        single page fault instead.
+        """
+        ones = self._ones
+        if ones is None:
+            ones = int(self._rank_blocks[-1]) if self._words.size else 0
+            self._ones = ones
+        return ones
 
     # -- construction helpers -------------------------------------------------
 
@@ -145,11 +159,17 @@ class BitVector(Serializable):
     # -- persistence -----------------------------------------------------------
 
     def write(self, fp: BinaryIO) -> None:
-        """Serialise the bit vector (packed words + length)."""
+        """Serialise the bit vector (packed words + length).
+
+        v2 files also persist the rank directory (``RDIR``), so reading back
+        costs no popcount pass -- essential for the O(metadata) mapped load.
+        """
         writer = ChunkWriter(fp)
         writer.header("BitVector")
         writer.int("NBIT", self._length)
         writer.array("WORD", self._words)
+        if writer.version >= 2:
+            writer.array("RDIR", self._rank_blocks)
 
     @classmethod
     def read(cls, fp: BinaryIO) -> "BitVector":
@@ -161,11 +181,32 @@ class BitVector(Serializable):
         if length < 0 or words.size != (length + _WORD_BITS - 1) // _WORD_BITS:
             raise CorruptedFileError(f"bit vector of {length} bits cannot have {words.size} words")
         words = words.astype(np.uint64, copy=False)
-        # Padding bits past `length` must be clear, or rank/select silently lie.
+        # Padding bits past `length` must be clear, or rank/select silently
+        # lie.  The check reads array content, so on mapped reads -- where
+        # touching the last word would fault a page per bitmap and corruption
+        # is covered by the checksums -- it is deferred with the other
+        # content validations.
         tail_bits = length % _WORD_BITS
-        if tail_bits and int(words[-1]) >> tail_bits:
+        if reader.deep_checks and tail_bits and int(words[-1]) >> tail_bits:
             raise CorruptedFileError("bit vector has set bits beyond its length")
-        return cls._from_words(words, length)
+        if reader.version == 1:
+            return cls._from_words(words, length)
+        rank_blocks = reader.array("RDIR").astype(np.uint64, copy=False)
+        if rank_blocks.size != words.size + 1:
+            raise CorruptedFileError(
+                f"rank directory of {rank_blocks.size} entries for {words.size} words"
+            )
+        if reader.deep_checks and (int(rank_blocks[0]) != 0 or int(rank_blocks[-1]) > length):
+            raise CorruptedFileError("rank directory endpoints are inconsistent")
+        bv = cls.__new__(cls)
+        bv._length = int(length)
+        bv._words = words
+        bv._rank_blocks = rank_blocks
+        # Deferred: resolving the total would fault the rank directory's last
+        # page per bitmap on a mapped open (see ``_total_ones``).
+        bv._ones = int(rank_blocks[-1]) if reader.deep_checks else None
+        bv._zero_blocks = None
+        return bv
 
     # -- basic protocol --------------------------------------------------------
 

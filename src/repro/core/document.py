@@ -20,9 +20,9 @@ from typing import BinaryIO, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.errors import CorruptedFileError
+from repro.core.errors import CorruptedFileError, StorageError
 from repro.core.options import EvaluationOptions, IndexOptions
-from repro.storage.codec import ChunkReader, ChunkWriter, Serializable
+from repro.storage.codec import ChunkReader, ChunkWriter, MappedFile, Serializable, peek_file_version
 from repro.text.pssm import PositionWeightMatrix
 from repro.text.rlcsa import RLCSAIndex
 from repro.text.text_collection import TextCollection
@@ -70,6 +70,7 @@ class Document(Serializable):
         self._engine = XPathEngine(self)
         self._pcdata_only: dict[int, bool] = {}
         self._pssm_registry: dict[str, tuple[PositionWeightMatrix, float]] = {}
+        self._mapped_file: MappedFile | None = None
 
     # -- constructors ---------------------------------------------------------------------------------
 
@@ -139,6 +140,7 @@ class Document(Serializable):
         doc._engine = XPathEngine(doc)
         doc._pcdata_only = {}
         doc._pssm_registry = {}
+        doc._mapped_file = None
         return doc
 
     def save(self, path: str | os.PathLike) -> None:
@@ -147,10 +149,78 @@ class Document(Serializable):
             self.write(handle)
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "Document":
-        """Load a document previously written by :meth:`save`."""
-        with open(path, "rb") as handle:
-            return cls.read(handle)
+    def load(
+        cls,
+        path: str | os.PathLike,
+        mapped: bool | None = None,
+        verify: str | None = None,
+    ) -> "Document":
+        """Load a document previously written by :meth:`save`.
+
+        ``mapped=None`` (the default) memory-maps v2 files and falls back to
+        the eager copying reader for v1 files; ``mapped=True`` demands a
+        mapping (raising :class:`StorageError` on a v1 file) and
+        ``mapped=False`` forces eager heap copies regardless of version.
+        ``verify`` selects the mapped checksum mode (``"eager"``, ``"lazy"``
+        -- the default -- or ``"off"``); deferred checksums can be run later
+        through :meth:`verify_integrity`.
+        """
+        if mapped is None or mapped:
+            version = peek_file_version(path)
+            if version < 2:
+                if mapped:
+                    raise StorageError(
+                        f"{os.fspath(path)!r} is a v{version} file; mapped load needs format v2 "
+                        "(re-save the document to upgrade it)"
+                    )
+                mapped = False
+            else:
+                mapped = True
+        if not mapped:
+            with open(path, "rb") as handle:
+                return cls.read(handle)
+        mapped_file = MappedFile(path, verify=verify if verify is not None else "lazy")
+        try:
+            doc = cls.read(mapped_file.source())
+        except Exception:
+            mapped_file.close()
+            raise
+        mapped_file.end_parse()  # decoding is done; drop the fd, keep only the mapping
+        doc._mapped_file = mapped_file
+        return doc
+
+    # -- mapped-storage surface --------------------------------------------------------------------------
+
+    @property
+    def is_mapped(self) -> bool:
+        """Whether this document reads from a memory-mapped file."""
+        return self._mapped_file is not None and not self._mapped_file.closed
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Bytes served through zero-copy views of the mapping (0 when unmapped)."""
+        return self._mapped_file.mapped_bytes if self._mapped_file is not None else 0
+
+    def verify_integrity(self) -> int:
+        """Run any deferred (``verify="lazy"``) checksums now.
+
+        Returns the number of checksums verified; raises
+        :class:`CorruptedFileError` on a mismatch.  Unmapped documents were
+        fully verified at load and return 0.
+        """
+        if self._mapped_file is None:
+            return 0
+        return self._mapped_file.verify_pending()
+
+    def close(self) -> None:
+        """Release the underlying mapping, if any.
+
+        The document must not be queried afterwards.  Unmapped documents are
+        unaffected.  Dropping the last reference has the same effect (the
+        engine holds only a weak reference back, so teardown is refcounted).
+        """
+        if self._mapped_file is not None:
+            self._mapped_file.close()
 
     # -- basic statistics --------------------------------------------------------------------------------
 
@@ -236,6 +306,17 @@ class Document(Serializable):
         """
         component_bits = self._component_bits()
         total_bits = sum(component_bits.values())
+        total_bytes = (total_bits + 7) // 8
+        mapped_bytes = self.mapped_bytes
+        storage = {
+            "mode": "mapped" if self.is_mapped else "heap",
+            "mapped_bytes": mapped_bytes,
+            "heap_bytes": max(0, total_bytes - mapped_bytes),
+        }
+        if self._mapped_file is not None:
+            storage["verify"] = self._mapped_file.verify
+            storage["file_bytes"] = self._mapped_file.size
+            storage["pending_checksums"] = len(self._mapped_file.pending)
         return {
             "num_nodes": self.num_nodes,
             "num_texts": self.num_texts,
@@ -246,6 +327,7 @@ class Document(Serializable):
             },
             "total_bits": total_bits,
             "total_bytes": (total_bits + 7) // 8,
+            "storage": storage,
         }
 
     # -- text access ----------------------------------------------------------------------------------------

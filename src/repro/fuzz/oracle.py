@@ -244,6 +244,7 @@ class DocumentOracle:
 
         self._tempdir: tempfile.TemporaryDirectory | None = None
         self.reloaded: Document | None = None
+        self.reloaded_heap: Document | None = None
         self.store: DocumentStore | None = None
         self.service: QueryService | None = None
         self.server = server
@@ -252,7 +253,10 @@ class DocumentOracle:
             self._tempdir = tempfile.TemporaryDirectory(prefix="repro-fuzz-")
             path = os.path.join(self._tempdir.name, "doc.sxsi")
             self.document.save(path)
+            # Auto-detection maps the (v2) file; the heap twin forces eager
+            # copies so mapped and copied reads cross-check each other.
             self.reloaded = Document.load(path)
+            self.reloaded_heap = Document.load(path, mapped=False)
             if {"store", "service"} & set(layers):
                 self.store = DocumentStore(
                     os.path.join(self._tempdir.name, "store"), num_shards=4, cache_size=2
@@ -318,7 +322,8 @@ class DocumentOracle:
 
             yield "engine", "counting", _outcome(count_as_nodes)
         if "saveload" in self.layers:
-            yield "saveload", "default", _outcome(lambda: self._preorders(self.reloaded, query))
+            yield "saveload", "mapped", _outcome(lambda: self._preorders(self.reloaded, query))
+            yield "saveload", "heap", _outcome(lambda: self._preorders(self.reloaded_heap, query))
         if "store" in self.layers:
             yield (
                 "store",

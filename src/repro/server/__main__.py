@@ -49,6 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=8, help="resident-document LRU capacity (default: 8)"
     )
     parser.add_argument(
+        "--mmap",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="memory-map document files instead of copying them to the heap "
+        "(default: map v2 files, copy v1 files; --mmap requires v2, --no-mmap always copies)",
+    )
+    parser.add_argument(
+        "--verify",
+        choices=("eager", "lazy", "off"),
+        default=None,
+        help="checksum mode for mapped loads: eager = verify at open, "
+        "lazy = defer to /v1 integrity checks (default), off = trust the file",
+    )
+    parser.add_argument(
         "--workers", type=int, default=8, help="thread pool bridging index work (default: 8)"
     )
     parser.add_argument(
@@ -117,6 +131,7 @@ async def _serve(server: ReproServer) -> None:
         _log.info("shutting down")
         await server.aclose()
         server.service.close()
+        server.service.store.close()
         _log.info("shutdown complete")
 
 
@@ -124,7 +139,13 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_lines=args.log_json)
     set_tracer(Tracer(capacity=max(1, args.trace_buffer), enabled=bool(args.trace)))
-    store = DocumentStore(args.root, num_shards=args.shards, cache_size=args.cache_size)
+    store = DocumentStore(
+        args.root,
+        num_shards=args.shards,
+        cache_size=args.cache_size,
+        mapped=args.mmap,
+        verify=args.verify,
+    )
     service = QueryService(
         store, max_workers=args.service_workers, plan_cache_size=args.plan_cache_size
     )

@@ -13,9 +13,9 @@ POST    ``/v1/query``                one query, scatter-gather over the corpus
 POST    ``/v1/query/batch``          a batch through ``QueryService.run_many``
 PUT     ``/v1/documents/{id}``       ingest raw XML (``DocumentStore.add_xml``)
 GET     ``/v1/documents/{id}``       document summary (loads the index)
-GET     ``/v1/documents/{id}/stats`` per-component sizes (``Document.stats()``)
+GET     ``/v1/documents/{id}/stats`` per-component sizes + storage mode (``Document.stats()``)
 DELETE  ``/v1/documents/{id}``       remove a stored document
-GET     ``/v1/stats``                store stats + service cache counters
+GET     ``/v1/stats``                store stats (incl. mapped-vs-heap bytes) + service cache counters
 GET     ``/healthz``                 liveness (never touches the thread pool)
 GET     ``/metrics``                 Prometheus text format
 ======  ===========================  =============================================

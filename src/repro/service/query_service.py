@@ -178,13 +178,15 @@ def _serve_shard(
 #: documents resident and its plans compiled -- 4 process workers hold
 #: 4 x ``cache_size`` documents in aggregate, and repeated queries skip both
 #: the disk and the compiler entirely.
-_WORKER_STORES: dict[tuple[str, int], DocumentStore] = {}
+_WORKER_STORES: dict[tuple[str, int, bool | None, str | None], DocumentStore] = {}
 _WORKER_PLANS: dict[str, PlanCache] = {}
 
 
 def _serve_shards_in_process(
     root: str,
     cache_size: int,
+    mapped: bool | None,
+    verify: str | None,
     shard_members: Sequence[tuple[int, Sequence[str]]],
     job_texts: Sequence[tuple[int, str]],
     options: EvaluationOptions | None,
@@ -200,10 +202,13 @@ def _serve_shards_in_process(
     (:meth:`~repro.obs.tracing.Span.add_child_record`), so cross-process spans
     appear in the trace exactly like same-process ones.
     """
-    store = _WORKER_STORES.get((root, cache_size))
+    store = _WORKER_STORES.get((root, cache_size, mapped, verify))
     if store is None:
-        store = DocumentStore(root, cache_size=cache_size)
-        _WORKER_STORES[(root, cache_size)] = store
+        # With mapped loads (the default over v2 files) every worker's views
+        # resolve to the same physical page-cache pages, so N processes cost
+        # one corpus in RAM instead of N.
+        store = DocumentStore(root, cache_size=cache_size, mapped=mapped, verify=verify)
+        _WORKER_STORES[(root, cache_size, mapped, verify)] = store
     plans = _WORKER_PLANS.get(root)
     if plans is None:
         plans = PlanCache()
@@ -462,6 +467,8 @@ class QueryService:
                 _serve_shards_in_process,
                 root,
                 cache_size,
+                self._store.mapped,
+                self._store.verify,
                 group,
                 job_texts,
                 options,

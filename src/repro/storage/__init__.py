@@ -8,6 +8,32 @@ entry points are :meth:`repro.Document.save` / :meth:`repro.Document.load`
 and the sharded :class:`~repro.store.document_store.DocumentStore`.
 """
 
-from repro.storage.codec import FORMAT_VERSION, MAGIC, ChunkReader, ChunkWriter, Serializable, peek_kind
+from repro.storage.codec import (
+    ARRAY_ALIGNMENT,
+    FORMAT_VERSION,
+    MAGIC,
+    SUPPORTED_VERSIONS,
+    ChunkReader,
+    ChunkWriter,
+    MappedFile,
+    MappedSource,
+    Serializable,
+    peek_file_version,
+    peek_kind,
+    write_format,
+)
 
-__all__ = ["MAGIC", "FORMAT_VERSION", "ChunkWriter", "ChunkReader", "Serializable", "peek_kind"]
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "SUPPORTED_VERSIONS",
+    "ARRAY_ALIGNMENT",
+    "ChunkWriter",
+    "ChunkReader",
+    "MappedFile",
+    "MappedSource",
+    "Serializable",
+    "peek_kind",
+    "peek_file_version",
+    "write_format",
+]

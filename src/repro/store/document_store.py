@@ -82,14 +82,30 @@ class DocumentStore:
         Number of shard subdirectories documents are hashed into.
     cache_size:
         Maximum number of loaded documents kept resident (LRU eviction).
+    mapped:
+        Passed to :meth:`Document.load` -- ``None`` (default) memory-maps v2
+        files and copies v1 files, ``True``/``False`` force one mode.  Mapped
+        residents hold page-cache views instead of heap copies, so N stores
+        (or N worker processes) over the same files share physical memory.
+    verify:
+        Checksum mode for mapped loads (``"eager"``, ``"lazy"``, ``"off"``).
     """
 
-    def __init__(self, root: str | os.PathLike, num_shards: int = 16, cache_size: int = 8):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        num_shards: int = 16,
+        cache_size: int = 8,
+        mapped: bool | None = None,
+        verify: str | None = None,
+    ):
         if num_shards < 1:
             raise StorageError("a store needs at least one shard")
         if cache_size < 1:
             raise StorageError("the resident cache must hold at least one document")
         self._root = Path(root)
+        self._mapped = mapped
+        self._verify = verify
         self._cache: OrderedDict[str, Document] = OrderedDict()
         #: (mtime_ns, size) of each resident document's file at load time;
         #: cache hits revalidate against the live stat so an overwrite -- by
@@ -132,6 +148,16 @@ class DocumentStore:
     def cache_size(self) -> int:
         """Maximum number of resident documents."""
         return self._cache_size
+
+    @property
+    def mapped(self) -> bool | None:
+        """The mapped-load mode documents are loaded with (None = auto)."""
+        return self._mapped
+
+    @property
+    def verify(self) -> str | None:
+        """The checksum mode mapped documents are loaded with (None = default)."""
+        return self._verify
 
     def shard_of(self, doc_id: str) -> int:
         """Stable shard index of ``doc_id`` (same across processes and machines)."""
@@ -236,6 +262,13 @@ class DocumentStore:
         if meta is not None:
             self._meta[doc_id] = meta
         while len(self._cache) > self._cache_size:
+            # Dropping the cache reference is enough to release a mapped
+            # document deterministically: the engine holds only a weak back
+            # reference and the file descriptor was closed at map time, so the
+            # last strong reference (ours, or an in-flight query's, whichever
+            # dies later) unmaps via plain refcounting.  No explicit close --
+            # a query still running against the evicted document must keep
+            # working.
             evicted, _ = self._cache.popitem(last=False)
             self._meta.pop(evicted, None)
             self.evictions += 1
@@ -264,7 +297,7 @@ class DocumentStore:
         if meta is None:
             raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
         with get_tracer().span("store.load", doc_id=doc_id) as span:
-            document = Document.load(path)
+            document = Document.load(path, mapped=self._mapped, verify=self._verify)
             span.set_attribute("bytes", meta[1])
         with self._lock:
             raced = self._cache.get(doc_id)
@@ -280,6 +313,19 @@ class DocumentStore:
         """Identifiers currently held in the LRU cache, oldest first."""
         with self._lock:
             return list(self._cache)
+
+    def close(self) -> None:
+        """Drop the resident cache and release every mapped document eagerly.
+
+        For orderly shutdown (the server calls this); the store remains usable
+        -- the next :meth:`get` simply reloads.
+        """
+        with self._lock:
+            documents = list(self._cache.values())
+            self._cache.clear()
+            self._meta.clear()
+        for document in documents:
+            document.close()
 
     def cache_info(self) -> dict[str, int]:
         """Hit/miss/eviction counters and current residency."""
@@ -370,10 +416,18 @@ class DocumentStore:
         for shard_dir in self._root.glob("shard-*"):
             for path in shard_dir.glob(f"*{_SUFFIX}"):
                 disk_bytes += path.stat().st_size
+        with self._lock:
+            residents = list(self._cache.values())
+        mapped_docs = [doc for doc in residents if doc.is_mapped]
         return {
             "num_documents": sum(len(ids) for ids in shards.values()),
             "num_shards": self._num_shards,
             "occupied_shards": len(shards),
             "disk_bytes": disk_bytes,
             "cache": self.cache_info(),
+            "storage": {
+                "mode": "auto" if self._mapped is None else ("mapped" if self._mapped else "heap"),
+                "resident_mapped_documents": len(mapped_docs),
+                "resident_mapped_bytes": sum(doc.mapped_bytes for doc in mapped_docs),
+            },
         }

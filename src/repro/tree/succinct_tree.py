@@ -111,14 +111,16 @@ class SuccinctTree(Serializable):
         tree._text_bitmap = reader.child("TXTB", BitVector)
         if len(tree._tags) != len(tree._par) or len(tree._text_bitmap) != len(tree._par):
             raise CorruptedFileError("tree component lengths disagree")
-        tree._num_texts = tree._text_bitmap.count_ones
+        # Deferred on mapped reads: counting the ones would fault the leaf
+        # bitmap's rank directory before any query needs it.
+        tree._num_texts = tree._text_bitmap.count_ones if reader.deep_checks else None
         tree._num_nodes = len(tree._par) // 2
         tree._nav = None
         return tree
 
     def text_leaf_positions(self) -> list[int]:
         """Opening-parenthesis positions of the text-carrying leaves, in document order."""
-        return self._text_bitmap.select1_many(np.arange(1, self._num_texts + 1)).tolist()
+        return self._text_bitmap.select1_many(np.arange(1, self.num_texts + 1)).tolist()
 
     # -- size / identity ----------------------------------------------------------------------
 
@@ -133,6 +135,8 @@ class SuccinctTree(Serializable):
     @property
     def num_texts(self) -> int:
         """Number of text-carrying leaves ``d``."""
+        if self._num_texts is None:
+            self._num_texts = self._text_bitmap.count_ones
         return self._num_texts
 
     @property

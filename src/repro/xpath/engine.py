@@ -21,8 +21,10 @@ parses and compiles once instead of once per document).
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 
+from repro.core.errors import ReproError
 from repro.core.options import EvaluationOptions
 from repro.obs.counters import ENGINE_COUNTERS
 from repro.obs.tracing import get_tracer
@@ -63,9 +65,20 @@ class XPathEngine:
     """
 
     def __init__(self, document):
-        self._document = document
+        # A weak reference: the document owns the engine, and a strong back
+        # edge would make the pair collectible only by the cycle detector --
+        # which keeps mmap-backed documents (and their mappings) alive past
+        # LRU eviction.  The weakref keeps teardown purely refcount-driven.
+        self._document_ref = weakref.ref(document)
         self._prepared: dict[str, PreparedQuery] = {}
         self._plan_cache: dict[tuple[str, bool], QueryPlan] = {}
+
+    @property
+    def _document(self):
+        document = self._document_ref()
+        if document is None:
+            raise ReproError("the document backing this engine has been released")
+        return document
 
     # -- compilation -------------------------------------------------------------------------------------
 

@@ -1,0 +1,279 @@
+"""Mapped (v2) storage: cross-version reads, alignment, integrity, fd hygiene."""
+
+from __future__ import annotations
+
+import gc
+import os
+import resource
+import shutil
+import weakref
+
+import numpy as np
+import pytest
+
+from repro import Document, DocumentStore
+from repro.core.errors import CorruptedFileError, StorageError
+from repro.storage.codec import ARRAY_ALIGNMENT, FORMAT_VERSION, peek_file_version, write_format
+
+QUERIES = [
+    "//item",
+    "//item/name",
+    "//person/name",
+    '//item[contains(., "gold")]',
+    "//closed_auction//keyword",
+]
+
+
+@pytest.fixture(scope="module")
+def saved_paths(tmp_path_factory, small_site_document):
+    """The same document saved as v1 and v2, plus the document itself."""
+    root = tmp_path_factory.mktemp("mmap-docs")
+    v1 = root / "site-v1.sxsi"
+    v2 = root / "site-v2.sxsi"
+    with write_format(1):
+        small_site_document.save(v1)
+    small_site_document.save(v2)
+    return v1, v2
+
+
+# -- version handling --------------------------------------------------------------------
+
+
+def test_default_write_is_v2_and_peekable(saved_paths):
+    v1, v2 = saved_paths
+    assert FORMAT_VERSION == 2
+    assert peek_file_version(v1) == 1
+    assert peek_file_version(v2) == 2
+
+
+def test_v1_and_v2_cross_read_agree(saved_paths, small_site_document):
+    v1, v2 = saved_paths
+    docs = {
+        "v1-heap": Document.load(v1),
+        "v2-heap": Document.load(v2, mapped=False),
+        "v2-mapped": Document.load(v2, mapped=True),
+    }
+    assert not docs["v1-heap"].is_mapped
+    assert not docs["v2-heap"].is_mapped
+    assert docs["v2-mapped"].is_mapped
+    for query in QUERIES:
+        expected = small_site_document.count(query)
+        for label, doc in docs.items():
+            assert doc.count(query) == expected, f"{label} disagrees on {query!r}"
+    docs["v2-mapped"].close()
+
+
+def test_mapped_load_of_v1_file_raises(saved_paths):
+    v1, _ = saved_paths
+    with pytest.raises(StorageError, match="v1"):
+        Document.load(v1, mapped=True)
+    # The automatic mode quietly falls back to the eager reader.
+    assert not Document.load(v1).is_mapped
+
+
+def test_auto_mode_maps_v2(saved_paths):
+    _, v2 = saved_paths
+    doc = Document.load(v2)
+    assert doc.is_mapped
+    doc.close()
+
+
+# -- mapped-view invariants --------------------------------------------------------------
+
+
+def test_every_view_is_64_byte_aligned(saved_paths):
+    _, v2 = saved_paths
+    doc = Document.load(v2, mapped=True)
+    views = doc._mapped_file.views
+    assert views, "a mapped load must hand out views"
+    for offset, nbytes in views:
+        assert offset % ARRAY_ALIGNMENT == 0, f"view at {offset} is misaligned"
+        assert nbytes >= 0
+    assert doc.mapped_bytes == sum(nbytes for _, nbytes in views)
+    doc.close()
+
+
+def test_mapped_arrays_are_read_only(saved_paths):
+    _, v2 = saved_paths
+    doc = Document.load(v2, mapped=True)
+    words = doc.tree.parentheses._bv._words
+    assert isinstance(words, np.ndarray)
+    assert not words.flags.writeable
+    with pytest.raises(ValueError):
+        words[0] = 0
+    doc.close()
+
+
+def test_mapped_and_heap_results_are_identical(saved_paths):
+    _, v2 = saved_paths
+    mapped = Document.load(v2, mapped=True)
+    heap = Document.load(v2, mapped=False)
+    for query in QUERIES:
+        assert mapped.query(query) == heap.query(query)
+        assert mapped.serialize(query) == heap.serialize(query)
+    mapped.close()
+
+
+def test_stats_report_storage_mode(saved_paths):
+    _, v2 = saved_paths
+    mapped = Document.load(v2, mapped=True)
+    heap = Document.load(v2, mapped=False)
+    ms = mapped.stats()["storage"]
+    hs = heap.stats()["storage"]
+    assert ms["mode"] == "mapped"
+    assert ms["mapped_bytes"] > 0
+    assert ms["verify"] == "lazy"
+    assert hs["mode"] == "heap"
+    assert hs["mapped_bytes"] == 0
+    mapped.close()
+
+
+def test_close_releases_the_mapping(saved_paths):
+    _, v2 = saved_paths
+    doc = Document.load(v2, mapped=True)
+    assert doc.is_mapped
+    doc.close()
+    assert not doc.is_mapped
+    doc.close()  # idempotent
+
+
+def test_teardown_is_refcount_driven(saved_paths):
+    _, v2 = saved_paths
+    doc = Document.load(v2, mapped=True)
+    doc.count(QUERIES[0])  # exercise the engine so any cycle would form
+    ref = weakref.ref(doc)
+    del doc
+    gc.collect()
+    assert ref() is None, "the engine must not keep the document alive"
+
+
+# -- integrity ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def corrupted_v2(tmp_path, saved_paths):
+    _, v2 = saved_paths
+    target = tmp_path / "corrupt.sxsi"
+    shutil.copy(v2, target)
+    probe = Document.load(v2, mapped=True, verify="lazy")
+    pending = probe._mapped_file.pending
+    assert pending, "lazy mode must defer array checksums"
+    name, offset, length, _crc = pending[-1]
+    probe.close()
+    data = bytearray(target.read_bytes())
+    data[offset + length - 1] ^= 0xFF
+    target.write_bytes(bytes(data))
+    return target
+
+
+def test_lazy_verify_defers_and_then_detects_corruption(corrupted_v2):
+    doc = Document.load(corrupted_v2, mapped=True, verify="lazy")
+    assert doc.stats()["storage"]["pending_checksums"] > 0
+    with pytest.raises(CorruptedFileError, match="checksum"):
+        doc.verify_integrity()
+    doc.close()
+
+
+def test_eager_verify_detects_corruption_at_load(corrupted_v2):
+    with pytest.raises(CorruptedFileError, match="checksum"):
+        Document.load(corrupted_v2, mapped=True, verify="eager")
+
+
+def test_verify_off_skips_checksums(corrupted_v2):
+    doc = Document.load(corrupted_v2, mapped=True, verify="off")
+    assert doc.stats()["storage"]["pending_checksums"] == 0
+    assert doc.verify_integrity() == 0
+    doc.close()
+
+
+def test_clean_file_verifies(saved_paths):
+    _, v2 = saved_paths
+    doc = Document.load(v2, mapped=True, verify="lazy")
+    assert doc.verify_integrity() > 0
+    assert doc.verify_integrity() == 0  # second call has nothing left to do
+    doc.close()
+
+
+# -- the document store ------------------------------------------------------------------
+
+
+def test_store_serves_mapped_documents(tmp_path, small_site_document):
+    store = DocumentStore(tmp_path / "store", num_shards=4, cache_size=4, mapped=True)
+    store.add("site", small_site_document)
+    store.close()  # drop the cached in-memory instance so get() loads from disk
+    doc = store.get("site")
+    assert doc.is_mapped
+    assert doc.count(QUERIES[0]) == small_site_document.count(QUERIES[0])
+    storage = store.stats()["storage"]
+    assert storage["mode"] == "mapped"
+    assert storage["resident_mapped_documents"] == 1
+    assert storage["resident_mapped_bytes"] > 0
+    store.close()
+    assert not doc.is_mapped
+
+
+def test_store_heap_mode_reports_no_mappings(tmp_path, small_site_document):
+    store = DocumentStore(tmp_path / "store", num_shards=4, cache_size=4, mapped=False)
+    store.add("site", small_site_document)
+    store.close()
+    assert not store.get("site").is_mapped
+    storage = store.stats()["storage"]
+    assert storage["mode"] == "heap"
+    assert storage["resident_mapped_documents"] == 0
+    store.close()
+
+
+def test_lru_churn_does_not_leak_fds(tmp_path, small_site_document):
+    """Loading far more mapped documents than the fd soft limit must not leak.
+
+    Each *live* mapping costs exactly one descriptor (the ``mmap`` module's
+    internal dup); the parse channel is closed as soon as a load finishes and
+    eviction drops the mapping's fd with the document.  Steady-state usage is
+    therefore O(cache_size), independent of how many documents churn through.
+    Exercised against a lowered RLIMIT_NOFILE so a leak of one fd per load
+    would blow past the limit inside the loop.
+    """
+    soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+    lowered = min(soft, 256)
+    resource.setrlimit(resource.RLIMIT_NOFILE, (lowered, hard))
+    try:
+        store = DocumentStore(tmp_path / "store", num_shards=4, cache_size=4, mapped=True)
+        store.add("seed", small_site_document)
+        seed_path = store.root / f"shard-{store.shard_of('seed'):03d}" / "seed.sxsi"
+        n_docs = lowered // 4 + 8
+        for i in range(n_docs):
+            doc_id = f"doc-{i:04d}"
+            target = store.root / f"shard-{store.shard_of(doc_id):03d}" / f"{doc_id}.sxsi"
+            target.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(seed_path, target)
+        before = len(os.listdir("/proc/self/fd")) if os.path.isdir("/proc/self/fd") else None
+        for i in range(n_docs):
+            doc = store.get(f"doc-{i:04d}")
+            assert doc.is_mapped
+        del doc
+        if before is not None:
+            after = len(os.listdir("/proc/self/fd"))
+            assert after <= before + store.cache_size + 2, f"fd count grew from {before} to {after}"
+        assert len(store.resident_ids()) <= 4
+        store.close()
+        if before is not None:
+            assert len(os.listdir("/proc/self/fd")) <= before + 2, "close() must drop every mapping fd"
+    finally:
+        resource.setrlimit(resource.RLIMIT_NOFILE, (soft, hard))
+
+
+# -- fuzz oracle integration -------------------------------------------------------------
+
+
+def test_oracle_runs_mapped_and_heap_saveload_legs():
+    from repro.fuzz.oracle import DocumentOracle
+
+    oracle = DocumentOracle(
+        "<site><regions><europe><item><name>Pen</name></item></europe></regions></site>",
+        layers=("saveload",),
+    )
+    assert oracle.reloaded.is_mapped
+    assert not oracle.reloaded_heap.is_mapped
+    legs = {(layer, label) for layer, label, _ in oracle._layer_outcomes("//item")}
+    assert ("saveload", "mapped") in legs
+    assert ("saveload", "heap") in legs
