@@ -20,10 +20,16 @@ deliberately smaller than the corpus, the regime the store is built for:
   ``tracing_overhead_ratio`` metric (traced / untraced wall time) is a
   critical same-machine ratio in ``baseline.json``, and the untraced numbers
   above double as the tracing-disabled regression guard because the tracer's
-  disabled path runs inside every measured query.
+  disabled path runs inside every measured query;
+* **service (threads, metrics off)** -- the thread path with the metrics
+  registry and workload analytics disabled.  The default thread run above
+  records into both, so ``metrics_overhead_ratio`` (metrics-on / metrics-off
+  wall time) prices the whole PR-8 instrumentation layer; it is held to a
+  tight critical ceiling (<= 1.05) in ``baseline.json`` because the counters
+  are folded once per sweep, off the rank/select hot loops.
 
 Runs standalone for CI (``python benchmarks/bench_service_throughput.py
---quick --out BENCH_pr6.json``) or under pytest like the other modules.
+--quick --out BENCH_pr8.json``) or under pytest like the other modules.
 """
 
 from __future__ import annotations
@@ -32,12 +38,15 @@ import argparse
 import json
 import os
 import platform
+import statistics
 import tempfile
 import time
 from pathlib import Path
 
 from repro import DocumentStore, IndexOptions, QueryService
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import Tracer, set_tracer
+from repro.obs.workload import get_workload
 from repro.workloads import generate_xmark_xml
 
 from _bench_utils import print_table
@@ -104,6 +113,35 @@ def run_benchmark(
         finally:
             set_tracer(previous_tracer)
 
+        # Metrics-on vs metrics-off on the same warm thread service.  The
+        # ratio is gated at a tight 1.05 ceiling, so the measurement has to
+        # resist scheduler noise: rounds alternate between the two modes
+        # (swapping which goes first each round, so neither systematically
+        # inherits a warmer machine) and each mode is summarised by its
+        # *median* round, which a single fast or slow outlier cannot move.
+        registry, workload = get_registry(), get_workload()
+        on_rounds: list[float] = []
+        off_rounds: list[float] = []
+        try:
+            for round_index in range(max(repeats, 4)):
+                order = (True, False) if round_index % 2 else (False, True)
+                for metrics_on in order:
+                    if metrics_on:
+                        registry.enable()
+                        workload.enable()
+                    else:
+                        registry.disable()
+                        workload.disable()
+                    started = time.perf_counter()
+                    thread_service.run_many(QUERIES)
+                    elapsed = time.perf_counter() - started
+                    (on_rounds if metrics_on else off_rounds).append(elapsed)
+        finally:
+            registry.enable()
+            workload.enable()
+        metrics_on_median = statistics.median(on_rounds)
+        metrics_off_median = statistics.median(off_rounds)
+
         # Service, shard-affine process workers, warm residency.
         with QueryService(
             DocumentStore(root, cache_size=cache_size), max_workers=workers, executor="process"
@@ -135,6 +173,8 @@ def run_benchmark(
             "service_process_speedup": round(sequential_seconds / process_seconds, 3),
             "tracing_enabled_sweeps_per_second": round(sweeps / traced_seconds, 3),
             "tracing_overhead_ratio": round(traced_seconds / thread_seconds, 3),
+            "metrics_disabled_sweeps_per_second": round(len(QUERIES) / metrics_off_median, 3),
+            "metrics_overhead_ratio": round(metrics_on_median / metrics_off_median, 3),
         },
     }
 
@@ -160,6 +200,11 @@ def _report(results: dict) -> None:
                 "service run_many (threads, traced)",
                 metrics["tracing_enabled_sweeps_per_second"],
                 f"{metrics['tracing_overhead_ratio']:.2f}x overhead",
+            ],
+            [
+                "service run_many (threads, metrics off)",
+                metrics["metrics_disabled_sweeps_per_second"],
+                f"{metrics['metrics_overhead_ratio']:.2f}x on/off",
             ],
         ],
     )

@@ -1,0 +1,151 @@
+"""Merge ``BENCH_pr*.json`` runs into one perf-trajectory report.
+
+Each PR's benchmark module writes a ``BENCH_pr<N>.json`` with a ``meta`` block
+and a flat ``metrics`` dict; the committed ones plus any freshly produced runs
+together describe how the repo's performance story evolved.  This script
+merges them -- newest PR wins when two runs report the same metric -- and
+prints a table of every metric against the committed baseline, flagging
+values that sit outside their baseline tolerance::
+
+    python scripts/bench_trajectory.py                 # all committed BENCH_pr*.json
+    python scripts/bench_trajectory.py BENCH_pr8.json --out trajectory.json
+
+Stdlib only (CI runs it without installing the package).  The ``--out`` JSON
+carries the per-run metric series so nightly artifacts can be diffed across
+dates, not just within one run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+_PR_RE = re.compile(r"BENCH_pr(\d+)", re.IGNORECASE)
+
+
+def _pr_number(path: Path) -> int:
+    match = _PR_RE.search(path.name)
+    return int(match.group(1)) if match else -1
+
+
+def load_runs(paths: list[Path]) -> list[dict]:
+    """The parsed runs, ordered oldest PR first (merge order: newest wins)."""
+    runs = []
+    for path in sorted(paths, key=lambda p: (_pr_number(p), p.name)):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if "metrics" not in data:
+            raise SystemExit(f"{path}: not a benchmark run (no 'metrics' key)")
+        runs.append(
+            {
+                "source": path.name,
+                "pr": _pr_number(path),
+                "meta": data.get("meta", {}),
+                "metrics": data["metrics"],
+            }
+        )
+    return runs
+
+
+def build_trajectory(runs: list[dict], baseline: dict | None) -> dict:
+    """Per-metric series across runs plus the merged (newest-wins) view."""
+    series: dict[str, list[dict]] = {}
+    merged: dict[str, float] = {}
+    for run in runs:
+        for name, value in run["metrics"].items():
+            series.setdefault(name, []).append({"source": run["source"], "value": value})
+            merged[name] = value
+    metrics: dict[str, dict] = {}
+    baseline_metrics = (baseline or {}).get("metrics", {})
+    default_threshold = float((baseline or {}).get("threshold", 0.30))
+    for name in sorted(series):
+        entry: dict = {"series": series[name], "latest": merged[name]}
+        spec = baseline_metrics.get(name)
+        if spec is not None:
+            base = float(spec["value"])
+            limit = float(spec.get("threshold", default_threshold))
+            higher = spec.get("direction", "higher") == "higher"
+            bound = base * (1.0 - limit) if higher else base * (1.0 + limit)
+            value = float(merged[name])
+            entry["baseline"] = {
+                "value": base,
+                "direction": spec.get("direction", "higher"),
+                "critical": bool(spec.get("critical", False)),
+                "bound": round(bound, 3),
+                "within": value >= bound if higher else value <= bound,
+            }
+        metrics[name] = entry
+    return {"runs": runs, "metrics": metrics}
+
+
+def print_report(trajectory: dict) -> int:
+    """Human-readable table; returns the number of out-of-tolerance criticals."""
+    runs = trajectory["runs"]
+    print(f"perf trajectory across {len(runs)} run(s): " + ", ".join(r["source"] for r in runs))
+    header = f"{'metric':<42} {'latest':>10} {'baseline':>10} {'bound':>10}  status"
+    print(header)
+    print("-" * len(header))
+    critical_failures = 0
+    for name, entry in trajectory["metrics"].items():
+        latest = entry["latest"]
+        spec = entry.get("baseline")
+        if spec is None:
+            print(f"{name:<42} {latest:>10} {'-':>10} {'-':>10}  unbaselined")
+            continue
+        if spec["within"]:
+            status = "ok"
+        elif spec["critical"]:
+            status = "FAIL (critical)"
+            critical_failures += 1
+        else:
+            status = "warn"
+        print(f"{name:<42} {latest:>10} {spec['value']:>10} {spec['bound']:>10}  {status}")
+    return critical_failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "files",
+        type=Path,
+        nargs="*",
+        help="BENCH_pr*.json runs to merge (default: every BENCH_pr*.json beside this repo's root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json",
+        help="baseline.json to annotate tolerances from (default: the committed one)",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="write the merged trajectory JSON here")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when a critical metric sits outside its baseline tolerance",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.files or sorted((Path(__file__).resolve().parent.parent).glob("BENCH_pr*.json"))
+    if not paths:
+        parser.error("no BENCH_pr*.json runs found or given")
+    baseline = None
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    else:
+        print(f"note: baseline {args.baseline} not found; reporting without tolerances")
+
+    trajectory = build_trajectory(load_runs(paths), baseline)
+    critical_failures = print_report(trajectory)
+    if args.out is not None:
+        args.out.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    if args.strict and critical_failures:
+        print(f"{critical_failures} critical metric(s) out of tolerance", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

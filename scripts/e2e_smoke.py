@@ -7,8 +7,10 @@ Run by the CI ``e2e-smoke`` job (and runnable locally)::
 It builds a temporary XMark store, launches ``python -m repro.server`` as a
 separate OS process, waits for ``/healthz``, verifies a batch response over
 the socket is value-identical to the in-process ``QueryService.run_many``,
-does an ingest round-trip, then sends SIGTERM and asserts the server exits
-cleanly (graceful shutdown, exit code 0).
+does an ingest round-trip, strict-parses the ``/metrics`` page (every layer's
+families must be present and well-formed) and checks ``/v1/debug/workload``
+recorded the batch, then sends SIGTERM and asserts the server exits cleanly
+(graceful shutdown, exit code 0).
 """
 
 from __future__ import annotations
@@ -81,9 +83,28 @@ def main() -> int:
                 client.delete_document("wire")
                 print(f"e2e: ingest round-trip ok (shard {created['shard']})")
 
-                page = client.metrics_text()
-                assert "repro_http_requests_total{" in page
-                print("e2e: metrics page ok")
+                # The strict parser raises on any exposition-format slip
+                # (duplicate headers, unsorted labels, broken histograms).
+                families = client.metrics()
+                for family in (
+                    "repro_http_requests_total",
+                    "repro_http_request_seconds",
+                    "repro_engine_queries_total",
+                    "repro_store_cache_hits_total",
+                    "repro_storage_mapped_loads_total",
+                    "repro_service_sweep_seconds",
+                    "repro_process_open_fds",
+                ):
+                    assert family in families, f"missing metric family {family}"
+                print(f"e2e: metrics page strict-parses ({len(families)} families)")
+
+                workload = client.debug_workload()
+                assert workload["enabled"], "workload analytics disabled by default?"
+                assert workload["total_queries"] >= len(QUERIES), workload["total_queries"]
+                assert workload["shapes"], "no query shapes recorded"
+                assert workload["shapes"][0]["latency"]["count"] >= 1
+                assert workload["slow_queries"], "no slow queries recorded"
+                print(f"e2e: workload analytics ok ({workload['num_shapes']} shapes)")
 
             process.send_signal(signal.SIGTERM)
             exit_code = process.wait(timeout=30)

@@ -55,10 +55,17 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "configure_logging",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "parse_prometheus_text",
+    "WorkloadAnalytics",
+    "get_workload",
+    "set_workload",
     "__version__",
 ]
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 #: Lazily exported so ``import repro`` stays cheap: the HTTP server and client
 #: (asyncio, http.client, url parsing) only load when actually referenced, and
@@ -70,6 +77,13 @@ _LAZY_EXPORTS = {
     "get_tracer": ("repro.obs", "get_tracer"),
     "set_tracer": ("repro.obs", "set_tracer"),
     "configure_logging": ("repro.obs", "configure_logging"),
+    "MetricsRegistry": ("repro.obs", "MetricsRegistry"),
+    "get_registry": ("repro.obs", "get_registry"),
+    "set_registry": ("repro.obs", "set_registry"),
+    "parse_prometheus_text": ("repro.obs", "parse_prometheus_text"),
+    "WorkloadAnalytics": ("repro.obs", "WorkloadAnalytics"),
+    "get_workload": ("repro.obs", "get_workload"),
+    "set_workload": ("repro.obs", "set_workload"),
 }
 
 

@@ -321,12 +321,28 @@ class ReproClient:
         path = "/v1/debug/traces" if limit is None else f"/v1/debug/traces?limit={int(limit)}"
         return self._json("GET", path)
 
+    def debug_workload(self, limit: int | None = None) -> dict:
+        """Per-query-shape analytics and slowest queries (``GET /v1/debug/workload``)."""
+        path = "/v1/debug/workload" if limit is None else f"/v1/debug/workload?limit={int(limit)}"
+        return self._json("GET", path)
+
     def metrics_text(self) -> str:
         """The raw Prometheus ``/metrics`` page."""
         status, data = self._request("GET", "/metrics")
         if status >= 400:
             raise ApiError(status, data.decode("utf-8", "replace"))
         return data.decode("utf-8")
+
+    def metrics(self) -> dict:
+        """The ``/metrics`` page parsed into
+        ``{family: {"type", "help", "samples": [(name, labels, value)]}}``.
+
+        Uses the strict in-repo text-format parser, so a malformed page
+        raises ``ValueError`` instead of returning partial data.
+        """
+        from repro.obs.metrics import parse_prometheus_text
+
+        return parse_prometheus_text(self.metrics_text())
 
     def __repr__(self) -> str:
         return f"ReproClient(http://{self.host}:{self.port})"

@@ -22,7 +22,15 @@ import numpy as np
 
 from repro.core.errors import CorruptedFileError, StorageError
 from repro.core.options import EvaluationOptions, IndexOptions
-from repro.storage.codec import ChunkReader, ChunkWriter, MappedFile, Serializable, peek_file_version
+from repro.storage.codec import (
+    ChunkReader,
+    ChunkWriter,
+    MappedFile,
+    Serializable,
+    peek_file_version,
+    record_mapped_load,
+    record_v1_fallback_load,
+)
 from repro.text.pssm import PositionWeightMatrix
 from repro.text.rlcsa import RLCSAIndex
 from repro.text.text_collection import TextCollection
@@ -174,6 +182,7 @@ class Document(Serializable):
                         "(re-save the document to upgrade it)"
                     )
                 mapped = False
+                record_v1_fallback_load()
             else:
                 mapped = True
         if not mapped:
@@ -187,6 +196,7 @@ class Document(Serializable):
             raise
         mapped_file.end_parse()  # decoding is done; drop the fd, keep only the mapping
         doc._mapped_file = mapped_file
+        record_mapped_load(mapped_file)
         return doc
 
     # -- mapped-storage surface --------------------------------------------------------------------------
@@ -317,6 +327,11 @@ class Document(Serializable):
             storage["verify"] = self._mapped_file.verify
             storage["file_bytes"] = self._mapped_file.size
             storage["pending_checksums"] = len(self._mapped_file.pending)
+            from repro.obs.resources import mapped_residency
+
+            residency = mapped_residency(self._mapped_file)
+            if residency is not None:
+                storage["residency"] = residency
         return {
             "num_nodes": self.num_nodes,
             "num_texts": self.num_texts,

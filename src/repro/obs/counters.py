@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["EngineCounters", "ENGINE_COUNTERS"]
+__all__ = ["EngineCounters", "ENGINE_COUNTERS", "register_engine_metrics"]
 
 #: Counter field names, in the order they are rendered.
 _FIELDS = (
@@ -72,6 +72,25 @@ class EngineCounters:
         with self._lock:
             return {name: getattr(self, f"_{name}") for name in _FIELDS}
 
+    def delta_since(self, before: dict[str, int]) -> dict[str, int]:
+        """What accumulated since ``before`` (an earlier :meth:`snapshot`).
+
+        This is the wire format of the cross-process counter fix: a pool
+        worker snapshots around its shard batch and ships the delta home,
+        where the parent folds it via :meth:`merge` -- so ``/metrics`` counts
+        process-executor queries exactly like inline ones.
+        """
+        now = self.snapshot()
+        return {name: now[name] - int(before.get(name, 0)) for name in _FIELDS}
+
+    def merge(self, delta: dict[str, int]) -> None:
+        """Fold a :meth:`delta_since` dict from another process into the totals."""
+        with self._lock:
+            for name in _FIELDS:
+                amount = int(delta.get(name, 0))
+                if amount:
+                    setattr(self, f"_{name}", getattr(self, f"_{name}") + amount)
+
     def reset(self) -> None:
         """Zero every counter (tests only; Prometheus counters must not reset in production)."""
         with self._lock:
@@ -85,3 +104,35 @@ class EngineCounters:
 
 #: The process-global aggregate the server's ``/metrics`` endpoint reads.
 ENGINE_COUNTERS = EngineCounters()
+
+_HELP = {
+    "queries_total": "Queries evaluated by the engine.",
+    "queries_top_down_total": "Queries evaluated with the top-down strategy.",
+    "queries_bottom_up_total": "Queries evaluated with the bottom-up strategy.",
+    "visited_nodes_total": "Tree nodes visited during evaluation.",
+    "marked_nodes_total": "Nodes marked by the tree automaton.",
+    "result_nodes_total": "Nodes returned as query results.",
+    "jumps_total": "Tagged-descendant jumps taken instead of child walks.",
+    "text_queries_total": "Text-predicate evaluations.",
+    "fm_index_queries_total": "Queries that touched the FM-index.",
+    "rank_calls_total": "Scalar rank operations issued by the engine.",
+    "select_calls_total": "Scalar select operations issued by the engine.",
+    "kernel_batch_calls_total": "Vectorized batch-kernel invocations.",
+}
+
+
+def register_engine_metrics(registry=None) -> None:
+    """Expose :data:`ENGINE_COUNTERS` as ``engine_*`` callback counters.
+
+    Idempotent; values are read from the live counters at render time, so the
+    families track the process totals without a second accounting path.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = registry if registry is not None else get_registry()
+    for name in _FIELDS:
+        registry.counter_callback(
+            f"engine_{name}",
+            _HELP.get(name, "Engine counter."),
+            lambda field=name: ENGINE_COUNTERS.snapshot()[field],
+        )

@@ -1,0 +1,215 @@
+"""Process and mapped-memory resource observability.
+
+Makes PR 7's "workers share the page cache" claim continuously observable:
+
+* :func:`mapped_residency` asks the kernel (``mincore(2)``) which pages of a
+  :class:`~repro.storage.codec.MappedFile` mapping are resident, so
+  ``Document.stats()``, ``/v1/stats`` and ``/metrics`` can report *resident
+  versus mapped* bytes per document and store-wide instead of a one-off bench.
+* :func:`process_resources` folds ``resource.getrusage`` and ``/proc/self``
+  into RSS / page-fault / open-fd readings.
+* :func:`register_process_metrics` exposes those readings as render-time
+  callback gauges on a :class:`~repro.obs.metrics.MetricsRegistry` -- nothing
+  polls; the values are computed when ``/metrics`` is scraped.
+
+Everything degrades gracefully: on platforms without ``mincore`` or
+``/proc`` the residency helpers return ``None`` and the gauges simply skip
+their samples.  No function here ever raises for a missing kernel facility.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import mmap
+import os
+import sys
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.codec import MappedFile
+
+__all__ = [
+    "PAGE_SIZE",
+    "mincore_available",
+    "resident_pages",
+    "mapped_residency",
+    "document_residency",
+    "process_resources",
+    "register_process_metrics",
+]
+
+PAGE_SIZE = mmap.PAGESIZE
+
+_libc = None
+_mincore_checked = False
+
+
+def _mincore():
+    """The libc ``mincore`` symbol, or ``None`` when unavailable."""
+    global _libc, _mincore_checked
+    if not _mincore_checked:
+        _mincore_checked = True
+        try:
+            libc = ctypes.CDLL(ctypes.util.find_library("c") or None, use_errno=True)
+            fn = libc.mincore
+            fn.argtypes = (ctypes.c_void_p, ctypes.c_size_t, ctypes.POINTER(ctypes.c_ubyte))
+            fn.restype = ctypes.c_int
+            _libc = fn
+        except (OSError, AttributeError):
+            _libc = None
+    return _libc
+
+
+def mincore_available() -> bool:
+    """Whether page-residency queries work on this platform."""
+    return _mincore() is not None
+
+
+def _buffer_address(buffer) -> int | None:
+    """Base address of a read-only buffer (``ctypes.from_buffer`` rejects it)."""
+    try:
+        import numpy as np
+
+        view = np.frombuffer(buffer, dtype=np.uint8)
+        if view.size == 0:
+            return None
+        return int(view.__array_interface__["data"][0])
+    except (ImportError, ValueError, TypeError, BufferError):
+        return None
+
+
+def resident_pages(address: int, length: int) -> tuple[int, int] | None:
+    """``(resident, total)`` page counts of ``[address, address+length)``.
+
+    ``address`` must be page-aligned (mmap bases are).  Returns ``None`` when
+    ``mincore`` is unavailable or the kernel refuses the range.
+    """
+    fn = _mincore()
+    if fn is None or length <= 0 or address % PAGE_SIZE:
+        return None
+    total = (length + PAGE_SIZE - 1) // PAGE_SIZE
+    vec = (ctypes.c_ubyte * total)()
+    if fn(ctypes.c_void_p(address), ctypes.c_size_t(length), vec) != 0:
+        return None
+    return sum(entry & 1 for entry in vec), total
+
+
+def mapped_residency(mapped_file: "MappedFile") -> dict | None:
+    """Page residency of one live :class:`MappedFile` mapping.
+
+    Returns ``{"mapped_bytes", "view_bytes", "resident_bytes",
+    "resident_pages", "total_pages", "resident_ratio"}`` -- ``mapped_bytes``
+    is the full mapping (file) length, ``view_bytes`` the part covered by
+    zero-copy array views.  ``None`` for in-memory buffers, closed mappings
+    or platforms without ``mincore``.
+    """
+    if mapped_file is None or mapped_file.closed or getattr(mapped_file, "_mmap", None) is None:
+        return None
+    address = _buffer_address(mapped_file.buffer)
+    if address is None:
+        return None
+    counted = resident_pages(address, mapped_file.size)
+    if counted is None:
+        return None
+    resident, total = counted
+    resident_bytes = min(resident * PAGE_SIZE, mapped_file.size)
+    return {
+        "mapped_bytes": mapped_file.size,
+        "view_bytes": mapped_file.mapped_bytes,
+        "resident_bytes": resident_bytes,
+        "resident_pages": resident,
+        "total_pages": total,
+        "resident_ratio": resident / total if total else 0.0,
+    }
+
+
+def document_residency(document) -> dict | None:
+    """:func:`mapped_residency` of a :class:`~repro.Document`'s mapping (or ``None``)."""
+    mapped_file = getattr(document, "_mapped_file", None)
+    if mapped_file is None:
+        return None
+    return mapped_residency(mapped_file)
+
+
+def process_resources() -> dict:
+    """RSS, page faults and open file descriptors of this process.
+
+    Sources: ``resource.getrusage(RUSAGE_SELF)`` (max RSS, minor/major
+    faults), ``/proc/self/status`` (current RSS) and ``/proc/self/fd`` (open
+    descriptors).  Keys whose source is unavailable are reported as ``None``.
+    """
+    out: dict[str, int | None] = {
+        "rss_bytes": None,
+        "max_rss_bytes": None,
+        "minor_page_faults": None,
+        "major_page_faults": None,
+        "open_fds": None,
+        "page_size": PAGE_SIZE,
+    }
+    try:
+        import resource
+
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        # ru_maxrss is kilobytes on Linux, bytes on macOS.
+        scale = 1 if sys.platform == "darwin" else 1024
+        out["max_rss_bytes"] = int(usage.ru_maxrss) * scale
+        out["minor_page_faults"] = int(usage.ru_minflt)
+        out["major_page_faults"] = int(usage.ru_majflt)
+    except (ImportError, ValueError, OSError):
+        pass
+    try:
+        with open("/proc/self/status", "r", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    out["rss_bytes"] = int(line.split()[1]) * 1024
+                    break
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        out["open_fds"] = len(os.listdir("/proc/self/fd"))
+    except OSError:
+        pass
+    return out
+
+
+def _resource_gauge(key: str):
+    def read() -> float | None:
+        value = process_resources().get(key)
+        return None if value is None else float(value)
+
+    return read
+
+
+def register_process_metrics(registry: MetricsRegistry | None = None) -> None:
+    """Register the process-level callback gauges (idempotent).
+
+    Families: ``process_rss_bytes``, ``process_max_rss_bytes``,
+    ``process_open_fds`` (gauges) and ``process_minor_page_faults_total``,
+    ``process_major_page_faults_total`` (counters) -- all computed when the
+    page renders.
+    """
+    registry = registry if registry is not None else get_registry()
+    registry.gauge_callback(
+        "process_rss_bytes", "Current resident set size of this process.", _resource_gauge("rss_bytes")
+    )
+    registry.gauge_callback(
+        "process_max_rss_bytes",
+        "Peak resident set size of this process.",
+        _resource_gauge("max_rss_bytes"),
+    )
+    registry.gauge_callback(
+        "process_open_fds", "Open file descriptors of this process.", _resource_gauge("open_fds")
+    )
+    registry.counter_callback(
+        "process_minor_page_faults_total",
+        "Minor page faults (page-cache hits) since process start.",
+        _resource_gauge("minor_page_faults"),
+    )
+    registry.counter_callback(
+        "process_major_page_faults_total",
+        "Major page faults (disk reads) since process start.",
+        _resource_gauge("major_page_faults"),
+    )

@@ -15,7 +15,9 @@ Observability flags: ``--log-level``/``--log-json`` configure the structured
 logger (access log lines carry request id, route, status, duration and shard
 count), ``--slow-query-ms`` turns on the slow-query WARNING log,
 ``--trace``/``--no-trace`` toggle span tracing (served by
-``GET /v1/debug/traces``), and ``--trace-buffer`` sizes its ring buffer.
+``GET /v1/debug/traces``), ``--trace-buffer`` sizes its ring buffer, and
+``--workload``/``--no-workload`` toggle the per-query-shape analytics behind
+``GET /v1/debug/workload``.
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ import sys
 
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.tracing import Tracer, set_tracer
+from repro.obs.workload import get_workload
 from repro.server.http import ReproServer
 from repro.service.query_service import QueryService
 from repro.store.document_store import DocumentStore
@@ -114,6 +117,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="trace ring-buffer capacity in traces (default: 256)",
     )
+    parser.add_argument(
+        "--workload",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="record per-query-shape workload analytics (GET /v1/debug/workload)",
+    )
     return parser
 
 
@@ -139,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_lines=args.log_json)
     set_tracer(Tracer(capacity=max(1, args.trace_buffer), enabled=bool(args.trace)))
+    if args.workload:
+        get_workload().enable()
+    else:
+        get_workload().disable()
     store = DocumentStore(
         args.root,
         num_shards=args.shards,
@@ -164,6 +177,7 @@ def main(argv: list[str] | None = None) -> int:
         documents=len(store),
         shards=store.num_shards,
         tracing=bool(args.trace),
+        workload=bool(args.workload),
     )
     asyncio.run(_serve(server))
     return 0

@@ -62,9 +62,10 @@ from dataclasses import dataclass, field
 from typing import Callable
 from urllib.parse import parse_qs, unquote, urlsplit
 
-from repro.obs.counters import ENGINE_COUNTERS
 from repro.obs.logging import get_logger
+from repro.obs.resources import process_resources
 from repro.obs.tracing import get_tracer
+from repro.obs.workload import get_workload
 from repro.server.json_api import (
     ApiError,
     error_payload,
@@ -75,6 +76,7 @@ from repro.server.json_api import (
 )
 from repro.server.metrics import ServerMetrics
 from repro.service.query_service import QueryService
+from repro.store.document_store import register_store_metrics
 
 __all__ = ["ReproServer"]
 
@@ -206,6 +208,9 @@ class ReproServer:
         self._shutdown_grace = float(shutdown_grace)
         self._slow_query_ms = float(slow_query_ms) if slow_query_ms is not None else None
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        # Bind the serving store to the store_mapped_* residency gauges
+        # (callback families; the most recently bound store wins).
+        register_store_metrics(service.store, self.metrics.registry)
 
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -226,6 +231,13 @@ class ReproServer:
             ("GET", re.compile(r"/healthz\Z"), "/healthz", self._h_healthz, False),
             ("GET", re.compile(r"/metrics\Z"), "/metrics", self._h_metrics, False),
             ("GET", re.compile(r"/v1/debug/traces\Z"), "/v1/debug/traces", self._h_debug_traces, False),
+            (
+                "GET",
+                re.compile(r"/v1/debug/workload\Z"),
+                "/v1/debug/workload",
+                self._h_debug_workload,
+                False,
+            ),
             ("POST", re.compile(r"/v1/query\Z"), "/v1/query", self._h_query, True),
             ("POST", re.compile(r"/v1/query/batch\Z"), "/v1/query/batch", self._h_query_batch, True),
             ("GET", re.compile(r"/v1/stats\Z"), "/v1/stats", self._h_stats, True),
@@ -651,19 +663,19 @@ class ReproServer:
 
     async def _h_metrics(self, request: _Request, match: re.Match):
         info = self._service.cache_info()
-        plan, store = info["plan_cache"], info["store_cache"]
+        plan = info["plan_cache"]
         plan_lookups = plan["hits"] + plan["misses"]
+        # Store hit/miss/eviction/remap counts are registry counters owned by
+        # the store layer now; only live occupancy stays a gauge here.
         gauges = {
             "inflight_requests": self._inflight,
             "plan_cache_hits_total": plan["hits"],
             "plan_cache_misses_total": plan["misses"],
             "plan_cache_hit_ratio": plan["hits"] / plan_lookups if plan_lookups else 0.0,
             "plan_cache_entries": plan["entries"],
-            "store_cache_hits_total": store["hits"],
-            "store_cache_misses_total": store["misses"],
-            "store_cache_resident_documents": store["resident"],
+            "store_cache_resident_documents": info["store_cache"]["resident"],
         }
-        return 200, self.metrics.render(gauges, engine=ENGINE_COUNTERS.snapshot())
+        return 200, self.metrics.render(gauges)
 
     async def _h_debug_traces(self, request: _Request, match: re.Match):
         tracer = get_tracer()
@@ -675,6 +687,17 @@ class ReproServer:
             except ValueError as exc:
                 raise ApiError(400, f"limit must be an integer, not {values[-1]!r}") from exc
         return 200, {**tracer.info(), "traces": tracer.traces(limit)}
+
+    async def _h_debug_workload(self, request: _Request, match: re.Match):
+        workload = get_workload()
+        limit = None
+        values = request.query.get("limit")
+        if values:
+            try:
+                limit = max(0, int(values[-1]))
+            except ValueError as exc:
+                raise ApiError(400, f"limit must be an integer, not {values[-1]!r}") from exc
+        return 200, workload.snapshot(limit)
 
     @staticmethod
     def _wants_explain(request: _Request, body) -> bool:
@@ -693,10 +716,12 @@ class ReproServer:
             # globally; with tracing on, this nests under ``http.request``.
             root = get_tracer().span("explain", force=True, request_id=request.request_id, query=query)
             with root:
-                result = self._service.run(query, explain=True, **params)
+                result = self._service.run(
+                    query, explain=True, request_id=request.request_id, **params
+                )
             trace = root.to_dict()
         else:
-            result = self._service.run(query, **params)
+            result = self._service.run(query, request_id=request.request_id, **params)
             trace = None
         request.log_fields["shards"] = len(result.shard_timings)
         request.log_fields["documents"] = result.num_documents
@@ -724,10 +749,12 @@ class ReproServer:
                 "explain", force=True, request_id=request.request_id, num_queries=len(queries)
             )
             with root:
-                results = self._service.run_many(queries, explain=True, **params)
+                results = self._service.run_many(
+                    queries, explain=True, request_id=request.request_id, **params
+                )
             trace = root.to_dict()
         else:
-            results = self._service.run_many(queries, **params)
+            results = self._service.run_many(queries, request_id=request.request_id, **params)
             trace = None
         if results:
             request.log_fields["shards"] = len(results[0].shard_timings)
@@ -791,7 +818,11 @@ class ReproServer:
         return 200, {"deleted": doc_id}
 
     def _h_stats(self, request: _Request, match: re.Match):
-        return 200, {"store": self._service.store.stats(), "service": self._service.cache_info()}
+        return 200, {
+            "store": self._service.store.stats(),
+            "service": self._service.cache_info(),
+            "process": process_resources(),
+        }
 
     def __repr__(self) -> str:
         state = f"listening on {self.url}" if self.port is not None else "stopped"

@@ -1,142 +1,106 @@
-"""Request metrics for the HTTP server, rendered in Prometheus text format.
+"""HTTP-server metrics: a thin façade over the process-wide registry.
 
-Dependency-free counterpart of ``prometheus_client`` covering exactly what the
-server needs: a per-``(route, method, status)`` request counter, a per-route
-latency histogram, and a way to fold externally computed gauges (plan-cache
-and store-cache counters, in-flight requests) into one ``/metrics`` page.
+Until PR 8 this module *was* the metrics implementation; the registry now
+lives in :mod:`repro.obs.metrics` where the store, the query service and the
+storage codec register instruments without importing the server.
+:class:`ServerMetrics` keeps its original surface -- ``observe_request``,
+``observe_rejection``, ``render`` -- but every family lives on the shared
+:class:`~repro.obs.metrics.MetricsRegistry`, whose renderer emits each
+family's ``# HELP``/``# TYPE`` header exactly once (the old renderer skipped
+``# HELP`` for engine and gauge families and re-emitted ``# TYPE`` per
+sample name).
 
-Everything is thread-safe: the server observes from executor threads while the
-event loop renders the page.
+Constructing a ``ServerMetrics`` also registers the engine-counter and
+process-resource callback families, so a bare server exposes the full
+process picture from its first scrape.
 """
 
 from __future__ import annotations
 
-import threading
-from collections import defaultdict
-from typing import Iterable, Mapping
+from typing import Mapping
+
+from repro.obs.counters import register_engine_metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, get_registry
+from repro.obs.resources import register_process_metrics
 
 __all__ = ["ServerMetrics", "LATENCY_BUCKETS"]
 
 #: Histogram upper bounds in seconds, chosen around the paper's query costs:
 #: sub-millisecond cached counts up to multi-second cold corpus sweeps.
-LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+LATENCY_BUCKETS = DEFAULT_BUCKETS
 
-
-def _escape_label(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-
-
-def _format_value(value: float) -> str:
-    # Prometheus accepts integers and floats; keep integers exact.
-    if isinstance(value, bool):
-        return "1" if value else "0"
-    if isinstance(value, int) or float(value).is_integer():
-        return str(int(value))
-    return repr(float(value))
-
-
-def _labels(pairs: Mapping[str, str]) -> str:
-    if not pairs:
-        return ""
-    inner = ",".join(f'{name}="{_escape_label(str(value))}"' for name, value in pairs.items())
-    return "{" + inner + "}"
-
-
-class _Histogram:
-    """Cumulative-bucket latency histogram (callers hold the registry lock)."""
-
-    def __init__(self, buckets: Iterable[float] = LATENCY_BUCKETS):
-        self.bounds = tuple(sorted(buckets))
-        self.counts = [0] * len(self.bounds)
-        self.inf = 0
-        self.total = 0
-        self.sum = 0.0
-
-    def observe(self, seconds: float) -> None:
-        self.total += 1
-        self.sum += seconds
-        for i, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                self.counts[i] += 1
-                return
-        self.inf += 1
-
-    def cumulative(self) -> list[tuple[str, int]]:
-        running = 0
-        rows: list[tuple[str, int]] = []
-        for bound, count in zip(self.bounds, self.counts):
-            running += count
-            rows.append((_format_value(bound), running))
-        rows.append(("+Inf", running + self.inf))
-        return rows
+#: Help strings for the live service gauges the server folds in at scrape
+#: time (anything unlisted gets a generic line).
+_GAUGE_HELP = {
+    "inflight_requests": "Requests currently being handled.",
+    "plan_cache_hits_total": "Compiled-plan cache hits.",
+    "plan_cache_misses_total": "Compiled-plan cache misses.",
+    "plan_cache_hit_ratio": "Compiled-plan cache hit ratio since start.",
+    "plan_cache_entries": "Compiled plans currently cached.",
+    "store_cache_resident_documents": "Documents resident in the store LRU.",
+}
 
 
 class ServerMetrics:
-    """Thread-safe registry behind ``GET /metrics``."""
+    """Thread-safe HTTP metrics behind ``GET /metrics``.
 
-    def __init__(self, namespace: str = "repro"):
-        self._ns = namespace
-        self._lock = threading.Lock()
-        self._requests: dict[tuple[str, str, int], int] = defaultdict(int)
-        self._latency: dict[str, _Histogram] = {}
-        self._rejected: dict[str, int] = defaultdict(int)
+    Defaults to the process-global registry so the page includes every family
+    the library layers registered; pass ``registry`` (or a non-default
+    ``namespace``) to isolate an instance.
+    """
+
+    def __init__(self, namespace: str = "repro", registry: MetricsRegistry | None = None):
+        if registry is None:
+            shared = get_registry()
+            registry = shared if namespace == shared.namespace else MetricsRegistry(namespace)
+        self._registry = registry
+        self._requests = registry.counter(
+            "http_requests_total",
+            "Requests served, by route pattern, method and status.",
+            labels=("route", "method", "status"),
+        )
+        self._rejected = registry.counter(
+            "http_rejected_total", "Requests refused before routing, by reason.", labels=("reason",)
+        )
+        self._latency = registry.histogram(
+            "http_request_seconds",
+            "Request latency, by route pattern.",
+            labels=("route",),
+            buckets=LATENCY_BUCKETS,
+        )
+        register_engine_metrics(registry)
+        register_process_metrics(registry)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry this façade renders."""
+        return self._registry
 
     def observe_request(self, route: str, method: str, status: int, seconds: float) -> None:
         """Record one completed request under its *route pattern* (not raw path)."""
-        with self._lock:
-            self._requests[(route, method, int(status))] += 1
-            histogram = self._latency.get(route)
-            if histogram is None:
-                histogram = self._latency[route] = _Histogram()
-            histogram.observe(seconds)
+        self._requests.labels(route=route, method=method, status=str(int(status))).inc()
+        self._latency.labels(route=route).observe(seconds)
 
     def observe_rejection(self, reason: str) -> None:
         """Record a request the server refused before routing (oversize, parse error)."""
-        with self._lock:
-            self._rejected[reason] += 1
+        self._rejected.labels(reason=reason).inc()
 
     def render(
         self,
         gauges: Mapping[str, float] | None = None,
         engine: Mapping[str, int] | None = None,
     ) -> str:
-        """The full Prometheus text page, with ``gauges`` appended as-is.
+        """The full Prometheus text page.
 
         ``gauges`` maps a bare metric name (namespaced automatically) to its
-        current value -- the server passes the plan-cache hit rate, store cache
-        counters and the in-flight request count this way, so the page always
-        reflects live service state without the registry knowing the service.
+        current value -- the server passes the plan-cache hit rate and the
+        in-flight request count this way, so the page always reflects live
+        service state without the registry knowing the service.
 
-        ``engine`` is the :meth:`~repro.obs.counters.EngineCounters.snapshot`
-        of the process-wide evaluation totals, rendered as the
-        ``<ns>_engine_*`` counter family.
+        ``engine`` is accepted for backwards compatibility and ignored: the
+        ``<ns>_engine_*`` families are callback-backed and read the live
+        :data:`~repro.obs.counters.ENGINE_COUNTERS` at render time.
         """
-        ns = self._ns
-        with self._lock:
-            lines: list[str] = [
-                f"# HELP {ns}_http_requests_total Requests served, by route pattern, method and status.",
-                f"# TYPE {ns}_http_requests_total counter",
-            ]
-            for (route, method, status), count in sorted(self._requests.items()):
-                labels = _labels({"route": route, "method": method, "status": str(status)})
-                lines.append(f"{ns}_http_requests_total{labels} {count}")
-            lines.append(f"# HELP {ns}_http_rejected_total Requests refused before routing, by reason.")
-            lines.append(f"# TYPE {ns}_http_rejected_total counter")
-            for reason, count in sorted(self._rejected.items()):
-                lines.append(f"{ns}_http_rejected_total{_labels({'reason': reason})} {count}")
-            lines.append(f"# HELP {ns}_http_request_seconds Request latency, by route pattern.")
-            lines.append(f"# TYPE {ns}_http_request_seconds histogram")
-            for route, histogram in sorted(self._latency.items()):
-                for le, cumulative in histogram.cumulative():
-                    labels = _labels({"route": route, "le": le})
-                    lines.append(f"{ns}_http_request_seconds_bucket{labels} {cumulative}")
-                route_labels = _labels({"route": route})
-                lines.append(f"{ns}_http_request_seconds_sum{route_labels} {_format_value(histogram.sum)}")
-                lines.append(f"{ns}_http_request_seconds_count{route_labels} {histogram.total}")
-        for name, value in (engine or {}).items():
-            lines.append(f"# TYPE {ns}_engine_{name} counter")
-            lines.append(f"{ns}_engine_{name} {_format_value(value)}")
         for name, value in (gauges or {}).items():
-            lines.append(f"# TYPE {ns}_{name} gauge")
-            lines.append(f"{ns}_{name} {_format_value(value)}")
-        return "\n".join(lines) + "\n"
+            self._registry.gauge(name, _GAUGE_HELP.get(name, "Live service gauge.")).set(value)
+        return self._registry.render()

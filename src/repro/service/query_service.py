@@ -37,12 +37,20 @@ from typing import Iterable, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.options import EvaluationOptions
+from repro.obs.counters import ENGINE_COUNTERS
+from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
+from repro.obs.workload import get_workload
 from repro.service.plan_cache import PlanCache
 from repro.store.document_store import DocumentFailure, DocumentStore
 from repro.xpath.plan import PreparedQuery
 
 __all__ = ["QueryService", "ServiceResult", "ShardTiming"]
+
+
+def _new_jstats() -> dict:
+    """Fresh per-job observability accumulator (4th element of a job's out tuple)."""
+    return {"eval_seconds": 0.0, "visited": 0, "failures": 0, "strategies": {}}
 
 
 @dataclass(frozen=True)
@@ -118,7 +126,9 @@ def _serve_shard(
     options: EvaluationOptions | None,
     want_nodes: bool,
     explain: bool = False,
-) -> tuple[dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]], float, float, dict]:
+) -> tuple[
+    dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure], dict]], float, float, dict
+]:
     """Serve every query of ``jobs`` over every document of one shard.
 
     The document loop is outermost so a document loaded through the store's
@@ -126,12 +136,14 @@ def _serve_shard(
     ``run_many`` cost one load per document, not one per query).
 
     Returns ``(results, load_seconds, eval_seconds, explains)``: the merged
-    per-job results, the shard time split into store loads versus evaluation,
-    and -- when ``explain`` is set -- one EXPLAIN record per job from the
-    first document that answered it.
+    per-job results (each job's tuple ends with a ``_new_jstats`` dict of
+    per-query eval time, visited nodes, failures and strategy mix -- the raw
+    material of the workload analytics), the shard time split into store
+    loads versus evaluation, and -- when ``explain`` is set -- one EXPLAIN
+    record per job from the first document that answered it.
     """
-    out: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
-        key: ({}, {}, []) for key, _ in jobs
+    out: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure], dict]] = {
+        key: ({}, {}, [], _new_jstats()) for key, _ in jobs
     }
     explains: dict[int, dict] = {}
     load_seconds = 0.0
@@ -145,17 +157,27 @@ def _serve_shard(
             failure = DocumentFailure.from_exception(doc_id, exc)
             for key, _ in jobs:
                 out[key][2].append(failure)
+                out[key][3]["failures"] += 1
             continue
         load_seconds += time.perf_counter() - load_started
         eval_started = time.perf_counter()
         for key, query in jobs:
-            counts, nodes, failures = out[key]
+            counts, nodes, failures, jstats = out[key]
+            job_started = time.perf_counter()
             try:
                 plan = plans.get(query, document.options)
                 result = document.evaluate(plan, options, want_nodes=want_nodes)
             except ReproError as exc:
+                jstats["eval_seconds"] += time.perf_counter() - job_started
+                jstats["failures"] += 1
                 failures.append(DocumentFailure.from_exception(doc_id, exc))
                 continue
+            jstats["eval_seconds"] += time.perf_counter() - job_started
+            stats = result.statistics
+            if stats is not None:
+                jstats["visited"] += int(getattr(stats, "visited_nodes", 0))
+                strategy = getattr(stats, "strategy", None) or "top-down"
+                jstats["strategies"][strategy] = jstats["strategies"].get(strategy, 0) + 1
             counts[doc_id] = result.count
             if want_nodes:
                 nodes[doc_id] = [int(node) for node in result.nodes or []]
@@ -201,7 +223,15 @@ def _serve_shards_in_process(
     results; the parent grafts those records into its own span tree
     (:meth:`~repro.obs.tracing.Span.add_child_record`), so cross-process spans
     appear in the trace exactly like same-process ones.
+
+    Engine counters work the same way: this worker's :data:`ENGINE_COUNTERS`
+    is a *different* process-global than the parent's, so the delta
+    accumulated over the batch is shipped back as the second return element
+    and the parent folds it via :meth:`EngineCounters.merge` -- ``/metrics``
+    in the serving process counts process-executor queries exactly like
+    inline ones.
     """
+    counters_before = ENGINE_COUNTERS.snapshot()
     store = _WORKER_STORES.get((root, cache_size, mapped, verify))
     if store is None:
         # With mapped loads (the default over v2 files) every worker's views
@@ -233,7 +263,7 @@ def _serve_shards_in_process(
             )
         seconds = time.perf_counter() - started
         results.append((shard, len(members), seconds, load_seconds, eval_seconds, out, explains, record))
-    return results
+    return results, ENGINE_COUNTERS.delta_since(counters_before)
 
 
 class QueryService:
@@ -274,6 +304,31 @@ class QueryService:
         self._default_options = default_options
         self._pool: list[ProcessPoolExecutor] | None = None
 
+        # Service-layer families on the shared registry; folded once per
+        # finished sweep (never inside the shard/evaluation loops).
+        registry = get_registry()
+        self._m_sweep_seconds = registry.histogram(
+            "service_sweep_seconds",
+            "End-to-end scatter-gather sweep time, by executor.",
+            labels=("executor",),
+        )
+        self._m_shard_seconds = registry.histogram(
+            "service_shard_seconds",
+            "Per-shard serve time within a sweep, by executor.",
+            labels=("executor",),
+        )
+        self._m_load_seconds = registry.counter(
+            "service_load_seconds_total", "Seconds sweeps spent loading documents from the store."
+        )
+        self._m_eval_seconds = registry.counter(
+            "service_eval_seconds_total", "Seconds sweeps spent evaluating queries."
+        )
+        self._m_failures = registry.counter(
+            "service_document_failures_total",
+            "Per-document failures surfaced by sweeps, by exception class.",
+            labels=("error",),
+        )
+
     @property
     def store(self) -> DocumentStore:
         """The underlying document store."""
@@ -293,10 +348,16 @@ class QueryService:
         want_nodes: bool = False,
         options: EvaluationOptions | None = None,
         explain: bool = False,
+        request_id: str | None = None,
     ) -> ServiceResult:
         """Evaluate ``query`` over the corpus (or ``doc_ids``), scatter-gather."""
         return self.run_many(
-            [query], doc_ids=doc_ids, want_nodes=want_nodes, options=options, explain=explain
+            [query],
+            doc_ids=doc_ids,
+            want_nodes=want_nodes,
+            options=options,
+            explain=explain,
+            request_id=request_id,
         )[0]
 
     def count_all(self, query: str | PreparedQuery, doc_ids: Iterable[str] | None = None) -> dict[str, int]:
@@ -316,6 +377,7 @@ class QueryService:
         want_nodes: bool = False,
         options: EvaluationOptions | None = None,
         explain: bool = False,
+        request_id: str | None = None,
     ) -> list[ServiceResult]:
         """Evaluate a batch of queries in one sweep over the corpus.
 
@@ -327,6 +389,9 @@ class QueryService:
         With ``explain=True`` the sweep runs under a forced trace and every
         result carries an EXPLAIN record (plan, exact cardinalities,
         statistics) from the first document that answered its query.
+
+        ``request_id`` (the server passes its per-request id) tags the sweep's
+        entries in the workload analytics' slow-query table.
         """
         started = time.perf_counter()
         options = options if options is not None else self._default_options
@@ -354,9 +419,9 @@ class QueryService:
             sweep_span.set_attribute("num_jobs", len(jobs))
             sweep_span.set_attribute("num_shards", len(shards))
 
-            merged: dict[int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure]]] = {
-                key: ({}, {}, []) for key, _ in jobs
-            }
+            merged: dict[
+                int, tuple[dict[str, int], dict[str, list[int]], list[DocumentFailure], dict]
+            ] = {key: ({}, {}, [], _new_jstats()) for key, _ in jobs}
             explains: dict[int, dict] = {}
             timings: list[ShardTiming] = []
             if jobs and shards:
@@ -375,16 +440,23 @@ class QueryService:
                         sweep_span.add_child_record(record)
                     for key, value in shard_explains.items():
                         explains.setdefault(key, value)
-                    for key, (counts, nodes, failures) in out.items():
+                    for key, (counts, nodes, failures, jstats) in out.items():
                         merged[key][0].update(counts)
                         merged[key][1].update(nodes)
                         merged[key][2].extend(failures)
+                        into = merged[key][3]
+                        into["eval_seconds"] += jstats["eval_seconds"]
+                        into["visited"] += jstats["visited"]
+                        into["failures"] += jstats["failures"]
+                        for strategy, uses in jstats["strategies"].items():
+                            into["strategies"][strategy] = into["strategies"].get(strategy, 0) + uses
             timings.sort(key=lambda t: t.shard)
 
         elapsed = time.perf_counter() - started
+        self._record_observability(jobs, merged, timings, elapsed, request_id)
         results: list[ServiceResult] = []
         for query, job in zip(queries, positions):
-            counts, nodes, failures = merged[job]
+            counts, nodes, failures, _jstats = merged[job]
             text = query if isinstance(query, str) else query.text
             results.append(
                 ServiceResult(
@@ -399,6 +471,43 @@ class QueryService:
                 )
             )
         return results
+
+    def _record_observability(self, jobs, merged, timings, elapsed, request_id) -> None:
+        """Fold one finished sweep into the shared metrics and workload analytics.
+
+        Runs once per ``run_many`` -- after the sweep, off every hot loop.
+        Per-query eval time, visited nodes, strategy mix and failures come
+        from the jobs' jstats accumulators; shard/load/eval timings from the
+        sweep's :class:`ShardTiming` list.  Duplicate input queries were
+        deduplicated into one job and are recorded once (that is the work
+        actually done).
+        """
+        if not jobs:
+            return
+        load_total = sum(timing.load_seconds for timing in timings)
+        eval_total = sum(timing.eval_seconds for timing in timings)
+        self._m_sweep_seconds.labels(executor=self._executor).observe(elapsed)
+        for timing in timings:
+            self._m_shard_seconds.labels(executor=self._executor).observe(timing.seconds)
+        if load_total:
+            self._m_load_seconds.inc(load_total)
+        if eval_total:
+            self._m_eval_seconds.inc(eval_total)
+        workload = get_workload()
+        workload.record_sweep(elapsed, load_total, eval_total)
+        for key, query in jobs:
+            counts, _nodes, failures, jstats = merged[key]
+            for failure in failures:
+                self._m_failures.labels(error=failure.error).inc()
+            workload.record(
+                query if isinstance(query, str) else query.text,
+                jstats["eval_seconds"],
+                result_count=sum(counts.values()),
+                visited=jstats["visited"],
+                strategies=jstats["strategies"],
+                failures=len(failures),
+                request_id=request_id,
+            )
 
     # -- execution ---------------------------------------------------------------------
 
@@ -479,7 +588,12 @@ class QueryService:
             for slot, group in sorted(groups.items())
         ]
         for future in futures:
-            yield from future.result()
+            results, counter_delta = future.result()
+            # The satellite fix for lost worker counters: queries evaluated in
+            # the pool accumulated in *that* process's ENGINE_COUNTERS; fold
+            # the shipped delta so this process's /metrics stays complete.
+            ENGINE_COUNTERS.merge(counter_delta)
+            yield from results
 
     def close(self) -> None:
         """Shut down the worker pools (no-op for the thread executor)."""

@@ -68,6 +68,9 @@ __all__ = [
     "peek_kind",
     "peek_file_version",
     "write_format",
+    "record_mapped_load",
+    "record_crc_verifications",
+    "record_v1_fallback_load",
 ]
 
 MAGIC = b"SXSI"
@@ -234,6 +237,7 @@ class MappedFile:
         "size",
         "views",
         "pending",
+        "verified",
         "_mmap",
         "_parse_fp",
         "_closed",
@@ -266,6 +270,10 @@ class MappedFile:
         self.views: list[tuple[int, int]] = []
         #: Deferred array checksums: ``(chunk name, offset, length, crc)``.
         self.pending: list[tuple[str, int, int, int]] = []
+        #: Array payloads CRC-checked eagerly during this load; folded into
+        #: the ``storage_crc_verifications_total`` family by
+        #: :func:`record_mapped_load` once the load completes.
+        self.verified = 0
         self._closed = False
 
     @classmethod
@@ -282,6 +290,7 @@ class MappedFile:
         mf.size = len(mf.buffer)
         mf.views = []
         mf.pending = []
+        mf.verified = 0
         mf._closed = False
         return mf
 
@@ -333,6 +342,7 @@ class MappedFile:
                 raise CorruptedFileError(f"checksum mismatch in mapped chunk {name!r} of {self.path}")
         checked = len(self.pending)
         self.pending = []
+        record_crc_verifications("lazy", checked)
         return checked
 
     def close(self) -> None:
@@ -353,6 +363,58 @@ class MappedFile:
                 self._mmap.close()
             except BufferError:
                 pass
+
+
+# -- storage metrics ---------------------------------------------------------------------
+#
+# The storage layer reports into the process-wide registry without importing
+# the server.  All folds happen at *load completion* (or at verify_pending),
+# never inside the chunk/array read paths, so instrumentation stays off the
+# decode fast path.  Imports are deferred so the codec has no import-time
+# dependency on the observability package.
+
+
+def record_crc_verifications(mode: str, count: int) -> None:
+    """Fold ``count`` array-payload checksum checks into the shared registry."""
+    if count <= 0:
+        return
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "storage_crc_verifications_total",
+        "Array payload checksum verifications on the mapped path, by mode.",
+        labels=("mode",),
+    ).labels(mode=mode).inc(count)
+
+
+def record_mapped_load(mapped_file: "MappedFile") -> None:
+    """Fold one completed mapped load (``Document.load`` calls this once).
+
+    Counts the load, the bytes mapped, and any eager checksum checks the load
+    performed; the eager tally is then zeroed so a second call cannot
+    double-count.
+    """
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    registry.counter(
+        "storage_mapped_loads_total", "Documents loaded through the zero-copy mapped path."
+    ).inc()
+    registry.counter("storage_mapped_bytes_total", "File bytes memory-mapped by mapped loads.").inc(
+        mapped_file.size
+    )
+    if mapped_file.verified:
+        record_crc_verifications("eager", mapped_file.verified)
+        mapped_file.verified = 0
+
+
+def record_v1_fallback_load() -> None:
+    """Fold one document load that fell back to the v1 copy-everything path."""
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "storage_v1_loads_total", "Documents loaded via the v1 heap-copy fallback format."
+    ).inc()
 
 
 class MappedSource:
@@ -552,6 +614,7 @@ class ChunkReader:
             payload = head if length <= len(head) else source.file.pread(length, payload_start)
             if zlib.crc32(payload) != crc:
                 raise CorruptedFileError(f"checksum mismatch in chunk {name!r}")
+            source.file.verified += 1
         elif source.verify == "lazy":
             source.file.pending.append((name, payload_start, length, crc))
         arr = source.view(dtype, count, payload_start + offset).reshape(shape)

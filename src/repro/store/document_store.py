@@ -39,10 +39,12 @@ from typing import Callable, Iterable, Iterator
 from repro.core.document import Document
 from repro.core.errors import DocumentNotFoundError, ReproError, StorageError
 from repro.core.options import EvaluationOptions, IndexOptions
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.resources import document_residency, mincore_available
 from repro.obs.tracing import get_tracer
 from repro.xpath.plan import PreparedQuery
 
-__all__ = ["DocumentStore", "DocumentFailure"]
+__all__ = ["DocumentStore", "DocumentFailure", "register_store_metrics"]
 
 _MANIFEST = "store.json"
 _SUFFIX = ".sxsi"
@@ -116,6 +118,27 @@ class DocumentStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Cache hits whose stat revalidation found the file overwritten, so
+        #: the stale resident was dropped and the document remapped from disk.
+        self.remaps = 0
+
+        # Process-wide totals on the shared registry (label-less on purpose:
+        # store roots are unbounded label values); per-store counts stay on
+        # the plain attributes above.
+        registry = get_registry()
+        self._m_hits = registry.counter(
+            "store_cache_hits_total", "Resident-cache hits across every store in the process."
+        )
+        self._m_misses = registry.counter(
+            "store_cache_misses_total", "Resident-cache misses (document loaded from disk)."
+        )
+        self._m_evictions = registry.counter(
+            "store_cache_evictions_total", "Documents evicted from a resident cache (LRU)."
+        )
+        self._m_remaps = registry.counter(
+            "store_cache_remaps_total",
+            "Stale residents remapped after stat revalidation saw an overwrite.",
+        )
 
         manifest_path = self._root / _MANIFEST
         if manifest_path.exists():
@@ -272,6 +295,7 @@ class DocumentStore:
             evicted, _ = self._cache.popitem(last=False)
             self._meta.pop(evicted, None)
             self.evictions += 1
+            self._m_evictions.inc()
 
     def get(self, doc_id: str) -> Document:
         """Return the document, loading it from disk if it is not resident.
@@ -290,10 +314,13 @@ class DocumentStore:
             if cached is not None:
                 if meta is not None and self._meta.get(doc_id) == meta:
                     self.hits += 1
+                    self._m_hits.inc()
                     self._cache.move_to_end(doc_id)
                     return cached
                 self._cache.pop(doc_id, None)
                 self._meta.pop(doc_id, None)
+                self.remaps += 1
+                self._m_remaps.inc()
         if meta is None:
             raise DocumentNotFoundError(f"no document stored under {doc_id!r}")
         with get_tracer().span("store.load", doc_id=doc_id) as span:
@@ -303,9 +330,11 @@ class DocumentStore:
             raced = self._cache.get(doc_id)
             if raced is not None and self._meta.get(doc_id) == meta:
                 self.hits += 1
+                self._m_hits.inc()
                 self._cache.move_to_end(doc_id)
                 return raced
             self.misses += 1
+            self._m_misses.inc()
             self._remember(doc_id, document, meta)
         return document
 
@@ -334,9 +363,41 @@ class DocumentStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "remaps": self.remaps,
                 "resident": len(self._cache),
                 "capacity": self._cache_size,
             }
+
+    def mapped_residency(self) -> dict:
+        """Page-cache residency of every resident mapped document, aggregated.
+
+        Asks ``mincore`` per live mapping (see
+        :func:`repro.obs.resources.mapped_residency`), so the answer reflects
+        what the kernel holds *right now*.  ``per_document`` keys are document
+        identifiers; aggregate byte totals cover only measurable mappings.
+        On platforms without ``mincore`` the aggregate is empty with
+        ``available`` false.
+        """
+        with self._lock:
+            residents = list(self._cache.items())
+        per_document: dict[str, dict] = {}
+        mapped_bytes = 0
+        resident_bytes = 0
+        for doc_id, document in residents:
+            info = document_residency(document)
+            if info is None:
+                continue
+            per_document[doc_id] = info
+            mapped_bytes += info["mapped_bytes"]
+            resident_bytes += info["resident_bytes"]
+        return {
+            "available": mincore_available(),
+            "documents": len(per_document),
+            "mapped_bytes": mapped_bytes,
+            "resident_bytes": resident_bytes,
+            "resident_ratio": resident_bytes / mapped_bytes if mapped_bytes else 0.0,
+            "per_document": per_document,
+        }
 
     # -- queries -----------------------------------------------------------------------
 
@@ -419,6 +480,8 @@ class DocumentStore:
         with self._lock:
             residents = list(self._cache.values())
         mapped_docs = [doc for doc in residents if doc.is_mapped]
+        residency = self.mapped_residency()
+        residency.pop("per_document", None)
         return {
             "num_documents": sum(len(ids) for ids in shards.values()),
             "num_shards": self._num_shards,
@@ -429,5 +492,41 @@ class DocumentStore:
                 "mode": "auto" if self._mapped is None else ("mapped" if self._mapped else "heap"),
                 "resident_mapped_documents": len(mapped_docs),
                 "resident_mapped_bytes": sum(doc.mapped_bytes for doc in mapped_docs),
+                "residency": residency,
             },
         }
+
+
+def register_store_metrics(store: DocumentStore, registry: MetricsRegistry | None = None) -> None:
+    """Bind the store-wide residency gauges to ``store`` (callback families).
+
+    Values are computed at scrape time from :meth:`DocumentStore.mapped_residency`.
+    Callback families rebind, so the most recently bound store wins -- the
+    server binds its serving store at startup.  On platforms without
+    ``mincore`` the gauges skip their samples instead of lying.
+    """
+    registry = registry if registry is not None else get_registry()
+
+    def _reader(key: str):
+        def read() -> float | None:
+            if not mincore_available():
+                return None
+            return float(store.mapped_residency()[key])
+
+        return read
+
+    registry.gauge_callback(
+        "store_mapped_bytes",
+        "Bytes mapped by the bound store's resident mapped documents.",
+        _reader("mapped_bytes"),
+    )
+    registry.gauge_callback(
+        "store_mapped_resident_bytes",
+        "Mapped bytes of the bound store currently resident in the page cache.",
+        _reader("resident_bytes"),
+    )
+    registry.gauge_callback(
+        "store_mapped_documents",
+        "Resident documents of the bound store with a live mapping.",
+        _reader("documents"),
+    )

@@ -302,6 +302,8 @@ def test_stats_endpoint(client):
     assert stats["store"]["num_documents"] == 12
     assert "plan_cache" in stats["service"]
     assert "store_cache" in stats["service"]
+    assert "residency" in stats["store"]["storage"]
+    assert stats["process"]["page_size"] > 0
 
 
 def test_metrics_format(client):
@@ -310,8 +312,9 @@ def test_metrics_format(client):
     lines = page.splitlines()
     assert "# TYPE repro_http_requests_total counter" in lines
     assert "# TYPE repro_http_request_seconds histogram" in lines
+    # The registry renderer emits label names sorted.
     assert any(
-        line.startswith('repro_http_requests_total{route="/v1/query",method="POST",status="200"}')
+        line.startswith('repro_http_requests_total{method="POST",route="/v1/query",status="200"}')
         for line in lines
     )
     # Histogram invariants: +Inf bucket equals the count, sum present.
@@ -323,6 +326,52 @@ def test_metrics_format(client):
     assert any(line.startswith("repro_store_cache_resident_documents ") for line in lines)
     # Document ids never appear as route labels.
     assert 'route="/v1/documents/{id}"' in page or "documents" not in page
+
+
+def test_metrics_page_parses_strictly(client):
+    client.run("//item")
+    families = client.metrics()  # the strict parser raises on any format slip
+    # One family from each instrumented layer rides on the shared registry.
+    for family in (
+        "repro_http_requests_total",
+        "repro_engine_queries_total",
+        "repro_store_cache_hits_total",
+        "repro_storage_mapped_loads_total",
+        "repro_service_sweep_seconds",
+        "repro_process_open_fds",
+    ):
+        assert family in families, family
+    assert families["repro_service_sweep_seconds"]["type"] == "histogram"
+    # Exactly one header pair per family: the parser enforces it, but assert
+    # the old duplicated-# TYPE rendering cannot come back silently.
+    lines = client.metrics_text().splitlines()
+    type_lines = [line for line in lines if line.startswith("# TYPE ")]
+    assert len(type_lines) == len(set(type_lines))
+
+
+def test_debug_workload_endpoint(server, client):
+    from repro.obs.workload import fingerprint, get_workload
+
+    get_workload().reset()
+    client.run('//item[contains(., "gold")]', request_id="workload-req-1")
+    client.run('//item[contains(., "silver")]', request_id="workload-req-2")
+    client.run("//item/name")
+    data = client.debug_workload()
+    assert data["enabled"] is True
+    assert data["total_queries"] == 3
+    assert data["sweeps"]["count"] == 3
+    shapes = {shape["shape"]: shape for shape in data["shapes"]}
+    merged = shapes[fingerprint('//item[contains(., "gold")]')]
+    assert merged["queries"] == 2
+    assert merged["latency"]["count"] == 2
+    assert merged["last_request_id"] == "workload-req-2"
+    request_ids = {entry["request_id"] for entry in data["slow_queries"]}
+    assert "workload-req-1" in request_ids
+    # limit= caps both the shape list and the slow-query table.
+    limited = client.debug_workload(limit=1)
+    assert len(limited["shapes"]) == 1
+    assert len(limited["slow_queries"]) == 1
+    assert limited["num_shapes"] == 2
 
 
 # -- lifecycle -------------------------------------------------------------------------
