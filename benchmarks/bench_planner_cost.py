@@ -1,0 +1,220 @@
+"""Planner cost-model quality: estimate-vs-actual correlation and mispick rate.
+
+ISSUE 9's tentpole replaces the planner's bare ``seeds > candidates`` pair
+with a real cost model built from exact cardinalities (tag-count rank
+directories, FM-index counts, BP subtree sizes).  This module measures how
+good that model actually is, on an XMark document and a query mix that
+deliberately includes the two fixed blind spots (a wildcard last step with a
+text predicate, an overlapping disjunction):
+
+* ``planner_cost_rank_correlation`` -- Spearman rank correlation between each
+  query's ``plan.estimated_cost`` and the *measured* ``visited_nodes`` of its
+  evaluation.  The estimate's absolute scale does not matter for planning;
+  its ordering does -- a high correlation means "the planner thinks query A
+  is more expensive than B" tracks reality.  Visited nodes (not wall time)
+  keeps the critical gate deterministic.
+* ``planner_mispick_rate`` -- fraction of anchored queries where the chosen
+  strategy is more than ``MISPICK_FACTOR`` slower (wall time, best-of-N) than
+  the alternative obtained by flipping ``allow_bottom_up``.  Small factor
+  differences are noise; a mispick is a query where the planner left >=1.5x
+  on the table.
+* ``planner_estimates_per_second`` -- throughput of ``engine.plan`` on a cold
+  plan cache: the admission controller runs this on every request, so
+  planning must stay orders of magnitude cheaper than evaluating.
+
+Runs standalone for CI (``python benchmarks/bench_planner_cost.py --quick
+--out BENCH_pr9.json``) or under pytest like the other modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro import Document, EvaluationOptions
+from repro.workloads import generate_xmark_xml
+
+from _bench_utils import print_table
+
+#: Structural scans, selective and unselective text predicates, the two
+#: ISSUE 9 blind-spot shapes, and a deep path -- a spread of true costs wide
+#: enough for rank correlation to be meaningful.
+QUERIES = [
+    "//item",
+    "//item/name",
+    "//people/person/name",
+    "//closed_auction//keyword",
+    '//item[contains(., "gold")]',
+    '//name[contains(., "a")]',
+    '//*[contains(text(), "a")]',
+    '//keyword[contains(., "rare") or contains(., "rar")]',
+    '//description[contains(., "plain") or contains(., "gold")]',
+    "//site/regions",
+]
+
+#: A strategy choice only counts as a mispick when the alternative beats it
+#: by more than this wall-time factor (best-of-N timings).
+MISPICK_FACTOR = 1.5
+
+
+def spearman(xs: list[float], ys: list[float]) -> float:
+    """Spearman rank correlation with average ranks for ties (pure python)."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need two equal-length samples of at least 2 points")
+
+    def average_ranks(values: list[float]) -> list[float]:
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        ranks = [0.0] * len(values)
+        i = 0
+        while i < len(order):
+            j = i
+            while j + 1 < len(order) and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            rank = (i + j) / 2 + 1  # average rank of the tie group, 1-based
+            for k in range(i, j + 1):
+                ranks[order[k]] = rank
+            i = j + 1
+        return ranks
+
+    rx, ry = average_ranks(xs), average_ranks(ys)
+    mean_x = sum(rx) / len(rx)
+    mean_y = sum(ry) / len(ry)
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_x) ** 2 for a in rx)
+    var_y = sum((b - mean_y) ** 2 for b in ry)
+    if var_x == 0 or var_y == 0:
+        return 0.0
+    return cov / (var_x * var_y) ** 0.5
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_benchmark(scale: float = 0.1, repeats: int = 3, seed: int = 9) -> dict:
+    """Measure cost-model quality on one XMark document."""
+    document = Document.from_string(generate_xmark_xml(scale=scale, seed=seed))
+
+    estimates: list[float] = []
+    actuals: list[float] = []
+    mispicks = 0
+    strategy_pairs = 0
+    for query in QUERIES:
+        plan = document.engine.plan(query)
+        result = document.evaluate(query, want_nodes=False)
+        estimates.append(float(plan.estimated_cost or 0.0))
+        actuals.append(float(result.statistics.visited_nodes))
+
+        # Mispick check: only meaningful where both strategies are available.
+        flipped = document.engine.plan(query, EvaluationOptions(allow_bottom_up=False))
+        if plan.strategy == flipped.strategy:
+            continue
+        strategy_pairs += 1
+        chosen_seconds = _best_of(lambda q=query: document.count(q), repeats)
+        alternative_seconds = _best_of(
+            lambda q=query: document.count(q, EvaluationOptions(allow_bottom_up=False)), repeats
+        )
+        if plan.strategy == "top-down":
+            chosen_seconds, alternative_seconds = alternative_seconds, chosen_seconds
+        if chosen_seconds > MISPICK_FACTOR * alternative_seconds:
+            mispicks += 1
+
+    correlation = spearman(estimates, actuals)
+    mispick_rate = mispicks / strategy_pairs if strategy_pairs else 0.0
+
+    # Planning throughput on cold caches (what admission control pays).  A
+    # fresh engine per round sidesteps the memoised plan cache without
+    # re-indexing the document.
+    from repro.xpath.engine import XPathEngine
+
+    plans = 0
+    started = time.perf_counter()
+    while time.perf_counter() - started < 0.25:
+        engine = XPathEngine(document)
+        for query in QUERIES:
+            engine.plan(query)
+            plans += 1
+    estimate_seconds = time.perf_counter() - started
+
+    return {
+        "meta": {
+            "scale": scale,
+            "repeats": repeats,
+            "seed": seed,
+            "num_nodes": document.num_nodes,
+            "queries": list(QUERIES),
+            "mispick_factor": MISPICK_FACTOR,
+            "strategy_pairs": strategy_pairs,
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "metrics": {
+            "planner_cost_rank_correlation": round(correlation, 3),
+            "planner_mispick_rate": round(mispick_rate, 3),
+            "planner_estimates_per_second": round(plans / estimate_seconds, 1),
+        },
+    }
+
+
+def _report(results: dict) -> None:
+    metrics = results["metrics"]
+    meta = results["meta"]
+    print_table(
+        f"Planner cost model (XMark scale {meta['scale']}, {meta['num_nodes']} nodes)",
+        ["metric", "value"],
+        [
+            ["estimate-vs-visited Spearman correlation", metrics["planner_cost_rank_correlation"]],
+            [
+                f"strategy mispick rate (> {meta['mispick_factor']}x, "
+                f"{meta['strategy_pairs']} pairs)",
+                metrics["planner_mispick_rate"],
+            ],
+            ["cold plans per second", metrics["planner_estimates_per_second"]],
+        ],
+    )
+
+
+# -- pytest entry point ----------------------------------------------------------------
+
+
+def test_cost_model_orders_queries(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    results = run_benchmark(scale=0.05, repeats=2)
+    _report(results)
+    metrics = results["metrics"]
+    assert metrics["planner_cost_rank_correlation"] > 0.0
+    assert 0.0 <= metrics["planner_mispick_rate"] <= 1.0
+
+
+# -- CLI entry point (the CI bench-smoke job) ------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings (smaller document)")
+    parser.add_argument("--scale", type=float, default=None, help="XMark scale of the document")
+    parser.add_argument("--repeats", type=int, default=None, help="best-of rounds per mispick timing")
+    parser.add_argument("--out", type=Path, default=None, help="write the results JSON here")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None else (0.05 if args.quick else 0.1)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+    results = run_benchmark(scale=scale, repeats=repeats)
+    _report(results)
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -91,6 +91,9 @@ class ReproClient:
         Additional attempts after a connection-level failure.
     backoff:
         Base delay between attempts; attempt ``n`` sleeps ``backoff * 2**n``.
+    client_id:
+        Optional identity sent as ``X-Client-Id``; the server's cost-quota
+        admission control buckets by it.
     """
 
     def __init__(
@@ -101,6 +104,7 @@ class ReproClient:
         timeout: float = 60.0,
         retries: int = 2,
         backoff: float = 0.1,
+        client_id: str | None = None,
     ):
         if retries < 0:
             raise ValueError("retries must be non-negative")
@@ -109,6 +113,10 @@ class ReproClient:
         self._timeout = float(timeout)
         self._retries = int(retries)
         self._backoff = float(backoff)
+        #: Sent as ``X-Client-Id`` on every request; the server's admission
+        #: controller keys per-client cost quotas on it (``anonymous`` when
+        #: unset).
+        self.client_id = client_id
         self._connection: http.client.HTTPConnection | None = None
         #: ``X-Request-Id`` of the most recent completed exchange (the server's
         #: echo when one arrived, else the id this client sent).
@@ -131,6 +139,8 @@ class ReproClient:
         request_headers = dict(headers or {})
         request_id = request_id or uuid.uuid4().hex
         request_headers.setdefault("X-Request-Id", request_id)
+        if self.client_id:
+            request_headers.setdefault("X-Client-Id", self.client_id)
         if raw_body is not None:
             body = raw_body
             request_headers.setdefault("Content-Type", "application/xml")
@@ -263,6 +273,28 @@ class ReproClient:
             query, doc_ids=doc_ids, options=options, explain=True, request_id=request_id
         )
         return result.explain or {}
+
+    def estimate_cost(
+        self,
+        queries: str | Sequence[str],
+        doc_ids: Iterable[str] | None = None,
+        options: EvaluationOptions | None = None,
+        *,
+        request_id: str | None = None,
+    ) -> dict:
+        """Pre-flight cost estimate (``POST /v1/query/estimate``); nothing is evaluated.
+
+        Accepts one query string or a sequence.  The payload carries the
+        per-query and total estimates in node-visit units plus the server's
+        admission limits (including ``would_admit`` against the per-request
+        budget), so a client can right-size a batch before submitting it.
+        """
+        if isinstance(queries, str):
+            body: dict = {"query": queries}
+        else:
+            body = {"queries": list(queries)}
+        body.update(self._query_body(doc_ids, False, options))
+        return self._json("POST", "/v1/query/estimate", body, request_id=request_id)
 
     def count_all(self, query: str, doc_ids: Iterable[str] | None = None) -> dict[str, int]:
         """Per-document counts of ``query``."""

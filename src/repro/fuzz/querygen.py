@@ -43,6 +43,14 @@ class QueryGenConfig:
     #: (the rest are random or deliberately empty).
     vocabulary_pattern_probability: float = 0.7
     empty_pattern_probability: float = 0.08
+    #: Probability a text-function predicate tests ``text()`` instead of the
+    #: string value ``.`` -- exercises the planner's wildcard-with-text-
+    #: predicate path (ISSUE 9's first blind spot).
+    text_value_probability: float = 0.15
+    #: Probability of an overlapping disjunction predicate -- two ``contains``
+    #: branches where one pattern is a prefix of the other, so their text
+    #: matches overlap (ISSUE 9's double-counted-anchor blind spot).
+    overlapping_or_probability: float = 0.06
 
 
 def quote_pattern(pattern: str) -> str:
@@ -94,10 +102,19 @@ def _pattern(rng: random.Random, texts: Sequence[str], config: QueryGenConfig) -
 
 def _text_function(rng: random.Random, value_expr: str, texts: Sequence[str], config: QueryGenConfig) -> str:
     kind = rng.choice(("contains", "starts-with", "ends-with", "equals"))
+    if value_expr == "." and rng.random() < config.text_value_probability:
+        value_expr = "text()"
     pattern = quote_pattern(_pattern(rng, texts, config))
     if kind == "equals":
         return f"{value_expr} = {pattern}"
     return f"{kind}({value_expr}, {pattern})"
+
+
+def _overlapping_or(rng: random.Random, texts: Sequence[str], config: QueryGenConfig) -> str:
+    """Two contains() branches whose matching texts overlap (prefix pair)."""
+    pattern = _pattern(rng, texts, config)
+    prefix = pattern[: max(1, len(pattern) // 2)]
+    return f"contains(., {quote_pattern(pattern)}) or contains(., {quote_pattern(prefix)})"
 
 
 def _predicate(
@@ -112,6 +129,8 @@ def _predicate(
         roll = min(roll, 0.49)  # force a leaf
     if roll < 0.30:
         return _text_function(rng, ".", texts, config)
+    if roll < 0.30 + config.overlapping_or_probability:
+        return _overlapping_or(rng, texts, config)
     if roll < 0.50:
         path = _relative_path(rng, tags, config)
         if rng.random() < 0.5:

@@ -19,7 +19,14 @@ from __future__ import annotations
 
 import threading
 
-__all__ = ["EngineCounters", "ENGINE_COUNTERS", "register_engine_metrics"]
+__all__ = [
+    "EngineCounters",
+    "ENGINE_COUNTERS",
+    "register_engine_metrics",
+    "PlannerCounters",
+    "PLANNER_COUNTERS",
+    "register_planner_metrics",
+]
 
 #: Counter field names, in the order they are rendered.
 _FIELDS = (
@@ -135,4 +142,112 @@ def register_engine_metrics(registry=None) -> None:
             f"engine_{name}",
             _HELP.get(name, "Engine counter."),
             lambda field=name: ENGINE_COUNTERS.snapshot()[field],
+        )
+
+
+# -- planner counters ------------------------------------------------------------------
+
+#: Planner counter field names, in render order.  ``estimated_cost_total`` is
+#: a float (node-visit units, see :mod:`repro.xpath.cost`); the rest are ints.
+_PLANNER_FIELDS = (
+    "plans_total",
+    "plans_bottom_up_total",
+    "plans_top_down_total",
+    "plans_naive_text_total",
+    "wildcard_candidate_fallbacks_total",
+    "scalar_downgrades_total",
+    "estimated_cost_total",
+)
+
+
+class PlannerCounters:
+    """Thread-safe totals over every plan the process built.
+
+    Plans are counted at *build* time (cache misses), not per execution --
+    the per-execution strategy mix already lives on :class:`EngineCounters`.
+    Like the engine counters, pool workers accumulate into their own
+    process-global instance and ship :meth:`delta_since` dicts home, where the
+    parent folds them via :meth:`merge`.
+    """
+
+    __slots__ = ("_lock",) + tuple(f"_{name}" for name in _PLANNER_FIELDS)
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in _PLANNER_FIELDS:
+            setattr(self, f"_{name}", 0.0 if name == "estimated_cost_total" else 0)
+
+    def record_plan(self, plan) -> None:
+        """Fold one freshly built :class:`~repro.xpath.planner.QueryPlan`."""
+        with self._lock:
+            self._plans_total += 1
+            if plan.strategy == "bottom-up":
+                self._plans_bottom_up_total += 1
+            else:
+                self._plans_top_down_total += 1
+            if plan.uses_naive_text:
+                self._plans_naive_text_total += 1
+            if not plan.use_batch_kernels:
+                self._scalar_downgrades_total += 1
+            if plan.estimated_cost is not None:
+                self._estimated_cost_total += float(plan.estimated_cost)
+
+    def record_wildcard_fallback(self) -> None:
+        """A wildcard/node() last step fell back to the element-count bound."""
+        with self._lock:
+            self._wildcard_candidate_fallbacks_total += 1
+
+    def snapshot(self) -> dict[str, float]:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {name: getattr(self, f"_{name}") for name in _PLANNER_FIELDS}
+
+    def delta_since(self, before: dict[str, float]) -> dict[str, float]:
+        """What accumulated since ``before`` (cross-process wire format)."""
+        now = self.snapshot()
+        return {name: now[name] - before.get(name, 0) for name in _PLANNER_FIELDS}
+
+    def merge(self, delta: dict[str, float]) -> None:
+        """Fold a :meth:`delta_since` dict from another process into the totals."""
+        with self._lock:
+            for name in _PLANNER_FIELDS:
+                amount = delta.get(name, 0)
+                if amount:
+                    setattr(self, f"_{name}", getattr(self, f"_{name}") + amount)
+
+    def reset(self) -> None:
+        """Zero every counter (tests only)."""
+        with self._lock:
+            for name in _PLANNER_FIELDS:
+                setattr(self, f"_{name}", 0.0 if name == "estimated_cost_total" else 0)
+
+    def __repr__(self) -> str:
+        snap = self.snapshot()
+        return f"PlannerCounters(plans={snap['plans_total']})"
+
+
+#: The process-global planner aggregate ``/metrics`` renders as ``repro_planner_*``.
+PLANNER_COUNTERS = PlannerCounters()
+
+_PLANNER_HELP = {
+    "plans_total": "Query plans built (plan-cache misses).",
+    "plans_bottom_up_total": "Plans that chose the bottom-up (text-seeded) strategy.",
+    "plans_top_down_total": "Plans that chose the top-down automaton strategy.",
+    "plans_naive_text_total": "Plans forced onto the naive text store (mixed content).",
+    "wildcard_candidate_fallbacks_total": "Wildcard last steps costed via the element-count bound.",
+    "scalar_downgrades_total": "Plans that chose scalar kernels for tiny inputs.",
+    "estimated_cost_total": "Sum of estimated plan costs (node-visit units).",
+}
+
+
+def register_planner_metrics(registry=None) -> None:
+    """Expose :data:`PLANNER_COUNTERS` as ``planner_*`` callback counters."""
+    from repro.obs.metrics import get_registry
+
+    registry = registry if registry is not None else get_registry()
+    for name in _PLANNER_FIELDS:
+        registry.counter_callback(
+            f"planner_{name}",
+            _PLANNER_HELP.get(name, "Planner counter."),
+            lambda field=name: PLANNER_COUNTERS.snapshot()[field],
         )

@@ -9,9 +9,10 @@ the same shape.  Per shape the analytics keep a latency histogram,
 result/visited cardinalities, the strategy mix and failure counts, plus a
 bounded top-K slow-query table with request ids across all shapes.
 
-The data feeds the ROADMAP's cost-based-planning item: ``record`` accepts an
-``estimated_cost`` hook field (unused today) so the future cost model can log
-estimated-versus-actual work per shape through the same channel.
+The data closes the loop on cost-based planning: ``record`` takes the
+planner's ``estimated_cost`` for each sweep, and every shape reports its
+estimated-versus-actual ratio (estimate over visited nodes) -- the number to
+watch when tuning the cost model or an admission budget.
 
 Recording happens once per query at ``run_many`` completion -- off the
 rank/select hot loops, same discipline as ``EngineCounters``.  The server
@@ -151,6 +152,7 @@ class _Shape:
         "last_request_id",
         "estimated_cost_total",
         "estimated_queries",
+        "estimated_visited_total",
     )
 
     def __init__(self, shape: str, example: str):
@@ -163,10 +165,12 @@ class _Shape:
         self.strategies: dict[str, int] = {}
         self.example = example
         self.last_request_id: str | None = None
-        #: Reserved for the cost model: accumulated estimates, to be compared
-        #: against the actual latency/visited totals per shape.
+        #: Cost-model accounting: accumulated planner estimates plus the
+        #: actual visited-node totals of exactly those queries, so the
+        #: estimated-versus-actual ratio compares like with like.
         self.estimated_cost_total = 0.0
         self.estimated_queries = 0
+        self.estimated_visited_total = 0
 
     def as_dict(self) -> dict:
         out = {
@@ -185,6 +189,14 @@ class _Shape:
                 "queries": self.estimated_queries,
                 "total": self.estimated_cost_total,
                 "avg": self.estimated_cost_total / self.estimated_queries,
+                "actual_visited_avg": self.estimated_visited_total / self.estimated_queries,
+                # >1 means the planner over-estimates this shape, <1 under-
+                # estimates; None until a query of the shape visited anything.
+                "estimated_vs_actual": (
+                    self.estimated_cost_total / self.estimated_visited_total
+                    if self.estimated_visited_total
+                    else None
+                ),
             }
         return out
 
@@ -239,9 +251,10 @@ class WorkloadAnalytics:
 
         ``seconds`` is the evaluation time attributable to *this* query
         (summed across shards; batch sweep overheads are tracked separately by
-        :meth:`record_sweep`).  ``estimated_cost`` is the reserved cost-model
-        hook -- when the planner starts exporting estimates, per-shape
-        estimated-versus-actual becomes visible with no schema change.
+        :meth:`record_sweep`).  ``estimated_cost`` is the planner's summed
+        estimate for the sweep (node-visit units); each shape reports the
+        estimated-versus-actual ratio against the visited totals of exactly
+        the queries that carried an estimate.
         """
         if not self.enabled:
             return
@@ -265,6 +278,7 @@ class WorkloadAnalytics:
             if estimated_cost is not None:
                 shape.estimated_cost_total += float(estimated_cost)
                 shape.estimated_queries += 1
+                shape.estimated_visited_total += int(visited)
             self._total_queries += 1
             self._total_failures += failures
             entry = (float(seconds), next(self._tie))

@@ -8,8 +8,9 @@ serves a store directory from the command line; :mod:`repro.client` is the
 matching stdlib client.
 """
 
+from repro.server.admission import AdmissionController
 from repro.server.http import ReproServer
 from repro.server.json_api import ApiError
 from repro.server.metrics import ServerMetrics
 
-__all__ = ["ReproServer", "ServerMetrics", "ApiError"]
+__all__ = ["ReproServer", "ServerMetrics", "ApiError", "AdmissionController"]

@@ -18,6 +18,13 @@ count), ``--slow-query-ms`` turns on the slow-query WARNING log,
 ``GET /v1/debug/traces``), ``--trace-buffer`` sizes its ring buffer, and
 ``--workload``/``--no-workload`` toggle the per-query-shape analytics behind
 ``GET /v1/debug/workload``.
+
+Admission-control flags (all optional; any one enables the pre-flight cost
+estimate): ``--cost-budget`` caps a single request's estimated cost
+(node-visits; 429 with a cost hint above it), ``--client-cost-quota`` with
+``--quota-window`` rate-limits each ``X-Client-Id`` by cost (429 with
+``retry_after_seconds``), and ``--max-inflight-cost`` sheds load with 503
+when the summed estimate of running requests is too high.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import sys
 from repro.obs.logging import configure_logging, get_logger
 from repro.obs.tracing import Tracer, set_tracer
 from repro.obs.workload import get_workload
+from repro.server.admission import AdmissionController
 from repro.server.http import ReproServer
 from repro.service.query_service import QueryService
 from repro.store.document_store import DocumentStore
@@ -123,6 +131,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="record per-query-shape workload analytics (GET /v1/debug/workload)",
     )
+    parser.add_argument(
+        "--cost-budget",
+        type=float,
+        default=None,
+        help="reject any single request whose estimated cost (node-visits) exceeds "
+        "this budget with 429 and a cost hint",
+    )
+    parser.add_argument(
+        "--client-cost-quota",
+        type=float,
+        default=None,
+        help="per-client cost quota (node-visits) over the --quota-window; "
+        "exhaustion is a 429 with retry_after_seconds",
+    )
+    parser.add_argument(
+        "--quota-window",
+        type=float,
+        default=60.0,
+        help="seconds over which a client's cost quota refills (default: 60)",
+    )
+    parser.add_argument(
+        "--max-inflight-cost",
+        type=float,
+        default=None,
+        help="summed estimated cost the server will run concurrently; above it "
+        "new requests get 503 (always admits when idle)",
+    )
     return parser
 
 
@@ -162,6 +197,18 @@ def main(argv: list[str] | None = None) -> int:
     service = QueryService(
         store, max_workers=args.service_workers, plan_cache_size=args.plan_cache_size
     )
+    admission = None
+    if (
+        args.cost_budget is not None
+        or args.client_cost_quota is not None
+        or args.max_inflight_cost is not None
+    ):
+        admission = AdmissionController(
+            cost_budget=args.cost_budget,
+            client_cost_quota=args.client_cost_quota,
+            quota_window_seconds=args.quota_window,
+            max_inflight_cost=args.max_inflight_cost,
+        )
     server = ReproServer(
         service,
         host=args.host,
@@ -170,6 +217,7 @@ def main(argv: list[str] | None = None) -> int:
         max_body_bytes=args.max_body_bytes,
         request_timeout=args.request_timeout,
         slow_query_ms=args.slow_query_ms,
+        admission=admission,
     )
     _log.info(
         "store opened",

@@ -11,6 +11,7 @@ method  path                         action
 ======  ===========================  =============================================
 POST    ``/v1/query``                one query, scatter-gather over the corpus
 POST    ``/v1/query/batch``          a batch through ``QueryService.run_many``
+POST    ``/v1/query/estimate``       pre-flight cost estimate (no evaluation)
 PUT     ``/v1/documents/{id}``       ingest raw XML (``DocumentStore.add_xml``)
 GET     ``/v1/documents/{id}``       document summary (loads the index)
 GET     ``/v1/documents/{id}/stats`` per-component sizes + storage mode (``Document.stats()``)
@@ -66,6 +67,7 @@ from repro.obs.logging import get_logger
 from repro.obs.resources import process_resources
 from repro.obs.tracing import get_tracer
 from repro.obs.workload import get_workload
+from repro.server.admission import AdmissionController
 from repro.server.json_api import (
     ApiError,
     error_payload,
@@ -91,6 +93,7 @@ _REASONS = {
     405: "Method Not Allowed",
     408: "Request Timeout",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
@@ -179,6 +182,13 @@ class ReproServer:
     slow_query_ms:
         When set, any request slower than this logs a WARNING with its
         request id, route and duration (the slow-query log).
+    admission:
+        Cost-based :class:`~repro.server.admission.AdmissionController`.
+        When any of its limits is configured, the query endpoints estimate
+        each request's cost up front (planner only, no evaluation) and an
+        over-budget request is refused with 429/503 plus a ``details`` cost
+        hint before a sweep starts.  Defaults to a disabled controller that
+        admits everything.
     """
 
     def __init__(
@@ -194,6 +204,7 @@ class ReproServer:
         shutdown_grace: float = 10.0,
         metrics: ServerMetrics | None = None,
         slow_query_ms: float | None = None,
+        admission: AdmissionController | None = None,
     ):
         if executor_workers < 1:
             raise ValueError("executor_workers must be at least 1")
@@ -208,6 +219,7 @@ class ReproServer:
         self._shutdown_grace = float(shutdown_grace)
         self._slow_query_ms = float(slow_query_ms) if slow_query_ms is not None else None
         self.metrics = metrics if metrics is not None else ServerMetrics()
+        self.admission = admission if admission is not None else AdmissionController()
         # Bind the serving store to the store_mapped_* residency gauges
         # (callback families; the most recently bound store wins).
         register_store_metrics(service.store, self.metrics.registry)
@@ -240,6 +252,13 @@ class ReproServer:
             ),
             ("POST", re.compile(r"/v1/query\Z"), "/v1/query", self._h_query, True),
             ("POST", re.compile(r"/v1/query/batch\Z"), "/v1/query/batch", self._h_query_batch, True),
+            (
+                "POST",
+                re.compile(r"/v1/query/estimate\Z"),
+                "/v1/query/estimate",
+                self._h_query_estimate,
+                True,
+            ),
             ("GET", re.compile(r"/v1/stats\Z"), "/v1/stats", self._h_stats, True),
             (
                 "GET",
@@ -655,6 +674,30 @@ class ReproServer:
         """
         self._service.plan_cache.get(query).bind(())
 
+    def _client_id(self, request: _Request) -> str:
+        """The admission-control identity: a well-formed ``X-Client-Id`` or ``anonymous``."""
+        supplied = request.headers.get("x-client-id", "")
+        if supplied and _REQUEST_ID_RE.match(supplied):
+            return supplied
+        return "anonymous"
+
+    def _admit(self, request: _Request, queries: list[str], params: dict) -> Callable[[], None]:
+        """Price the request and pass it through admission control.
+
+        Returns the release callable (a no-op when no limit is configured --
+        the estimate is then skipped entirely, so an unconfigured server pays
+        nothing).  Raises the controller's 429/503 :class:`ApiError` with the
+        cost hint in ``details``.
+        """
+        if not self.admission.enabled:
+            return lambda: None
+        estimate = self._service.estimate_cost(
+            queries, doc_ids=params["doc_ids"], options=params["options"]
+        )
+        cost = float(estimate["total_cost"])
+        request.log_fields["estimated_cost"] = round(cost, 3)
+        return self.admission.admit(self._client_id(request), cost)
+
     # -- handlers (async = on the loop, others on the thread pool) ---------------------
 
     async def _h_healthz(self, request: _Request, match: re.Match):
@@ -711,18 +754,24 @@ class ReproServer:
         self._validate_query(query)
         explain = self._wants_explain(request, body)
         params = self._query_params(body)
-        if explain:
-            # Force a span tree for the response even when tracing is off
-            # globally; with tracing on, this nests under ``http.request``.
-            root = get_tracer().span("explain", force=True, request_id=request.request_id, query=query)
-            with root:
-                result = self._service.run(
-                    query, explain=True, request_id=request.request_id, **params
+        release = self._admit(request, [query], params)
+        try:
+            if explain:
+                # Force a span tree for the response even when tracing is off
+                # globally; with tracing on, this nests under ``http.request``.
+                root = get_tracer().span(
+                    "explain", force=True, request_id=request.request_id, query=query
                 )
-            trace = root.to_dict()
-        else:
-            result = self._service.run(query, request_id=request.request_id, **params)
-            trace = None
+                with root:
+                    result = self._service.run(
+                        query, explain=True, request_id=request.request_id, **params
+                    )
+                trace = root.to_dict()
+            else:
+                result = self._service.run(query, request_id=request.request_id, **params)
+                trace = None
+        finally:
+            release()
         request.log_fields["shards"] = len(result.shard_timings)
         request.log_fields["documents"] = result.num_documents
         payload = service_result_to_json(result)
@@ -744,18 +793,22 @@ class ReproServer:
             self._validate_query(query)
         explain = self._wants_explain(request, body)
         params = self._query_params(body)
-        if explain:
-            root = get_tracer().span(
-                "explain", force=True, request_id=request.request_id, num_queries=len(queries)
-            )
-            with root:
-                results = self._service.run_many(
-                    queries, explain=True, request_id=request.request_id, **params
+        release = self._admit(request, queries, params)
+        try:
+            if explain:
+                root = get_tracer().span(
+                    "explain", force=True, request_id=request.request_id, num_queries=len(queries)
                 )
-            trace = root.to_dict()
-        else:
-            results = self._service.run_many(queries, request_id=request.request_id, **params)
-            trace = None
+                with root:
+                    results = self._service.run_many(
+                        queries, explain=True, request_id=request.request_id, **params
+                    )
+                trace = root.to_dict()
+            else:
+                results = self._service.run_many(queries, request_id=request.request_id, **params)
+                trace = None
+        finally:
+            release()
         if results:
             request.log_fields["shards"] = len(results[0].shard_timings)
         payload = {
@@ -765,6 +818,36 @@ class ReproServer:
         if explain:
             payload["trace"] = trace
         return 200, payload
+
+    def _h_query_estimate(self, request: _Request, match: re.Match):
+        """Pre-flight cost estimate: plan only, no evaluation, no admission charge."""
+        body = request.json()
+        if not isinstance(body, dict):
+            raise ApiError(400, "the request body must be a JSON object")
+        queries = body.get("queries")
+        if queries is None:
+            query = body.get("query")
+            if not isinstance(query, str):
+                raise ApiError(400, "the request body needs a 'query' string or a 'queries' list")
+            queries = [query]
+        if (
+            not isinstance(queries, list)
+            or not queries
+            or not all(isinstance(q, str) for q in queries)
+        ):
+            raise ApiError(400, "'queries' must be a non-empty list of strings")
+        for query in queries:
+            self._validate_query(query)
+        params = self._query_params(body)
+        estimate = self._service.estimate_cost(
+            queries, doc_ids=params["doc_ids"], options=params["options"]
+        )
+        request.log_fields["estimated_cost"] = estimate["total_cost"]
+        return 200, {
+            **estimate,
+            "request_id": request.request_id,
+            "admission": self.admission.describe(cost=float(estimate["total_cost"])),
+        }
 
     def _h_put_document(self, request: _Request, match: re.Match):
         doc_id = self._doc_id(match)

@@ -4,9 +4,11 @@ One module owns both directions of every payload -- options parsing, result
 serialisation, and the structured error envelope -- so the server and the
 stdlib client cannot drift apart:
 
-* domain errors travel as ``{"error": {"type", "message", "status"}}`` and the
-  type name maps back to the exception class on the client
-  (:func:`exception_from_payload` inverts :func:`error_payload`);
+* domain errors travel as ``{"error": {"type", "message", "status"}}`` -- plus
+  an optional machine-readable ``details`` dict (the admission controller's
+  cost hint rides there) -- and the type name maps back to the exception
+  class on the client (:func:`exception_from_payload` inverts
+  :func:`error_payload`);
 * :class:`~repro.service.ServiceResult` travels as a plain dict
   (:func:`service_result_to_json` / :func:`service_result_from_json`);
 * request options are validated against the dataclass fields of
@@ -52,10 +54,20 @@ class ApiError(ReproError):
     whose type is not one of the domain exceptions.
     """
 
-    def __init__(self, status: int, message: str, error_type: str | None = None):
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        error_type: str | None = None,
+        details: Mapping[str, Any] | None = None,
+    ):
         super().__init__(message)
         self.status = int(status)
         self.error_type = error_type or type(self).__name__
+        #: Machine-readable context (e.g. the admission controller's cost
+        #: hint: estimated cost, configured budget, retry-after).  Travels in
+        #: the error envelope and survives the client-side round trip.
+        self.details = dict(details) if details else None
 
 
 #: Most-specific first; ``DocumentNotFoundError`` must precede its base
@@ -93,6 +105,9 @@ def error_payload(exc: Exception, status: int | None = None, request_id: str | N
     error: dict = {"type": error_type, "message": str(exc), "status": status}
     if request_id:
         error["request_id"] = request_id
+    details = getattr(exc, "details", None)
+    if details:
+        error["details"] = dict(details)
     return {"error": error}
 
 
@@ -115,8 +130,13 @@ def exception_from_payload(status: int, payload: Any, request_id: str | None = N
         request_id = str(error.get("request_id") or request_id or "") or None
         if request_id:
             message = f"{message} [request_id={request_id}]"
+        details = error.get("details")
+        details = dict(details) if isinstance(details, Mapping) else None
         cls = _EXCEPTION_BY_NAME.get(name)
-        exc = cls(message) if cls is not None else ApiError(status, message, error_type=name or None)
+        if cls is not None:
+            exc = cls(message)
+        else:
+            exc = ApiError(status, message, error_type=name or None, details=details)
     if request_id and not isinstance(error, Mapping):
         exc = ApiError(status, f"{exc} [request_id={request_id}]")
     return exc

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
-from repro.obs.counters import register_engine_metrics
+from repro.obs.counters import register_engine_metrics, register_planner_metrics
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry, get_registry
 from repro.obs.resources import register_process_metrics
 
@@ -69,6 +69,7 @@ class ServerMetrics:
             buckets=LATENCY_BUCKETS,
         )
         register_engine_metrics(registry)
+        register_planner_metrics(registry)
         register_process_metrics(registry)
 
     @property

@@ -37,7 +37,7 @@ from typing import Iterable, Sequence
 
 from repro.core.errors import ReproError
 from repro.core.options import EvaluationOptions
-from repro.obs.counters import ENGINE_COUNTERS
+from repro.obs.counters import ENGINE_COUNTERS, PLANNER_COUNTERS
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import get_tracer
 from repro.obs.workload import get_workload
@@ -50,7 +50,7 @@ __all__ = ["QueryService", "ServiceResult", "ShardTiming"]
 
 def _new_jstats() -> dict:
     """Fresh per-job observability accumulator (4th element of a job's out tuple)."""
-    return {"eval_seconds": 0.0, "visited": 0, "failures": 0, "strategies": {}}
+    return {"eval_seconds": 0.0, "visited": 0, "failures": 0, "strategies": {}, "estimated_cost": 0.0}
 
 
 @dataclass(frozen=True)
@@ -178,6 +178,8 @@ def _serve_shard(
                 jstats["visited"] += int(getattr(stats, "visited_nodes", 0))
                 strategy = getattr(stats, "strategy", None) or "top-down"
                 jstats["strategies"][strategy] = jstats["strategies"].get(strategy, 0) + 1
+            if result.plan is not None and result.plan.estimated_cost is not None:
+                jstats["estimated_cost"] += float(result.plan.estimated_cost)
             counts[doc_id] = result.count
             if want_nodes:
                 nodes[doc_id] = [int(node) for node in result.nodes or []]
@@ -232,6 +234,7 @@ def _serve_shards_in_process(
     inline ones.
     """
     counters_before = ENGINE_COUNTERS.snapshot()
+    planner_before = PLANNER_COUNTERS.snapshot()
     store = _WORKER_STORES.get((root, cache_size, mapped, verify))
     if store is None:
         # With mapped loads (the default over v2 files) every worker's views
@@ -263,7 +266,11 @@ def _serve_shards_in_process(
             )
         seconds = time.perf_counter() - started
         results.append((shard, len(members), seconds, load_seconds, eval_seconds, out, explains, record))
-    return results, ENGINE_COUNTERS.delta_since(counters_before)
+    deltas = {
+        "engine": ENGINE_COUNTERS.delta_since(counters_before),
+        "planner": PLANNER_COUNTERS.delta_since(planner_before),
+    }
+    return results, deltas
 
 
 class QueryService:
@@ -448,6 +455,7 @@ class QueryService:
                         into["eval_seconds"] += jstats["eval_seconds"]
                         into["visited"] += jstats["visited"]
                         into["failures"] += jstats["failures"]
+                        into["estimated_cost"] += jstats.get("estimated_cost", 0.0)
                         for strategy, uses in jstats["strategies"].items():
                             into["strategies"][strategy] = into["strategies"].get(strategy, 0) + uses
             timings.sort(key=lambda t: t.shard)
@@ -507,7 +515,88 @@ class QueryService:
                 strategies=jstats["strategies"],
                 failures=len(failures),
                 request_id=request_id,
+                estimated_cost=jstats["estimated_cost"] if counts else None,
             )
+
+    # -- cost estimation ---------------------------------------------------------------
+
+    def estimate_cost(
+        self,
+        queries: Sequence[str | PreparedQuery],
+        doc_ids: Iterable[str] | None = None,
+        options: EvaluationOptions | None = None,
+    ) -> dict:
+        """Pre-flight cost estimate for a batch, without evaluating anything.
+
+        Plans each distinct query against one *representative* document (a
+        resident one when the LRU has any, else the first of the first shard)
+        and scales the per-document estimate by the number of documents the
+        sweep would touch.  Planning only reads the succinct cardinality
+        directories and the FM-index, so the estimate is cheap enough to run
+        on every request -- this is what the server's admission control calls
+        before committing a thread to the sweep.
+
+        Returns ``{"num_documents", "representative", "total_cost",
+        "unit", "queries": [{"query", "strategy", "per_document_cost",
+        "total_cost", "result_estimate"}, ...]}``.  Malformed queries raise
+        exactly as :meth:`run_many` would (the plan cache parses eagerly).
+        """
+        options = options if options is not None else self._default_options
+        shards = self._store.iter_shards(doc_ids)
+        num_documents = sum(len(members) for _, members in shards)
+        report: dict = {
+            "num_documents": num_documents,
+            "representative": None,
+            "total_cost": 0.0,
+            "unit": "node-visits",
+            "queries": [],
+        }
+        for query in queries:  # parse eagerly even over an empty corpus
+            self._plans.get(query)
+        if num_documents == 0:
+            report["queries"] = [
+                {
+                    "query": query if isinstance(query, str) else query.text,
+                    "strategy": None,
+                    "per_document_cost": 0.0,
+                    "total_cost": 0.0,
+                    "result_estimate": 0,
+                }
+                for query in queries
+            ]
+            return report
+        resident = set(self._store.resident_ids())
+        representative = next(
+            (doc_id for _, members in shards for doc_id in members if doc_id in resident),
+            shards[0][1][0],
+        )
+        document = self._store.get(representative)
+        report["representative"] = representative
+        entries: list[dict] = []
+        per_query: dict[str, dict] = {}
+        total = 0.0
+        for query in queries:
+            text = query if isinstance(query, str) else query.text
+            entry = per_query.get(text)
+            if entry is None:
+                prepared = self._plans.get(query, document.options)
+                plan = document.engine.plan(prepared, options)
+                per_document = float(plan.estimated_cost or 0.0)
+                entry = {
+                    "query": text,
+                    "strategy": plan.strategy,
+                    "per_document_cost": round(per_document, 3),
+                    "total_cost": round(per_document * num_documents, 3),
+                    "result_estimate": plan.result_estimate,
+                }
+                per_query[text] = entry
+                # Duplicates are deduplicated by run_many, so the batch total
+                # charges each distinct query once.
+                total += entry["total_cost"]
+            entries.append(dict(entry))
+        report["queries"] = entries
+        report["total_cost"] = round(total, 3)
+        return report
 
     # -- execution ---------------------------------------------------------------------
 
@@ -588,11 +677,13 @@ class QueryService:
             for slot, group in sorted(groups.items())
         ]
         for future in futures:
-            results, counter_delta = future.result()
+            results, counter_deltas = future.result()
             # The satellite fix for lost worker counters: queries evaluated in
-            # the pool accumulated in *that* process's ENGINE_COUNTERS; fold
-            # the shipped delta so this process's /metrics stays complete.
-            ENGINE_COUNTERS.merge(counter_delta)
+            # the pool accumulated in *that* process's ENGINE_COUNTERS (and,
+            # since the cost model, PLANNER_COUNTERS); fold the shipped deltas
+            # so this process's /metrics stays complete.
+            ENGINE_COUNTERS.merge(counter_deltas["engine"])
+            PLANNER_COUNTERS.merge(counter_deltas["planner"])
             yield from results
 
     def close(self) -> None:

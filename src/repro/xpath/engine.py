@@ -100,6 +100,27 @@ class XPathEngine:
         """Compile ``query`` to its marking automaton (cached per tag table)."""
         return self.prepare(query).bind(self._document.tree.tag_names())
 
+    def plan(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> QueryPlan:
+        """The evaluation plan -- strategy, cardinalities, cost estimates --
+        without running the query.
+
+        This is the pre-flight path the service's cost estimation and the
+        server's admission control use: planning touches only the succinct
+        cardinality directories and the FM-index (for anchored predicates),
+        never the evaluators, and is memoised per (query, allow_bottom_up).
+        """
+        options = options or EvaluationOptions()
+        prepared = self.prepare(query)
+        runtime = TextPredicateRuntime(
+            self._document, EvaluationStatistics(), batch_kernels=options.batch_kernels
+        )
+        planner = QueryPlanner(self._document, runtime, plan_cache=self._plan_cache)
+        return planner.plan(
+            prepared.ast,
+            allow_bottom_up=options.allow_bottom_up,
+            cache_key=(prepared.text, options.allow_bottom_up),
+        )
+
     def explain(self, query: str | PreparedQuery, options: EvaluationOptions | None = None) -> str:
         """Describe the compiled automaton and the chosen strategy."""
         options = options or EvaluationOptions()
@@ -136,8 +157,12 @@ class XPathEngine:
                 plan_span.set_attribute("strategy", plan.strategy)
                 plan_span.set_attribute("seed_estimate", plan.seed_estimate)
                 plan_span.set_attribute("candidate_estimate", plan.candidate_estimate)
+                plan_span.set_attribute("estimated_cost", plan.estimated_cost)
                 plan_span.set_attribute("reasons", list(plan.reasons))
             stats.strategy = plan.strategy
+            # The plan's batch-vs-scalar choice (tiny inputs run scalar) only
+            # ever *disables* batching; options keep the final veto.
+            effective_batch = options.batch_kernels and plan.use_batch_kernels
 
             if plan.strategy == "bottom-up":
                 with tracer.span("engine.evaluate", strategy="bottom-up") as eval_span:
@@ -147,7 +172,7 @@ class XPathEngine:
                         anchor=plan.anchor_predicates,
                         predicate_runtime=runtime,
                         stats=stats,
-                        batch_kernels=options.batch_kernels,
+                        batch_kernels=effective_batch,
                     )
                     nodes = evaluator.run()
                     count = len(nodes)
@@ -157,7 +182,7 @@ class XPathEngine:
                 with tracer.span("engine.bind"):
                     compiled = self.compile(prepared)
                 use_counting_mode = not want_nodes and compiled.count_safe
-                run_options = options.replace(counting=use_counting_mode)
+                run_options = options.replace(counting=use_counting_mode, batch_kernels=effective_batch)
                 with tracer.span(
                     "engine.evaluate", strategy="top-down", counting=use_counting_mode
                 ) as eval_span:
@@ -213,6 +238,7 @@ class XPathEngine:
         return {
             "query": result.query,
             "strategy": plan.strategy,
+            "estimated_cost": plan.estimated_cost,
             "plan": plan.as_dict(),
             "cardinalities": self.exact_cardinalities(query, options),
             "statistics": result.statistics.as_dict(),

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.obs.counters import PLANNER_COUNTERS
 from repro.xpath.ast import (
     AndExpr,
     Axis,
@@ -38,6 +41,7 @@ from repro.xpath.ast import (
     TextTest,
     WildcardTest,
 )
+from repro.xpath.cost import CostEstimate, element_candidate_bound, estimate_plan_costs, use_batch_kernels
 from repro.xpath.formula import BuiltinPredicate
 from repro.xpath.runtime import TextPredicateRuntime
 
@@ -86,6 +90,11 @@ class QueryPlan:
     seed_estimate: int | None = None
     candidate_estimate: int | None = None
     reasons: list[str] = field(default_factory=list)
+    #: Cost-model outputs (node-visit units; see :mod:`repro.xpath.cost`).
+    estimated_cost: float | None = None
+    result_estimate: int | None = None
+    use_batch_kernels: bool = True
+    cost: CostEstimate | None = None
 
     def describe(self) -> str:
         """One-line summary, e.g. ``bottom-up (FM-index), 42 seeds``."""
@@ -93,6 +102,8 @@ class QueryPlan:
         extra = ""
         if self.seed_estimate is not None:
             extra = f", {self.seed_estimate} seeds"
+        if self.estimated_cost is not None:
+            extra += f", ~{self.estimated_cost:.0f} cost"
         return f"{self.strategy} ({text_part}){extra}"
 
     def as_dict(self) -> dict:
@@ -104,6 +115,10 @@ class QueryPlan:
             "seed_estimate": self.seed_estimate,
             "candidate_estimate": self.candidate_estimate,
             "reasons": list(self.reasons),
+            "estimated_cost": self.estimated_cost,
+            "result_estimate": self.result_estimate,
+            "use_batch_kernels": self.use_batch_kernels,
+            "costs": self.cost.as_dict() if self.cost is not None else None,
             "summary": self.describe(),
         }
 
@@ -150,18 +165,18 @@ class QueryPlanner:
         if not allow_bottom_up:
             plan.reasons.append("bottom-up disabled by options")
             self._check_mixed_content(path, plan)
-            return plan
+            return self._finalise(plan, path, len(text_predicates))
 
         if not self._spine_is_bottom_up_capable(path):
             plan.reasons.append("query shape requires the top-down run (intermediate filters or axes)")
             self._check_mixed_content(path, plan)
-            return plan
+            return self._finalise(plan, path, len(text_predicates))
 
         anchors = self._extract_anchor(path.last_step)
         if not anchors:
             plan.reasons.append("no required text predicate to seed a bottom-up run")
             self._check_mixed_content(path, plan)
-            return plan
+            return self._finalise(plan, path, len(text_predicates))
 
         if any(isinstance(a, TextPredicate) and a.pattern == "" for a in anchors):
             # A predicate the empty string satisfies also holds on nodes with
@@ -169,30 +184,66 @@ class QueryPlanner:
             # bottom-up run would silently miss them.
             plan.reasons.append("anchor predicate accepts the empty string value: top-down")
             self._check_mixed_content(path, plan)
-            return plan
+            return self._finalise(plan, path, len(text_predicates))
 
         if not self._anchors_have_single_text_semantics(path.last_step, anchors):
             plan.reasons.append("predicate may span several text nodes (mixed content): naive text strategy")
             plan.uses_naive_text = True
             plan.uses_fm_index = False
-            return plan
+            return self._finalise(plan, path, len(text_predicates))
 
         builtins = [self._as_builtin(a) for a in anchors]
         # Seed collection is array-valued: each anchor's matching ids come
         # back as one sorted numpy array (computed through the batched
         # FM-index locate path) that the bottom-up evaluator will reuse.
-        seeds = sum(int(self._runtime.matching_id_array(builtin).size) for builtin in builtins)
+        # Disjunctive anchors are a *union* of those arrays -- summing the
+        # sizes double-counts texts matched by several branches and inflates
+        # the seed estimate past the real seed set the evaluator walks.
+        seeds = int(self._seed_id_union(builtins).size)
         candidates = self._candidate_estimate(path.last_step)
+        if candidates is None:
+            # Wildcard/node() last step: no per-tag count exists, but the
+            # selectivity guard must still run -- skipping it picked bottom-up
+            # unconditionally, however unselective the predicate.  Bound the
+            # candidates by the element count the tree gives exactly.
+            candidates = element_candidate_bound(self._document.tree)
+            plan.reasons.append(
+                f"wildcard last step: bounding candidates by the document's {candidates} element nodes"
+            )
+            PLANNER_COUNTERS.record_wildcard_fallback()
         plan.seed_estimate = seeds
         plan.candidate_estimate = candidates
-        if candidates is not None and seeds > candidates:
+        if seeds > candidates:
             plan.reasons.append(
                 f"text predicate not selective enough ({seeds} texts vs {candidates} candidate elements)"
             )
-            return plan
+            return self._finalise(plan, path, len(text_predicates))
         plan.strategy = "bottom-up"
         plan.anchor_predicates = builtins
         plan.reasons.append(f"selective text predicate: {seeds} matching texts")
+        return self._finalise(plan, path, len(text_predicates))
+
+    def _seed_id_union(self, builtins: list[BuiltinPredicate]) -> np.ndarray:
+        """The distinct text ids any anchor matches (arrays are sorted already)."""
+        arrays = [self._runtime.matching_id_array(builtin) for builtin in builtins]
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.unique(np.concatenate(arrays)) if arrays else np.empty(0, dtype=np.int64)
+
+    def _finalise(self, plan: QueryPlan, path: LocationPath, num_text_predicates: int) -> QueryPlan:
+        """Attach the cost-model outputs and fold the plan into the counters."""
+        tree = self._document.tree
+        plan.cost = estimate_plan_costs(
+            tree,
+            path,
+            seeds=plan.seed_estimate,
+            candidates=plan.candidate_estimate,
+            num_text_predicates=num_text_predicates,
+        )
+        plan.estimated_cost = plan.cost.for_strategy(plan.strategy)
+        plan.result_estimate = plan.cost.result
+        plan.use_batch_kernels = use_batch_kernels(plan.strategy, plan.seed_estimate, tree.num_nodes)
+        PLANNER_COUNTERS.record_plan(plan)
         return plan
 
     # -- helpers ---------------------------------------------------------------------------------------------

@@ -330,7 +330,24 @@ def test_workload_estimated_cost_hook(workload):
     workload.record("//a", 0.001, estimated_cost=12.5)
     workload.record("//a", 0.002, estimated_cost=7.5)
     (shape,) = workload.snapshot()["shapes"]
-    assert shape["estimated_cost"] == {"queries": 2, "total": 20.0, "avg": 10.0}
+    assert shape["estimated_cost"] == {
+        "queries": 2,
+        "total": 20.0,
+        "avg": 10.0,
+        "actual_visited_avg": 0.0,
+        "estimated_vs_actual": None,
+    }
+
+
+def test_workload_estimated_vs_actual_ratio(workload):
+    workload.record("//a", 0.001, visited=10, estimated_cost=12.5)
+    workload.record("//a", 0.002, visited=10, estimated_cost=7.5)
+    # A record without an estimate must not dilute the ratio's denominator.
+    workload.record("//a", 0.003, visited=1000)
+    (shape,) = workload.snapshot()["shapes"]
+    assert shape["estimated_cost"]["queries"] == 2
+    assert shape["estimated_cost"]["actual_visited_avg"] == 10.0
+    assert shape["estimated_cost"]["estimated_vs_actual"] == 1.0
 
 
 def test_service_records_workload_per_shape(tmp_path, registry, workload):

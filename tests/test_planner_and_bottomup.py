@@ -75,6 +75,73 @@ class TestPlanner:
         plan = plan_for(articles, '//abstract[ contains(., "a") ]')
         assert plan.strategy == "top-down"
 
+    def test_every_plan_carries_a_cost_estimate(self, articles):
+        for query in ("//article[author]", '//abstract[ contains(., "streams") ]'):
+            plan = plan_for(articles, query)
+            assert plan.estimated_cost is not None and plan.estimated_cost >= 1.0
+            assert plan.cost is not None
+            assert plan.cost.unit == "node-visits"
+
+
+class TestSelectivityDecisionTable:
+    """Pins the two ISSUE 9 blind-spot fixes as a decision table.
+
+    Each case states the exact cardinalities the planner must derive and the
+    strategy the ``seeds > candidates`` rule then mandates -- so a regression
+    in either fix flips an explicit expectation, not just a timing.
+    """
+
+    @pytest.fixture(scope="class")
+    def attribute_heavy(self):
+        # 1 element, 5 attributes, 6 texts matching "e".  The wildcard last
+        # step used to yield candidates=None, skipping the seeds>candidates
+        # guard and locking in bottom-up; the element-count bound (1, after
+        # excluding the attribute subtrees from the BP total) exposes that
+        # seeds=6 > candidates=1 and forces top-down.
+        return Document.from_string('<r a="he" b="we" c="ye" d="ze" e="qe">xe</r>')
+
+    @pytest.fixture(scope="class")
+    def overlapping(self):
+        # Three abstracts; "select" matches two texts and its prefix "sel"
+        # matches the same two.  Per-branch sums double-counted the overlap
+        # (4 > 3 candidates -> bogus top-down); the union is 2 <= 3.
+        return Document.from_string(
+            "<articles>"
+            "<abstract>rank and select</abstract>"
+            "<abstract>select queries</abstract>"
+            "<abstract>plain text</abstract>"
+            "</articles>"
+        )
+
+    def test_wildcard_last_step_falls_back_to_element_bound(self, attribute_heavy):
+        plan = plan_for(attribute_heavy, '//*[contains(text(), "e")]')
+        assert plan.candidate_estimate == 1
+        assert plan.seed_estimate == 6
+        assert plan.strategy == "top-down"
+        assert any("wildcard last step" in reason for reason in plan.reasons)
+
+    def test_wildcard_fallback_result_is_correct(self, attribute_heavy):
+        assert attribute_heavy.count('//*[contains(text(), "e")]') == 1
+
+    def test_named_last_step_is_unaffected_by_fallback(self, attribute_heavy):
+        plan = plan_for(attribute_heavy, '//r[contains(text(), "e")]')
+        assert plan.candidate_estimate == 1
+        assert not any("wildcard last step" in reason for reason in plan.reasons)
+
+    def test_overlapping_disjunction_uses_seed_union(self, overlapping):
+        plan = plan_for(overlapping, '//abstract[contains(., "select") or contains(., "sel")]')
+        assert plan.seed_estimate == 2  # union, not the 2 + 2 per-branch sum
+        assert plan.candidate_estimate == 3
+        assert plan.strategy == "bottom-up"
+
+    def test_overlapping_disjunction_result_is_correct(self, overlapping):
+        assert overlapping.count('//abstract[contains(., "select") or contains(., "sel")]') == 2
+
+    def test_disjoint_disjunction_still_sums(self, overlapping):
+        plan = plan_for(overlapping, '//abstract[contains(., "rank") or contains(., "plain")]')
+        assert plan.seed_estimate == 2
+        assert plan.strategy == "bottom-up"
+
 
 class TestBottomUpResults:
     @pytest.mark.parametrize(
