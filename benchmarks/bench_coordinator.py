@@ -1,0 +1,288 @@
+"""Coordinator fan-out: 1-node vs 3-node batches, hedged vs unhedged tails.
+
+The cluster layer of PR 10 must earn its hop.  This module launches real
+``repro-serve`` subprocesses (true process parallelism, like the deployed
+shape) and measures three things against the direct-to-backend floor:
+
+* **fan-out overhead** -- the same batch through a 1-node coordinator vs
+  straight at the backend.  The coordinator adds one HTTP hop and a merge;
+  the committed ceiling keeps that hop honest.
+* **1-node vs 3-node batch throughput** -- the corpus consistent-hashed over
+  three nodes, each sweeping its third concurrently, vs one node holding
+  everything.  The committed floor is deliberately below 1.0: CI runners can
+  be single-core, where fan-out cannot win, but it must never *halve*
+  throughput.
+* **hedged vs unhedged tail** -- a replica pair where the primary stalls on
+  every fourth request (a deterministic, injected 80 ms -- no flaky sleeps),
+  queried with hedging off and with ``hedge_ms=20``.  The hedge fires at the
+  other replica and caps p95; the committed ratio (hedged p95 / unhedged
+  p95) is the tail-latency win.
+
+Runs standalone for CI (``python benchmarks/bench_coordinator.py --quick
+--out BENCH_pr10.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.client import CoordinatorClient, ReproClient
+from repro.coordinator import CoordinatorServer
+from repro.workloads import generate_xmark_xml
+
+from _bench_utils import print_table
+
+QUERIES = [
+    "//item",
+    "//item/name",
+    '//item[contains(., "gold")]',
+    "//people/person/name",
+]
+
+STALL_EVERY = 4  # the synthetic slow replica stalls every 4th query request
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _launch_backend(root: str, port: int) -> subprocess.Popen:
+    os.makedirs(root, exist_ok=True)
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server",
+            "--root",
+            root,
+            "--port",
+            str(port),
+            "--workers",
+            "4",
+            "--log-level",
+            "warning",
+        ],
+    )
+
+
+def _wait_healthy(port: int, deadline: float = 30.0) -> None:
+    client = ReproClient("127.0.0.1", port, retries=0, timeout=5.0)
+    started = time.monotonic()
+    while True:
+        try:
+            if client.healthz()["status"] in ("ok", "degraded"):
+                client.close()
+                return
+        except Exception:
+            pass
+        if time.monotonic() - started > deadline:
+            raise RuntimeError(f"backend on port {port} never became healthy")
+        time.sleep(0.1)
+
+
+def _stalling(node_client, stall_seconds: float):
+    """Wrap a NodeClient's request: every ``STALL_EVERY``-th query stalls."""
+    import asyncio
+
+    real_request = node_client.request
+    calls = {"n": 0}
+
+    async def stalled(method, path, payload=None, **kwargs):
+        if path.startswith("/v1/query"):
+            calls["n"] += 1
+            if calls["n"] % STALL_EVERY == 0:
+                await asyncio.sleep(stall_seconds)
+        return await real_request(method, path, payload, **kwargs)
+
+    node_client.request = stalled
+
+
+def _p95(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _measure_tail(port: int, doc_id: str, requests: int) -> float:
+    latencies = []
+    with CoordinatorClient("127.0.0.1", port, retries=0, timeout=30.0) as client:
+        client.run("//item", doc_ids=[doc_id])  # warm
+        for _ in range(requests):
+            started = time.perf_counter()
+            client.run("//item", doc_ids=[doc_id])
+            latencies.append(time.perf_counter() - started)
+    return _p95(latencies)
+
+
+def run_benchmark(
+    num_docs: int = 9,
+    scale: float = 0.015,
+    repeats: int = 4,
+    tail_requests: int = 40,
+    stall_ms: float = 80.0,
+    hedge_ms: float = 20.0,
+) -> dict:
+    corpus = {
+        f"doc-{i:03d}": generate_xmark_xml(scale=scale, seed=1000 + i) for i in range(num_docs)
+    }
+    queries_per_sweep = len(QUERIES)
+    with tempfile.TemporaryDirectory() as root:
+        backend_ports = [_free_port() for _ in range(4)]  # b_all, b0, b1, b2
+        processes = [
+            _launch_backend(os.path.join(root, f"b{i}"), port)
+            for i, port in enumerate(backend_ports)
+        ]
+        coordinators: list[CoordinatorServer] = []
+        try:
+            for port in backend_ports:
+                _wait_healthy(port)
+
+            def coordinator(specs, **kwargs) -> CoordinatorServer:
+                server = CoordinatorServer(specs, probe_interval=30.0, **kwargs)
+                server.start()
+                coordinators.append(server)
+                return server
+
+            single = coordinator([f"all=127.0.0.1:{backend_ports[0]}"])
+            fleet = coordinator(
+                [f"n{i}=127.0.0.1:{port}" for i, port in enumerate(backend_ports[1:])]
+            )
+
+            direct = ReproClient("127.0.0.1", backend_ports[0], retries=0, timeout=60.0)
+            via_single = ReproClient("127.0.0.1", single.port, retries=0, timeout=60.0)
+            via_fleet = ReproClient("127.0.0.1", fleet.port, retries=0, timeout=60.0)
+            for doc_id, xml in corpus.items():
+                direct.put_document(doc_id, xml)
+                via_fleet.put_document(doc_id, xml)
+
+            # Warm every path and pin value-parity between them.
+            expected = {r.query: r.counts for r in direct.run_many(QUERIES)}
+            for client in (via_single, via_fleet):
+                for result in client.run_many(QUERIES):
+                    assert result.counts == expected[result.query], result.query
+                    assert not result.failures, result.failures
+
+            def timed_batches(client) -> float:
+                started = time.perf_counter()
+                for _ in range(repeats):
+                    client.run_many(QUERIES)
+                return repeats * queries_per_sweep / (time.perf_counter() - started)
+
+            direct_qps = timed_batches(direct)
+            single_qps = timed_batches(via_single)
+            fleet_qps = timed_batches(via_fleet)
+            for client in (direct, via_single, via_fleet):
+                client.close()
+
+            # Tail phase: a replica pair with a deterministic stall on the
+            # primary; the same stall schedule with hedging off and on.
+            pair = [f"h{i}=127.0.0.1:{port}" for i, port in enumerate(backend_ports[1:3])]
+            unhedged = coordinator(pair, replication=2)
+            hedged = coordinator(pair, replication=2, hedge_ms=hedge_ms)
+            with CoordinatorClient("127.0.0.1", unhedged.port, retries=0) as seeder:
+                seeder.put_document("tail-doc", corpus["doc-000"])
+            primary = unhedged.ring.nodes_for("tail-doc", 2)[0]
+            _stalling(unhedged._clients[primary], stall_ms / 1000.0)
+            _stalling(hedged._clients[primary], stall_ms / 1000.0)
+            unhedged_p95 = _measure_tail(unhedged.port, "tail-doc", tail_requests)
+            hedged_p95 = _measure_tail(hedged.port, "tail-doc", tail_requests)
+        finally:
+            for server in coordinators:
+                server.stop()
+            for process in processes:
+                process.terminate()
+            for process in processes:
+                try:
+                    process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+
+    return {
+        "meta": {
+            "num_docs": num_docs,
+            "scale": scale,
+            "repeats": repeats,
+            "tail_requests": tail_requests,
+            "stall_ms": stall_ms,
+            "hedge_ms": hedge_ms,
+            "queries": list(QUERIES),
+            "python": platform.python_version(),
+            "cpus": os.cpu_count(),
+        },
+        "metrics": {
+            "direct_batch_queries_per_second": round(direct_qps, 3),
+            "coordinator_1node_batch_queries_per_second": round(single_qps, 3),
+            "coordinator_3node_batch_queries_per_second": round(fleet_qps, 3),
+            # Same-machine ratios -- the committed critical metrics.
+            "coordinator_fanout_overhead_ratio": round(direct_qps / single_qps, 3),
+            "coordinator_3node_batch_speedup": round(fleet_qps / single_qps, 3),
+            "coordinator_unhedged_p95_ms": round(unhedged_p95 * 1000.0, 3),
+            "coordinator_hedged_p95_ms": round(hedged_p95 * 1000.0, 3),
+            "coordinator_hedge_tail_ratio": round(hedged_p95 / unhedged_p95, 3),
+        },
+    }
+
+
+def _report(results: dict) -> None:
+    metrics = results["metrics"]
+    print_table(
+        "Coordinator fan-out (batch queries/s)",
+        ["path", "queries/s", "vs 1-node coordinator"],
+        [
+            ["direct to one backend", metrics["direct_batch_queries_per_second"], "-"],
+            ["1-node coordinator", metrics["coordinator_1node_batch_queries_per_second"], "1.00x"],
+            [
+                "3-node coordinator",
+                metrics["coordinator_3node_batch_queries_per_second"],
+                f"{metrics['coordinator_3node_batch_speedup']:.2f}x",
+            ],
+        ],
+    )
+    print_table(
+        "Hedged tail latency (stalled primary, p95 ms)",
+        ["mode", "p95 ms"],
+        [
+            ["unhedged", metrics["coordinator_unhedged_p95_ms"]],
+            ["hedged", metrics["coordinator_hedged_p95_ms"]],
+            ["ratio", metrics["coordinator_hedge_tail_ratio"]],
+        ],
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke settings (fewer repeats)")
+    parser.add_argument("--docs", type=int, default=9, help="corpus size")
+    parser.add_argument("--scale", type=float, default=0.015, help="XMark scale per document")
+    parser.add_argument("--repeats", type=int, default=None, help="timed batch sweeps per path")
+    parser.add_argument(
+        "--tail-requests", type=int, default=None, help="requests per tail-latency measurement"
+    )
+    parser.add_argument("--out", type=Path, default=None, help="write the results JSON here")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (3 if args.quick else 6)
+    tail = args.tail_requests if args.tail_requests is not None else (32 if args.quick else 80)
+    results = run_benchmark(
+        num_docs=args.docs, scale=args.scale, repeats=repeats, tail_requests=tail
+    )
+    _report(results)
+    if args.out is not None:
+        args.out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,8 @@ __all__ = [
     "DocumentStore",
     "ReproServer",
     "ReproClient",
+    "CoordinatorServer",
+    "CoordinatorClient",
     "DocumentFailure",
     "QueryService",
     "PlanCache",
@@ -65,7 +67,7 @@ __all__ = [
     "__version__",
 ]
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: Lazily exported so ``import repro`` stays cheap: the HTTP server and client
 #: (asyncio, http.client, url parsing) only load when actually referenced, and
@@ -73,6 +75,8 @@ __version__ = "1.5.0"
 _LAZY_EXPORTS = {
     "ReproServer": ("repro.server", "ReproServer"),
     "ReproClient": ("repro.client", "ReproClient"),
+    "CoordinatorServer": ("repro.coordinator", "CoordinatorServer"),
+    "CoordinatorClient": ("repro.client", "CoordinatorClient"),
     "Tracer": ("repro.obs", "Tracer"),
     "get_tracer": ("repro.obs", "get_tracer"),
     "set_tracer": ("repro.obs", "set_tracer"),

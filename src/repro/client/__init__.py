@@ -1,10 +1,14 @@
-"""Stdlib HTTP client for a :class:`~repro.server.ReproServer` deployment.
+"""Stdlib HTTP clients for :class:`~repro.server.ReproServer` deployments.
 
 :class:`ReproClient` mirrors the :class:`~repro.service.QueryService` API over
 the wire -- same typed results, same exception classes -- using only
-:mod:`http.client`.
+:mod:`http.client`.  :class:`CoordinatorClient` extends it with the
+cluster-only routes of a :class:`~repro.coordinator.CoordinatorServer`
+(``/v1/nodes``, per-node debug proxying); either client works against either
+server for the shared route surface.
 """
 
 from repro.client.client import ReproClient
+from repro.client.coordinator import CoordinatorClient
 
-__all__ = ["ReproClient"]
+__all__ = ["CoordinatorClient", "ReproClient"]

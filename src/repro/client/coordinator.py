@@ -1,0 +1,56 @@
+"""``CoordinatorClient``: the stdlib client plus cluster-only introspection.
+
+A :class:`~repro.client.ReproClient` pointed at a coordinator already works
+unchanged -- queries, ingest, stats, metrics all speak the same wire schema.
+This subclass adds what only a coordinator can answer: the per-node table of
+``GET /v1/nodes`` (health, request/error/hedge tallies) and the ``?node=``
+proxying of the debug routes.
+"""
+
+from __future__ import annotations
+
+from urllib.parse import quote
+
+from repro.client.client import ReproClient
+
+__all__ = ["CoordinatorClient"]
+
+
+class CoordinatorClient(ReproClient):
+    """Talks to a :class:`~repro.coordinator.CoordinatorServer`."""
+
+    def nodes(self) -> dict:
+        """The fleet table (``GET /v1/nodes``): replication and hedge config
+        plus, per node, health state, last error, flap count and the
+        request/error/hedge tallies."""
+        return self._json("GET", "/v1/nodes")
+
+    def node_names(self) -> list[str]:
+        """Configured backend names, sorted."""
+        return [entry["name"] for entry in self.nodes()["nodes"]]
+
+    def healthy_nodes(self) -> list[str]:
+        """Backends the coordinator currently routes to."""
+        return [entry["name"] for entry in self.nodes()["nodes"] if entry["healthy"]]
+
+    @staticmethod
+    def _debug_path(path: str, limit: int | None, node: str | None) -> str:
+        params = []
+        if limit is not None:
+            params.append(f"limit={int(limit)}")
+        if node is not None:
+            params.append(f"node={quote(node, safe='')}")
+        return path + ("?" + "&".join(params) if params else "")
+
+    def debug_traces(self, limit: int | None = None, node: str | None = None) -> dict:
+        """Debug traces; ``node=`` proxies one backend's full trace buffer,
+        without it the coordinator aggregates per-node tracer info."""
+        return self._json("GET", self._debug_path("/v1/debug/traces", limit, node))
+
+    def debug_workload(self, limit: int | None = None, node: str | None = None) -> dict:
+        """Workload analytics; ``node=`` proxies one backend's snapshot,
+        without it the coordinator aggregates all reachable nodes."""
+        return self._json("GET", self._debug_path("/v1/debug/workload", limit, node))
+
+    def __repr__(self) -> str:
+        return f"CoordinatorClient(http://{self.host}:{self.port})"

@@ -1,0 +1,29 @@
+"""Cluster coordinator: one HTTP front-end over a fleet of ``repro-serve`` nodes.
+
+The step from "a server" to "a fleet" (ROADMAP cluster item): a
+:class:`CoordinatorServer` speaks the same HTTP/1.1 + JSON wire schema as
+:class:`~repro.server.ReproServer` -- a plain
+:class:`~repro.client.ReproClient` pointed at a coordinator works unchanged --
+but behind the routes it
+
+* routes document ids onto backend nodes with a consistent-hash ring
+  (:mod:`repro.coordinator.ring`, configurable replication factor),
+* scatter-gathers ``/v1/query`` and ``/v1/query/batch`` across the fleet and
+  merges the per-node answers, reusing the
+  :class:`~repro.store.document_store.DocumentFailure` machinery so a dead
+  node *degrades* a batch instead of failing it
+  (:mod:`repro.coordinator.merge`),
+* drives routing from ``/healthz`` probes with mark-down/mark-up hysteresis
+  (:mod:`repro.coordinator.health`),
+* hedges slow replica requests for tail latency when ``replication > 1``.
+
+Run it as the ``repro-coordinator`` console script (see
+:mod:`repro.coordinator.__main__` and ``docs/operations.md``).
+"""
+
+from repro.coordinator.backend import NodeClient, NodeError
+from repro.coordinator.health import HealthTracker
+from repro.coordinator.http import CoordinatorServer
+from repro.coordinator.ring import HashRing
+
+__all__ = ["CoordinatorServer", "HashRing", "HealthTracker", "NodeClient", "NodeError"]

@@ -1,0 +1,146 @@
+"""Async HTTP client for one backend ``repro-serve`` node.
+
+The coordinator's outbound half: a tiny, dependency-free HTTP/1.1 client on
+:func:`asyncio.open_connection` -- the mirror image of the request parser in
+:class:`~repro.server.http.AsyncHttpServer`.  One connection per request with
+``Connection: close`` keeps the state machine trivial (no pooling, no
+keep-alive bookkeeping) at the cost of a TCP handshake per call, which is
+noise next to a corpus sweep; requests it cannot complete raise
+:class:`NodeError` tagged with the node's name and a coarse ``reason``
+(``unreachable`` / ``timeout`` / ``protocol``) that feeds the
+``repro_coordinator_node_errors_total`` metric and the health tracker.
+
+HTTP error *statuses* are not :class:`NodeError`: a 404 or a 429 is the node
+answering, and the coordinator propagates it (that is how admission-control
+envelopes pass through the cluster layer intact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Mapping
+
+__all__ = ["NodeClient", "NodeError"]
+
+_MAX_RESPONSE_BYTES = 256 * 1024 * 1024
+
+
+class NodeError(Exception):
+    """A backend request that produced no HTTP response at all."""
+
+    def __init__(self, node: str, reason: str, message: str):
+        super().__init__(message)
+        self.node = node
+        #: Coarse class for metrics labels: unreachable / timeout / protocol.
+        self.reason = reason
+
+
+class NodeClient:
+    """Issues one-shot JSON requests to a single ``host:port`` backend."""
+
+    def __init__(self, name: str, host: str, port: int, *, timeout: float = 30.0):
+        self.name = name
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload: Any = None,
+        *,
+        raw_body: bytes | None = None,
+        content_type: str | None = None,
+        headers: Mapping[str, str] | None = None,
+        timeout: float | None = None,
+    ) -> tuple[int, Any]:
+        """One request; returns ``(status, decoded body)``.
+
+        ``payload`` is JSON-encoded; ``raw_body`` (with ``content_type``)
+        forwards opaque bytes instead -- the coordinator relays raw-XML
+        ingests this way.  The response body is parsed as JSON when possible,
+        else returned as text (the ``/metrics`` page).  Raises
+        :class:`NodeError` when no response could be obtained within
+        ``timeout``.
+        """
+        budget = self.timeout if timeout is None else float(timeout)
+        try:
+            return await asyncio.wait_for(
+                self._roundtrip(method, path, payload, raw_body, content_type, headers),
+                timeout=budget,
+            )
+        except asyncio.TimeoutError:
+            raise NodeError(
+                self.name, "timeout", f"node {self.name} did not answer within {budget:g}s"
+            ) from None
+        except NodeError:
+            raise
+        except (OSError, asyncio.IncompleteReadError, ValueError) as exc:
+            raise NodeError(
+                self.name, "unreachable", f"node {self.name} ({self.url}) is unreachable: {exc}"
+            ) from exc
+
+    async def _roundtrip(self, method, path, payload, raw_body, content_type, headers) -> tuple[int, Any]:
+        if raw_body is not None:
+            body = raw_body
+        else:
+            body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+            content_type = "application/json" if body else None
+        head_lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+            "Connection: close",
+        ]
+        if content_type:
+            head_lines.append(f"Content-Type: {content_type}")
+        for name, value in (headers or {}).items():
+            head_lines.append(f"{name}: {value}")
+        blob = ("\r\n".join(head_lines) + "\r\n\r\n").encode("latin-1") + body
+
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            writer.write(blob)
+            await writer.drain()
+
+            status_line = (await reader.readline()).decode("latin-1").strip()
+            parts = status_line.split(" ", 2)
+            if len(parts) < 2 or not parts[1].isdigit():
+                raise NodeError(
+                    self.name, "protocol", f"node {self.name} sent a malformed status line: {status_line!r}"
+                )
+            status = int(parts[1])
+            response_headers: dict[str, str] = {}
+            while True:
+                line = (await reader.readline()).decode("latin-1").strip()
+                if not line:
+                    break
+                name, _, value = line.partition(":")
+                response_headers[name.strip().lower()] = value.strip()
+            length = response_headers.get("content-length")
+            if length is not None:
+                data = await reader.readexactly(int(length))
+            else:  # Connection: close -- the body runs to EOF
+                data = await reader.read(_MAX_RESPONSE_BYTES)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+        if not data:
+            return status, None
+        try:
+            return status, json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return status, data.decode("utf-8", "replace")
+
+    def __repr__(self) -> str:
+        return f"NodeClient({self.name} -> {self.url})"

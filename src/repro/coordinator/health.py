@@ -1,0 +1,124 @@
+"""Node health with mark-down/mark-up hysteresis.
+
+The coordinator probes every backend's ``/healthz`` on an interval and also
+feeds in the outcome of live requests.  Raw probe outcomes are too twitchy to
+route on -- one dropped packet would drain a healthy node, one lucky probe
+would flood a sick one -- so state transitions require *consecutive* evidence:
+a node is marked down only after ``fail_after`` consecutive failures and
+marked back up only after ``rise_after`` consecutive successes.  A flapping
+node (alternating ok/fail) therefore stays wherever it is, which is the
+hysteresis property ``tests/test_coordinator.py`` pins.
+
+The tracker is deliberately dumb about *what* failed: callers record booleans
+(plus an error string for the snapshot), and the coordinator decides what to
+do with an unhealthy node (skip it in fan-outs, keep probing it).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable
+
+__all__ = ["HealthTracker"]
+
+
+class _NodeState:
+    __slots__ = ("healthy", "streak", "last_error", "since", "transitions")
+
+    def __init__(self) -> None:
+        self.healthy = True  # optimistic: route to a node until proven dead
+        self.streak = 0  # consecutive outcomes of the opposite polarity
+        self.last_error: str | None = None
+        self.since = time.monotonic()
+        self.transitions = 0
+
+
+class HealthTracker:
+    """Per-node up/down state driven by probe and request outcomes.
+
+    Parameters
+    ----------
+    nodes:
+        Node names to track; all start healthy (optimistic, so a cold
+        coordinator routes immediately and discovers dead nodes by contact).
+    fail_after:
+        Consecutive failures before a healthy node is marked down.
+    rise_after:
+        Consecutive successes before a down node is marked back up.
+    """
+
+    def __init__(self, nodes: Iterable[str], fail_after: int = 3, rise_after: int = 2):
+        if fail_after < 1 or rise_after < 1:
+            raise ValueError("fail_after and rise_after must be at least 1")
+        self.fail_after = int(fail_after)
+        self.rise_after = int(rise_after)
+        self._lock = threading.Lock()
+        self._states = {node: _NodeState() for node in nodes}
+
+    def _state(self, node: str) -> _NodeState:
+        try:
+            return self._states[node]
+        except KeyError:
+            raise KeyError(f"unknown node {node!r}") from None
+
+    def record_success(self, node: str) -> bool:
+        """Feed one success; returns True when this *transitions* the node up."""
+        with self._lock:
+            state = self._state(node)
+            if state.healthy:
+                state.streak = 0
+                return False
+            state.streak += 1
+            if state.streak < self.rise_after:
+                return False
+            state.healthy = True
+            state.streak = 0
+            state.last_error = None
+            state.since = time.monotonic()
+            state.transitions += 1
+            return True
+
+    def record_failure(self, node: str, error: str = "") -> bool:
+        """Feed one failure; returns True when this *transitions* the node down."""
+        with self._lock:
+            state = self._state(node)
+            state.last_error = error or state.last_error
+            if not state.healthy:
+                state.streak = 0
+                return False
+            state.streak += 1
+            if state.streak < self.fail_after:
+                return False
+            state.healthy = False
+            state.streak = 0
+            state.since = time.monotonic()
+            state.transitions += 1
+            return True
+
+    def is_healthy(self, node: str) -> bool:
+        with self._lock:
+            return self._state(node).healthy
+
+    def healthy_nodes(self) -> list[str]:
+        """Currently-up node names, sorted."""
+        with self._lock:
+            return sorted(node for node, state in self._states.items() if state.healthy)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-node state for ``/v1/nodes``: up/down, age, last error, flap count."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                node: {
+                    "healthy": state.healthy,
+                    "state_age_seconds": round(now - state.since, 3),
+                    "last_error": state.last_error,
+                    "transitions": state.transitions,
+                }
+                for node, state in self._states.items()
+            }
+
+    def __repr__(self) -> str:
+        up = len(self.healthy_nodes())
+        return f"HealthTracker({up}/{len(self._states)} healthy)"

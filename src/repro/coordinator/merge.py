@@ -1,0 +1,106 @@
+"""Scatter-gather merging of per-node query results.
+
+The coordinator fans one logical query (or batch) out to several backend
+nodes and folds their JSON result dicts -- the exact
+:func:`~repro.server.json_api.service_result_to_json` shape -- back into one.
+The merge rules encode the cluster semantics:
+
+* **Counts union.** ``counts`` is a per-document dict, so merging is a dict
+  union -- which also *deduplicates replicas*: when ``replication > 1`` two
+  nodes may both answer for the same document, and the union keeps one entry
+  (replicas index identical copies, so the counts agree).  ``total`` is
+  recomputed from the merged counts, never summed across nodes.
+* **Degraded, not failed.** A node that produced no HTTP response at all
+  becomes a synthetic :class:`~repro.store.document_store.DocumentFailure`
+  entry with ``doc_id="node:<name>"`` and ``error="NodeUnavailableError"`` --
+  the same machinery a single server uses for a corrupt shard file, so every
+  existing client renders a dead node as a partial answer, not an exception.
+* **A replica answering beats a replica failing.** Per-document failures
+  reported by one node are dropped when any other node answered that
+  document; node-level failures always survive (the coordinator cannot know
+  which documents the silent node held).
+
+``shard_timings`` entries are concatenated (each still carries the backend's
+shard number -- adjacent to per-node latency, which ``/v1/nodes`` reports
+directly) and ``elapsed_seconds`` is the coordinator's own wall-clock for the
+fan-out, not a sum of node times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["node_failure", "merge_results", "merge_batches"]
+
+#: ``error`` field of the synthetic failure entry a silent node produces.
+NODE_UNAVAILABLE = "NodeUnavailableError"
+
+
+def node_failure(node: str, message: str) -> dict:
+    """The failure-entry dict naming a node that produced no response."""
+    return {"doc_id": f"node:{node}", "error": NODE_UNAVAILABLE, "message": message}
+
+
+def merge_results(
+    query: str,
+    answers: Iterable[Mapping],
+    node_failures: Sequence[Mapping] = (),
+    *,
+    elapsed_seconds: float = 0.0,
+) -> dict:
+    """Fold per-node result dicts for one query into one result dict."""
+    counts: dict[str, int] = {}
+    nodes: dict[str, list] | None = None
+    timings: list = []
+    doc_failures: dict[str, Mapping] = {}
+    for answer in answers:
+        counts.update(answer.get("counts", {}))
+        answer_nodes = answer.get("nodes")
+        if answer_nodes is not None:
+            nodes = {} if nodes is None else nodes
+            nodes.update(answer_nodes)
+        timings.extend(answer.get("shard_timings", []))
+        for failure in answer.get("failures", []):
+            doc_failures.setdefault(failure["doc_id"], failure)
+    failures = [f for doc_id, f in doc_failures.items() if doc_id not in counts]
+    failures.extend(node_failures)
+    return {
+        "query": query,
+        "total": sum(counts.values()),
+        "counts": counts,
+        "nodes": nodes,
+        "failures": failures,
+        "shard_timings": timings,
+        "elapsed_seconds": round(elapsed_seconds, 6),
+    }
+
+
+def merge_batches(
+    queries: Sequence[str],
+    batches: Iterable[Sequence[Mapping]],
+    node_failures: Sequence[Mapping] = (),
+    *,
+    elapsed_seconds: float = 0.0,
+) -> list[dict]:
+    """Fold per-node ``/v1/query/batch`` result lists, position by position.
+
+    Every backend returns its ``results`` list in request order, so entry
+    ``i`` of each list describes ``queries[i]``; node-level failures are
+    attached to every query in the batch (the silent node's documents are
+    missing from all of them).
+    """
+    batches = list(batches)
+    for batch in batches:
+        if len(batch) != len(queries):
+            raise ValueError(
+                f"a node answered {len(batch)} results for {len(queries)} queries"
+            )
+    return [
+        merge_results(
+            query,
+            [batch[i] for batch in batches],
+            node_failures,
+            elapsed_seconds=elapsed_seconds,
+        )
+        for i, query in enumerate(queries)
+    ]

@@ -47,6 +47,13 @@ The server is asyncio-native (:meth:`ReproServer.serve_async`) with a
 synchronous facade (:meth:`start` / :meth:`stop`, also a context manager) that
 runs the loop in a daemon thread -- which is what the tests, the example and
 the benchmark use to serve and query from one process.
+
+The protocol machinery -- connection handling, request parsing, response
+writing, routing, per-route metrics and access logging, graceful shutdown,
+the sync facade -- lives in :class:`AsyncHttpServer` so other HTTP front-ends
+(the cluster coordinator in :mod:`repro.coordinator`) reuse it;
+:class:`ReproServer` adds the query/store handlers and the thread-pool bridge
+for blocking index work.
 """
 
 from __future__ import annotations
@@ -80,7 +87,7 @@ from repro.server.metrics import ServerMetrics
 from repro.service.query_service import QueryService
 from repro.store.document_store import register_store_metrics
 
-__all__ = ["ReproServer"]
+__all__ = ["AsyncHttpServer", "ReproServer"]
 
 _log = get_logger("server.http")
 
@@ -157,19 +164,25 @@ class _Connection:
         self.busy = False
 
 
-class ReproServer:
-    """Serves a :class:`QueryService` (and its store) over HTTP/1.1 + JSON.
+class AsyncHttpServer:
+    """The reusable asyncio HTTP/1.1 + JSON protocol front-end.
+
+    Owns everything below the handlers: the listener lifecycle (async and the
+    loop-in-a-daemon-thread sync facade), connection handling with keep-alive
+    and limits, request parsing, structured error responses, routing with
+    per-route-pattern metrics and access logging, the thread-pool bridge for
+    blocking handlers, and graceful shutdown.  Subclasses populate
+    :attr:`_routes` with ``(method, pattern, label, handler, blocking)``
+    tuples -- blocking handlers run on the executor, non-blocking ones
+    (``async def``) on the loop.
 
     Parameters
     ----------
-    service:
-        The in-process serving layer; its store handles ingest and per-document
-        routes.
     host, port:
         Bind address.  ``port=0`` picks a free port (read :attr:`port` after
         start -- this is what the tests and the benchmark do).
     executor_workers:
-        Threads bridging blocking index work off the event loop.  This bounds
+        Threads bridging blocking handlers off the event loop.  This bounds
         *concurrent requests in progress*, not connections.
     max_body_bytes:
         Request bodies larger than this are refused with 413.
@@ -182,18 +195,10 @@ class ReproServer:
     slow_query_ms:
         When set, any request slower than this logs a WARNING with its
         request id, route and duration (the slow-query log).
-    admission:
-        Cost-based :class:`~repro.server.admission.AdmissionController`.
-        When any of its limits is configured, the query endpoints estimate
-        each request's cost up front (planner only, no evaluation) and an
-        over-budget request is refused with 429/503 plus a ``details`` cost
-        hint before a sweep starts.  Defaults to a disabled controller that
-        admits everything.
     """
 
     def __init__(
         self,
-        service: QueryService,
         host: str = "127.0.0.1",
         port: int = 0,
         *,
@@ -204,11 +209,9 @@ class ReproServer:
         shutdown_grace: float = 10.0,
         metrics: ServerMetrics | None = None,
         slow_query_ms: float | None = None,
-        admission: AdmissionController | None = None,
     ):
         if executor_workers < 1:
             raise ValueError("executor_workers must be at least 1")
-        self._service = service
         self._host = host
         self._requested_port = int(port)
         self.port: int | None = None
@@ -219,10 +222,6 @@ class ReproServer:
         self._shutdown_grace = float(shutdown_grace)
         self._slow_query_ms = float(slow_query_ms) if slow_query_ms is not None else None
         self.metrics = metrics if metrics is not None else ServerMetrics()
-        self.admission = admission if admission is not None else AdmissionController()
-        # Bind the serving store to the store_mapped_* residency gauges
-        # (callback families; the most recently bound store wins).
-        register_store_metrics(service.store, self.metrics.registry)
 
         self._server: asyncio.base_events.Server | None = None
         self._executor: ThreadPoolExecutor | None = None
@@ -239,63 +238,24 @@ class ReproServer:
 
         # (method, pattern, route label, handler, blocking?) -- the label is
         # what /metrics reports, so document ids never explode cardinality.
-        self._routes: list[tuple[str, re.Pattern, str, Callable, bool]] = [
-            ("GET", re.compile(r"/healthz\Z"), "/healthz", self._h_healthz, False),
-            ("GET", re.compile(r"/metrics\Z"), "/metrics", self._h_metrics, False),
-            ("GET", re.compile(r"/v1/debug/traces\Z"), "/v1/debug/traces", self._h_debug_traces, False),
-            (
-                "GET",
-                re.compile(r"/v1/debug/workload\Z"),
-                "/v1/debug/workload",
-                self._h_debug_workload,
-                False,
-            ),
-            ("POST", re.compile(r"/v1/query\Z"), "/v1/query", self._h_query, True),
-            ("POST", re.compile(r"/v1/query/batch\Z"), "/v1/query/batch", self._h_query_batch, True),
-            (
-                "POST",
-                re.compile(r"/v1/query/estimate\Z"),
-                "/v1/query/estimate",
-                self._h_query_estimate,
-                True,
-            ),
-            ("GET", re.compile(r"/v1/stats\Z"), "/v1/stats", self._h_stats, True),
-            (
-                "GET",
-                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)/stats\Z"),
-                "/v1/documents/{id}/stats",
-                self._h_document_stats,
-                True,
-            ),
-            (
-                "PUT",
-                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
-                "/v1/documents/{id}",
-                self._h_put_document,
-                True,
-            ),
-            (
-                "GET",
-                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
-                "/v1/documents/{id}",
-                self._h_get_document,
-                True,
-            ),
-            (
-                "DELETE",
-                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
-                "/v1/documents/{id}",
-                self._h_delete_document,
-                True,
-            ),
-        ]
+        self._routes: list[tuple[str, re.Pattern, str, Callable, bool]] = []
 
     # -- properties --------------------------------------------------------------------
 
     @property
-    def service(self) -> QueryService:
-        """The in-process serving layer behind the routes."""
-        return self._service
+    def route_table(self) -> list[tuple[str, str]]:
+        """``(method, route label)`` pairs of the registered routes.
+
+        The labels are the patterns ``/metrics`` reports requests under (and
+        the ones ``docs/http-api.md`` documents -- ``scripts/check_docs.py``
+        diffs the two).
+        """
+        return [(method, label) for method, _, label, _, _ in self._routes]
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the listener bound (0 before start)."""
+        return 0.0 if self._started_at is None else time.monotonic() - self._started_at
 
     @property
     def address(self) -> tuple[str, int]:
@@ -364,7 +324,7 @@ class ReproServer:
 
     # -- sync facade (loop in a daemon thread) -----------------------------------------
 
-    def start(self) -> "ReproServer":
+    def start(self) -> "AsyncHttpServer":
         """Run the server on a private event loop in a daemon thread."""
         if self._thread is not None:
             raise RuntimeError("the server is already started")
@@ -410,7 +370,7 @@ class ReproServer:
         thread.join()
         self._thread = None
 
-    def __enter__(self) -> "ReproServer":
+    def __enter__(self) -> "AsyncHttpServer":
         return self.start()
 
     def __exit__(self, *exc_info) -> None:
@@ -636,6 +596,119 @@ class ReproServer:
             # background while the client gets a timely structured failure.
             raise ApiError(503, f"request timed out after {self._request_timeout:g}s") from None
 
+    def __repr__(self) -> str:
+        state = f"listening on {self.url}" if self.port is not None else "stopped"
+        return f"{type(self).__name__}({state})"
+
+
+class ReproServer(AsyncHttpServer):
+    """Serves a :class:`QueryService` (and its store) over HTTP/1.1 + JSON.
+
+    Parameters
+    ----------
+    service:
+        The in-process serving layer; its store handles ingest and per-document
+        routes.
+    admission:
+        Cost-based :class:`~repro.server.admission.AdmissionController`.
+        When any of its limits is configured, the query endpoints estimate
+        each request's cost up front (planner only, no evaluation) and an
+        over-budget request is refused with 429/503 plus a ``details`` cost
+        hint before a sweep starts.  Defaults to a disabled controller that
+        admits everything.
+
+    The remaining parameters are those of :class:`AsyncHttpServer`.
+    ``executor_workers`` bounds the threads bridging blocking *index* work
+    (loads, automaton runs, XML parsing) off the event loop.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        executor_workers: int = 8,
+        max_body_bytes: int = 32 * 1024 * 1024,
+        request_timeout: float = 60.0,
+        header_timeout: float = 30.0,
+        shutdown_grace: float = 10.0,
+        metrics: ServerMetrics | None = None,
+        slow_query_ms: float | None = None,
+        admission: AdmissionController | None = None,
+    ):
+        super().__init__(
+            host,
+            port,
+            executor_workers=executor_workers,
+            max_body_bytes=max_body_bytes,
+            request_timeout=request_timeout,
+            header_timeout=header_timeout,
+            shutdown_grace=shutdown_grace,
+            metrics=metrics,
+            slow_query_ms=slow_query_ms,
+        )
+        self._service = service
+        self.admission = admission if admission is not None else AdmissionController()
+        # Bind the serving store to the store_mapped_* residency gauges
+        # (callback families; the most recently bound store wins).
+        register_store_metrics(service.store, self.metrics.registry)
+        self._routes = [
+            ("GET", re.compile(r"/healthz\Z"), "/healthz", self._h_healthz, False),
+            ("GET", re.compile(r"/metrics\Z"), "/metrics", self._h_metrics, False),
+            ("GET", re.compile(r"/v1/debug/traces\Z"), "/v1/debug/traces", self._h_debug_traces, False),
+            (
+                "GET",
+                re.compile(r"/v1/debug/workload\Z"),
+                "/v1/debug/workload",
+                self._h_debug_workload,
+                False,
+            ),
+            ("POST", re.compile(r"/v1/query\Z"), "/v1/query", self._h_query, True),
+            ("POST", re.compile(r"/v1/query/batch\Z"), "/v1/query/batch", self._h_query_batch, True),
+            (
+                "POST",
+                re.compile(r"/v1/query/estimate\Z"),
+                "/v1/query/estimate",
+                self._h_query_estimate,
+                True,
+            ),
+            ("GET", re.compile(r"/v1/stats\Z"), "/v1/stats", self._h_stats, True),
+            (
+                "GET",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)/stats\Z"),
+                "/v1/documents/{id}/stats",
+                self._h_document_stats,
+                True,
+            ),
+            (
+                "PUT",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
+                "/v1/documents/{id}",
+                self._h_put_document,
+                True,
+            ),
+            (
+                "GET",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
+                "/v1/documents/{id}",
+                self._h_get_document,
+                True,
+            ),
+            (
+                "DELETE",
+                re.compile(r"/v1/documents/(?P<doc_id>[^/]+)\Z"),
+                "/v1/documents/{id}",
+                self._h_delete_document,
+                True,
+            ),
+        ]
+
+    @property
+    def service(self) -> QueryService:
+        """The in-process serving layer behind the routes."""
+        return self._service
+
     # -- helpers -----------------------------------------------------------------------
 
     @staticmethod
@@ -701,8 +774,7 @@ class ReproServer:
     # -- handlers (async = on the loop, others on the thread pool) ---------------------
 
     async def _h_healthz(self, request: _Request, match: re.Match):
-        uptime = 0.0 if self._started_at is None else time.monotonic() - self._started_at
-        return 200, {"status": "ok", "uptime_seconds": round(uptime, 3)}
+        return 200, {"status": "ok", "uptime_seconds": round(self.uptime_seconds, 3)}
 
     async def _h_metrics(self, request: _Request, match: re.Match):
         info = self._service.cache_info()
@@ -910,3 +982,8 @@ class ReproServer:
     def __repr__(self) -> str:
         state = f"listening on {self.url}" if self.port is not None else "stopped"
         return f"ReproServer({state}, service={self._service!r})"
+
+
+# The coordinator front-end builds on the same machinery; keep the request
+# dataclass importable for it without making it public API.
+Request = _Request
